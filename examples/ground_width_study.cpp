@@ -1,0 +1,47 @@
+// Design-space study built on the Figure-10 idea: sweep the ground strap
+// width and watch the substrate-noise sensitivity fall as the strap
+// resistance drops -- the designer's actionable knob the paper closes with.
+#include <cstdio>
+
+#include "core/impact_model.hpp"
+#include "testcases/vco.hpp"
+#include "util/table.hpp"
+
+using namespace snim;
+using testcases::VcoTestcase;
+
+int main() {
+    printf("=== ground strap width study (the paper's design advice) ===\n\n");
+
+    Table t({"strap width [um]", "ground wiring [squares]", "K_src [Hz/V]",
+             "spur @10MHz [dBc]"});
+    double prev_k = 0.0;
+    for (double width : {1.0, 1.5, 2.0, 3.0}) {
+        testcases::VcoOptions vopt;
+        vopt.ground_strap_width = width;
+        auto vco = testcases::build_vco(vopt);
+        auto model = testcases::build_model(std::move(vco),
+                                            testcases::vco_flow_options());
+        const auto* st = model.wire_stats_for("vgnd");
+
+        core::AnalyzerOptions aopt;
+        aopt.osc = testcases::vco_osc_options();
+        core::ImpactAnalyzer analyzer(model, VcoTestcase::kNoiseSource,
+                                      testcases::vco_noise_entries(), aopt);
+        analyzer.calibrate();
+        auto pred = analyzer.predict(10e6);
+
+        t.add_row({format("%.1f", width),
+                   format("%.0f", st ? st->resistance_squares : 0.0),
+                   format("%.4g", analyzer.k_src()),
+                   format("%.1f", pred.right_dbc())});
+        if (prev_k != 0.0)
+            printf("  width step: sensitivity change %.1f dB\n",
+                   20 * std::log10(std::fabs(analyzer.k_src() / prev_k)));
+        prev_k = analyzer.k_src();
+    }
+    printf("\n");
+    t.print();
+    printf("\npaper: halving the ground resistance buys ~4.5-6 dB of immunity.\n");
+    return 0;
+}

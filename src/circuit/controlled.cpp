@@ -1,0 +1,59 @@
+#include "circuit/controlled.hpp"
+
+#include "util/strings.hpp"
+
+namespace snim::circuit {
+
+namespace {
+constexpr size_t kOutP = 0, kOutN = 1, kCp = 2, kCn = 3;
+} // namespace
+
+Vccs::Vccs(std::string name, NodeId out_p, NodeId out_n, NodeId cp, NodeId cn, double gm)
+    : Device(std::move(name), {out_p, out_n, cp, cn}), gm_(gm) {}
+
+void Vccs::stamp_dc(RealStamper& s, const std::vector<double>&) const {
+    s.transconductance(term(kOutP), term(kOutN), term(kCp), term(kCn), gm_);
+}
+
+void Vccs::stamp_ac(ComplexStamper& s, const std::vector<double>&, double) const {
+    s.transconductance(term(kOutP), term(kOutN), term(kCp), term(kCn), {gm_, 0.0});
+}
+
+std::string Vccs::card(const NodeNamer& nn) const {
+    return format("%s %s %s %s %s %s", spice_head('G', name()).c_str(), nn(term(kOutP)).c_str(),
+                  nn(term(kOutN)).c_str(), nn(term(kCp)).c_str(),
+                  nn(term(kCn)).c_str(), eng_format(gm_, 6).c_str());
+}
+
+Vcvs::Vcvs(std::string name, NodeId out_p, NodeId out_n, NodeId cp, NodeId cn,
+           double gain)
+    : Device(std::move(name), {out_p, out_n, cp, cn}), gain_(gain) {}
+
+void Vcvs::stamp_dc(RealStamper& s, const std::vector<double>&) const {
+    const NodeId br = aux_base();
+    s.entry(term(kOutP), br, 1.0);
+    s.entry(term(kOutN), br, -1.0);
+    // Branch equation: v(out_p) - v(out_n) - gain * (v(cp) - v(cn)) = 0.
+    s.entry(br, term(kOutP), 1.0);
+    s.entry(br, term(kOutN), -1.0);
+    s.entry(br, term(kCp), -gain_);
+    s.entry(br, term(kCn), gain_);
+}
+
+void Vcvs::stamp_ac(ComplexStamper& s, const std::vector<double>&, double) const {
+    const NodeId br = aux_base();
+    s.entry(term(kOutP), br, {1.0, 0.0});
+    s.entry(term(kOutN), br, {-1.0, 0.0});
+    s.entry(br, term(kOutP), {1.0, 0.0});
+    s.entry(br, term(kOutN), {-1.0, 0.0});
+    s.entry(br, term(kCp), {-gain_, 0.0});
+    s.entry(br, term(kCn), {gain_, 0.0});
+}
+
+std::string Vcvs::card(const NodeNamer& nn) const {
+    return format("%s %s %s %s %s %s", spice_head('E', name()).c_str(), nn(term(kOutP)).c_str(),
+                  nn(term(kOutN)).c_str(), nn(term(kCp)).c_str(),
+                  nn(term(kCn)).c_str(), eng_format(gain_, 6).c_str());
+}
+
+} // namespace snim::circuit

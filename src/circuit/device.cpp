@@ -1,0 +1,15 @@
+#include "circuit/device.hpp"
+
+#include <cctype>
+
+namespace snim::circuit {
+
+std::string spice_head(char kind, const std::string& name) {
+    if (!name.empty() &&
+        std::tolower(static_cast<unsigned char>(name[0])) ==
+            std::tolower(static_cast<unsigned char>(kind)))
+        return name;
+    return std::string(1, kind) + name;
+}
+
+} // namespace snim::circuit

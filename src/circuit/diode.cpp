@@ -1,0 +1,100 @@
+#include "circuit/diode.hpp"
+
+#include <cmath>
+
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+namespace snim::circuit {
+
+namespace {
+constexpr size_t kAnode = 0, kCathode = 1;
+constexpr double kMaxExpArg = 40.0; // current limiting for Newton robustness
+constexpr double kFc = 0.5;
+} // namespace
+
+Diode::Diode(std::string name, NodeId anode, NodeId cathode, DiodeModel model,
+             double area_scale)
+    : Device(std::move(name), {anode, cathode}), model_(model), scale_(area_scale) {
+    SNIM_ASSERT(scale_ > 0, "diode '%s': non-positive area", this->name().c_str());
+}
+
+double Diode::current(double v) const {
+    const double nvt = model_.n * units::kVt300;
+    const double a = v / nvt;
+    if (a > kMaxExpArg) {
+        // Linear extension beyond the exp-limit to avoid overflow.
+        const double ie = model_.is * scale_ * (std::exp(kMaxExpArg) - 1.0);
+        const double ge = model_.is * scale_ * std::exp(kMaxExpArg) / nvt;
+        return ie + ge * (v - kMaxExpArg * nvt);
+    }
+    return model_.is * scale_ * (std::exp(a) - 1.0);
+}
+
+double Diode::conductance(double v) const {
+    const double nvt = model_.n * units::kVt300;
+    const double a = std::min(v / nvt, kMaxExpArg);
+    return model_.is * scale_ * std::exp(a) / nvt;
+}
+
+double Diode::capacitance(double v) const {
+    const double cj0 = model_.cj0 * scale_;
+    if (cj0 <= 0) return 0.0;
+    if (v < kFc * model_.pb) return cj0 * std::pow(1.0 - v / model_.pb, -model_.mj);
+    const double f = std::pow(1.0 - kFc, -model_.mj);
+    return cj0 * f *
+           (1.0 + model_.mj * (v - kFc * model_.pb) / (model_.pb * (1.0 - kFc)));
+}
+
+void Diode::stamp_dc(RealStamper& s, const std::vector<double>& x) const {
+    const double v = volt(x, term(kAnode)) - volt(x, term(kCathode));
+    const double i = current(v);
+    const double g = conductance(v);
+    const double ieq = i - g * v;
+    s.admittance(term(kAnode), term(kCathode), g);
+    s.rhs_current(term(kAnode), -ieq);
+    s.rhs_current(term(kCathode), ieq);
+}
+
+void Diode::init_tran(const std::vector<double>& x) {
+    v_prev_ = volt(x, term(kAnode)) - volt(x, term(kCathode));
+    i_prev_ = 0.0;
+}
+
+void Diode::stamp_tran(RealStamper& s, const std::vector<double>& x,
+                       const TranParams& tp) {
+    stamp_dc(s, x);
+    const double c = capacitance(v_prev_);
+    if (c <= 0) return;
+    const double geq = (tp.order == 2 ? 2.0 : 1.0) * c / tp.dt;
+    const double ieq = (tp.order == 2) ? (-geq * v_prev_ - i_prev_) : (-geq * v_prev_);
+    s.admittance(term(kAnode), term(kCathode), geq);
+    s.rhs_current(term(kAnode), -ieq);
+    s.rhs_current(term(kCathode), ieq);
+}
+
+void Diode::commit_tran(const std::vector<double>& x, const TranParams& tp) {
+    const double v = volt(x, term(kAnode)) - volt(x, term(kCathode));
+    const double c = capacitance(v_prev_);
+    if (c > 0) {
+        const double geq = (tp.order == 2 ? 2.0 : 1.0) * c / tp.dt;
+        i_prev_ = (tp.order == 2) ? geq * (v - v_prev_) - i_prev_ : geq * (v - v_prev_);
+    } else {
+        i_prev_ = 0.0;
+    }
+    v_prev_ = v;
+}
+
+void Diode::stamp_ac(ComplexStamper& s, const std::vector<double>& xop,
+                     double omega) const {
+    const double v = volt(xop, term(kAnode)) - volt(xop, term(kCathode));
+    s.admittance(term(kAnode), term(kCathode),
+                 {conductance(v), omega * capacitance(v)});
+}
+
+std::string Diode::card(const NodeNamer& nn) const {
+    return format("%s %s %s dmod area=%g", spice_head('D', name()).c_str(), nn(term(kAnode)).c_str(),
+                  nn(term(kCathode)).c_str(), scale_);
+}
+
+} // namespace snim::circuit

@@ -1,0 +1,43 @@
+// Junction diode: exponential DC model with junction capacitance.  Used for
+// well/substrate junctions and ESD structures in extracted netlists.
+#pragma once
+
+#include "circuit/device.hpp"
+
+namespace snim::circuit {
+
+struct DiodeModel {
+    double is = 1e-16;  // saturation current [A]
+    double n = 1.0;     // emission coefficient
+    double cj0 = 0.0;   // zero-bias junction capacitance [F]
+    double pb = 0.75;   // built-in potential [V]
+    double mj = 0.4;    // grading coefficient
+};
+
+class Diode : public Device {
+public:
+    Diode(std::string name, NodeId anode, NodeId cathode, DiodeModel model,
+          double area_scale = 1.0);
+
+    double current(double v) const;
+    double conductance(double v) const;
+    double capacitance(double v) const;
+
+    void stamp_dc(RealStamper& s, const std::vector<double>& x) const override;
+    void stamp_tran(RealStamper& s, const std::vector<double>& x,
+                    const TranParams& tp) override;
+    void init_tran(const std::vector<double>& x) override;
+    void commit_tran(const std::vector<double>& x, const TranParams& tp) override;
+    void stamp_ac(ComplexStamper& s, const std::vector<double>& xop,
+                  double omega) const override;
+    bool is_nonlinear() const override { return true; }
+    std::string card(const NodeNamer& nn) const override;
+
+private:
+    DiodeModel model_;
+    double scale_;
+    double v_prev_ = 0.0;
+    double i_prev_ = 0.0;
+};
+
+} // namespace snim::circuit

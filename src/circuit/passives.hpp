@@ -1,0 +1,81 @@
+// Linear passive devices: resistor, capacitor, inductor (with optional
+// series resistance, the way on-chip spiral inductors are modelled).
+#pragma once
+
+#include "circuit/device.hpp"
+
+namespace snim::circuit {
+
+class Resistor : public Device {
+public:
+    Resistor(std::string name, NodeId a, NodeId b, double resistance);
+
+    double resistance() const { return r_; }
+    void set_resistance(double r);
+
+    void stamp_dc(RealStamper& s, const std::vector<double>& x) const override;
+    void stamp_ac(ComplexStamper& s, const std::vector<double>& xop,
+                  double omega) const override;
+    std::string card(const NodeNamer& nn) const override;
+
+    /// Current flowing a -> b for solution `x`.
+    double current(const std::vector<double>& x) const;
+
+private:
+    double r_;
+};
+
+class Capacitor : public Device {
+public:
+    Capacitor(std::string name, NodeId a, NodeId b, double capacitance);
+
+    double capacitance() const { return c_; }
+    void set_capacitance(double c);
+
+    void stamp_dc(RealStamper& s, const std::vector<double>& x) const override;
+    void stamp_tran(RealStamper& s, const std::vector<double>& x,
+                    const TranParams& tp) override;
+    void init_tran(const std::vector<double>& x) override;
+    void commit_tran(const std::vector<double>& x, const TranParams& tp) override;
+    void stamp_ac(ComplexStamper& s, const std::vector<double>& xop,
+                  double omega) const override;
+    std::string card(const NodeNamer& nn) const override;
+
+private:
+    double c_;
+    double v_prev_ = 0.0;
+    double i_prev_ = 0.0;
+};
+
+/// Inductor with optional series resistance; adds one branch-current
+/// unknown.  The branch equation is v_a - v_b - R i - L di/dt = 0.
+class Inductor : public Device {
+public:
+    Inductor(std::string name, NodeId a, NodeId b, double inductance,
+             double series_res = 0.0);
+
+    double inductance() const { return l_; }
+    double series_res() const { return rs_; }
+
+    size_t aux_count() const override { return 1; }
+
+    void stamp_dc(RealStamper& s, const std::vector<double>& x) const override;
+    void stamp_tran(RealStamper& s, const std::vector<double>& x,
+                    const TranParams& tp) override;
+    void init_tran(const std::vector<double>& x) override;
+    void commit_tran(const std::vector<double>& x, const TranParams& tp) override;
+    void stamp_ac(ComplexStamper& s, const std::vector<double>& xop,
+                  double omega) const override;
+    std::string card(const NodeNamer& nn) const override;
+
+    /// Branch current for solution `x` (flows a -> b).
+    double current(const std::vector<double>& x) const;
+
+private:
+    double l_;
+    double rs_;
+    double i_prev_ = 0.0;
+    double v_prev_ = 0.0; // inductor voltage net of series resistance
+};
+
+} // namespace snim::circuit

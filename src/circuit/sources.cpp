@@ -1,0 +1,189 @@
+#include "circuit/sources.hpp"
+
+#include <cmath>
+
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+namespace snim::circuit {
+
+namespace {
+constexpr size_t kPlus = 0;
+constexpr size_t kMinus = 1;
+} // namespace
+
+// ---------------------------------------------------------------- Waveform
+
+Waveform Waveform::dc(double value) {
+    Waveform w;
+    w.kind_ = Kind::Dc;
+    w.p_[0] = value;
+    return w;
+}
+
+Waveform Waveform::sin(double offset, double amp, double freq, double phase_rad,
+                       double delay) {
+    SNIM_ASSERT(freq > 0, "sin waveform needs positive frequency");
+    Waveform w;
+    w.kind_ = Kind::Sin;
+    w.p_[0] = offset;
+    w.p_[1] = amp;
+    w.p_[2] = freq;
+    w.p_[3] = phase_rad;
+    w.p_[4] = delay;
+    return w;
+}
+
+Waveform Waveform::pulse(double v1, double v2, double delay, double rise, double fall,
+                         double width, double period) {
+    SNIM_ASSERT(period > 0 && rise > 0 && fall > 0, "bad pulse timing");
+    Waveform w;
+    w.kind_ = Kind::Pulse;
+    w.p_[0] = v1;
+    w.p_[1] = v2;
+    w.p_[2] = delay;
+    w.p_[3] = rise;
+    w.p_[4] = fall;
+    w.p_[5] = width;
+    w.p_[6] = period;
+    return w;
+}
+
+Waveform Waveform::pwl(std::vector<std::pair<double, double>> points) {
+    SNIM_ASSERT(!points.empty(), "pwl needs points");
+    for (size_t i = 1; i < points.size(); ++i)
+        SNIM_ASSERT(points[i].first > points[i - 1].first, "pwl times must increase");
+    Waveform w;
+    w.kind_ = Kind::Pwl;
+    w.pwl_ = std::move(points);
+    return w;
+}
+
+double Waveform::value(double t) const {
+    switch (kind_) {
+        case Kind::Dc:
+            return p_[0];
+        case Kind::Sin: {
+            if (t < p_[4]) return p_[0] + p_[1] * std::sin(p_[3]);
+            return p_[0] +
+                   p_[1] * std::sin(units::kTwoPi * p_[2] * (t - p_[4]) + p_[3]);
+        }
+        case Kind::Pulse: {
+            if (t < p_[2]) return p_[0];
+            const double tp = std::fmod(t - p_[2], p_[6]);
+            if (tp < p_[3]) return p_[0] + (p_[1] - p_[0]) * tp / p_[3];
+            if (tp < p_[3] + p_[5]) return p_[1];
+            if (tp < p_[3] + p_[5] + p_[4])
+                return p_[1] + (p_[0] - p_[1]) * (tp - p_[3] - p_[5]) / p_[4];
+            return p_[0];
+        }
+        case Kind::Pwl: {
+            if (t <= pwl_.front().first) return pwl_.front().second;
+            if (t >= pwl_.back().first) return pwl_.back().second;
+            for (size_t i = 1; i < pwl_.size(); ++i) {
+                if (t <= pwl_[i].first) {
+                    const double f = (t - pwl_[i - 1].first) /
+                                     (pwl_[i].first - pwl_[i - 1].first);
+                    return pwl_[i - 1].second +
+                           f * (pwl_[i].second - pwl_[i - 1].second);
+                }
+            }
+            return pwl_.back().second;
+        }
+    }
+    return 0.0;
+}
+
+std::string Waveform::describe() const {
+    switch (kind_) {
+        case Kind::Dc: return format("dc %s", eng_format(p_[0]).c_str());
+        case Kind::Sin:
+            return format("sin(%s %s %s)", eng_format(p_[0]).c_str(),
+                          eng_format(p_[1]).c_str(), eng_format(p_[2]).c_str());
+        case Kind::Pulse:
+            return format("pulse(%s %s %s %s %s %s %s)", eng_format(p_[0]).c_str(),
+                          eng_format(p_[1]).c_str(), eng_format(p_[2]).c_str(),
+                          eng_format(p_[3]).c_str(), eng_format(p_[4]).c_str(),
+                          eng_format(p_[5]).c_str(), eng_format(p_[6]).c_str());
+        case Kind::Pwl: return format("pwl(%zu points)", pwl_.size());
+    }
+    return "?";
+}
+
+// ----------------------------------------------------------------- VSource
+
+VSource::VSource(std::string name, NodeId plus, NodeId minus, Waveform wave, AcSpec ac)
+    : Device(std::move(name), {plus, minus}), wave_(std::move(wave)), ac_(ac) {}
+
+void VSource::stamp_value(RealStamper& s, double value) const {
+    const NodeId br = aux_base();
+    s.entry(term(kPlus), br, 1.0);
+    s.entry(term(kMinus), br, -1.0);
+    s.entry(br, term(kPlus), 1.0);
+    s.entry(br, term(kMinus), -1.0);
+    s.rhs_entry(br, value);
+}
+
+void VSource::stamp_dc(RealStamper& s, const std::vector<double>&) const {
+    stamp_value(s, wave_.dc_value());
+}
+
+void VSource::stamp_tran(RealStamper& s, const std::vector<double>&,
+                         const TranParams& tp) {
+    stamp_value(s, wave_.value(tp.time));
+}
+
+void VSource::stamp_ac(ComplexStamper& s, const std::vector<double>&, double) const {
+    const NodeId br = aux_base();
+    s.entry(term(kPlus), br, {1.0, 0.0});
+    s.entry(term(kMinus), br, {-1.0, 0.0});
+    s.entry(br, term(kPlus), {1.0, 0.0});
+    s.entry(br, term(kMinus), {-1.0, 0.0});
+    s.rhs_entry(br, ac_.phasor());
+}
+
+double VSource::current(const std::vector<double>& x) const {
+    // The aux unknown is the current entering the + terminal from the
+    // network; the source delivers -that.
+    return -volt(x, aux_base());
+}
+
+std::string VSource::card(const NodeNamer& nn) const {
+    std::string c = format("%s %s %s %s", spice_head('V', name()).c_str(), nn(term(kPlus)).c_str(),
+                           nn(term(kMinus)).c_str(), wave_.describe().c_str());
+    if (ac_.mag != 0.0) c += format(" ac %s", eng_format(ac_.mag).c_str());
+    return c;
+}
+
+// ----------------------------------------------------------------- ISource
+
+ISource::ISource(std::string name, NodeId from, NodeId to, Waveform wave, AcSpec ac)
+    : Device(std::move(name), {from, to}), wave_(std::move(wave)), ac_(ac) {}
+
+void ISource::stamp_dc(RealStamper& s, const std::vector<double>&) const {
+    const double i = wave_.dc_value();
+    s.rhs_current(term(kPlus), -i);
+    s.rhs_current(term(kMinus), i);
+}
+
+void ISource::stamp_tran(RealStamper& s, const std::vector<double>&,
+                         const TranParams& tp) {
+    const double i = wave_.value(tp.time);
+    s.rhs_current(term(kPlus), -i);
+    s.rhs_current(term(kMinus), i);
+}
+
+void ISource::stamp_ac(ComplexStamper& s, const std::vector<double>&, double) const {
+    const auto i = ac_.phasor();
+    s.rhs_current(term(kPlus), -i);
+    s.rhs_current(term(kMinus), i);
+}
+
+std::string ISource::card(const NodeNamer& nn) const {
+    std::string c = format("%s %s %s %s", spice_head('I', name()).c_str(), nn(term(kPlus)).c_str(),
+                           nn(term(kMinus)).c_str(), wave_.describe().c_str());
+    if (ac_.mag != 0.0) c += format(" ac %s", eng_format(ac_.mag).c_str());
+    return c;
+}
+
+} // namespace snim::circuit

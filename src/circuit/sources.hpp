@@ -1,0 +1,100 @@
+// Independent sources with DC, AC and transient (SIN / PULSE / PWL)
+// specifications -- the substrate noise injector of the paper is a SIN
+// current/voltage source attached to the SUB contact.
+#pragma once
+
+#include <optional>
+
+#include "circuit/device.hpp"
+
+namespace snim::circuit {
+
+/// Time-domain waveform description.
+class Waveform {
+public:
+    /// Constant value.
+    static Waveform dc(double value);
+    /// offset + amp * sin(2 pi freq (t - delay) + phase_rad) for t >= delay.
+    static Waveform sin(double offset, double amp, double freq, double phase_rad = 0.0,
+                        double delay = 0.0);
+    static Waveform pulse(double v1, double v2, double delay, double rise, double fall,
+                          double width, double period);
+    /// Piecewise linear (time, value) points; constant extrapolation.
+    static Waveform pwl(std::vector<std::pair<double, double>> points);
+
+    double value(double t) const;
+    /// Value at t = 0 (the DC operating-point value).
+    double dc_value() const { return value(0.0); }
+    std::string describe() const;
+
+private:
+    enum class Kind { Dc, Sin, Pulse, Pwl };
+    Kind kind_ = Kind::Dc;
+    double p_[7] = {0, 0, 0, 0, 0, 0, 0};
+    std::vector<std::pair<double, double>> pwl_;
+};
+
+/// Small-signal excitation (magnitude & phase) for AC analysis.
+struct AcSpec {
+    double mag = 0.0;
+    double phase_rad = 0.0;
+    std::complex<double> phasor() const {
+        return {mag * std::cos(phase_rad), mag * std::sin(phase_rad)};
+    }
+};
+
+/// Independent voltage source; adds one branch-current unknown.
+class VSource : public Device {
+public:
+    VSource(std::string name, NodeId plus, NodeId minus, Waveform wave,
+            AcSpec ac = {});
+
+    size_t aux_count() const override { return 1; }
+
+    const Waveform& waveform() const { return wave_; }
+    void set_waveform(Waveform w) { wave_ = std::move(w); }
+    void set_ac(AcSpec ac) { ac_ = ac; }
+    const AcSpec& ac() const { return ac_; }
+
+    void stamp_dc(RealStamper& s, const std::vector<double>& x) const override;
+    void stamp_tran(RealStamper& s, const std::vector<double>& x,
+                    const TranParams& tp) override;
+    void stamp_ac(ComplexStamper& s, const std::vector<double>& xop,
+                  double omega) const override;
+    std::string card(const NodeNamer& nn) const override;
+
+    /// Source branch current (flows plus -> minus inside the source is
+    /// negative convention; this returns the current delivered out of +).
+    double current(const std::vector<double>& x) const;
+
+private:
+    void stamp_value(RealStamper& s, double value) const;
+
+    Waveform wave_;
+    AcSpec ac_;
+};
+
+/// Independent current source: current flows from `from` through the source
+/// into `to` (i.e. injects into `to`).
+class ISource : public Device {
+public:
+    ISource(std::string name, NodeId from, NodeId to, Waveform wave, AcSpec ac = {});
+
+    const Waveform& waveform() const { return wave_; }
+    void set_waveform(Waveform w) { wave_ = std::move(w); }
+    void set_ac(AcSpec ac) { ac_ = ac; }
+    const AcSpec& ac() const { return ac_; }
+
+    void stamp_dc(RealStamper& s, const std::vector<double>& x) const override;
+    void stamp_tran(RealStamper& s, const std::vector<double>& x,
+                    const TranParams& tp) override;
+    void stamp_ac(ComplexStamper& s, const std::vector<double>& xop,
+                  double omega) const override;
+    std::string card(const NodeNamer& nn) const override;
+
+private:
+    Waveform wave_;
+    AcSpec ac_;
+};
+
+} // namespace snim::circuit

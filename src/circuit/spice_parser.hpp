@@ -1,0 +1,40 @@
+// SPICE-like netlist parser.
+//
+// Supported cards (case-insensitive, '*' comments, '+' continuations):
+//   Rname a b value
+//   Cname a b value
+//   Lname a b value [rser=r]
+//   Vname p n [dc] V [ac mag [phase_deg]] [sin(off amp freq [phase_deg [delay]])]
+//                                         [pulse(v1 v2 td tr tf pw per)]
+//                                         [pwl(t1 v1 t2 v2 ...)]
+//   Iname p n  -- same value syntax as V
+//   Mname d g s b model [w=..] [l=..] [m=..] [ad=..] [as=..] [pd=..] [ps=..]
+//   Dname a c model [area]
+//   Gname p n cp cn gm        (VCCS)
+//   Ename p n cp cn gain      (VCVS)
+//   Yname g w model area=..   (accumulation-mode varactor; snim extension)
+//   .model name nmos|pmos|d ([param=value ...])
+//   .subckt name port1 port2 ...   /  .ends   (one level of nesting)
+//   Xname node1 node2 ... subcktname
+//   .end
+// The first line is treated as a title if it is not a card.
+#pragma once
+
+#include <string>
+
+#include "circuit/netlist.hpp"
+#include "tech/technology.hpp"
+
+namespace snim::circuit {
+
+struct ParseResult {
+    Netlist netlist;
+    std::string title;
+};
+
+/// Parses netlist text; throws snim::Error with a line number on bad input.
+/// `tech` provides fallback model cards for M/Y devices whose model is not
+/// defined by a .model card in the text (pass nullptr to require .model).
+ParseResult parse_spice(const std::string& text, const tech::Technology* tech = nullptr);
+
+} // namespace snim::circuit

@@ -1,0 +1,17 @@
+// Writes a Netlist back out as SPICE-like text (the extracted-model dump the
+// paper's flow would hand to Spectre RF).
+#pragma once
+
+#include <string>
+
+#include "circuit/netlist.hpp"
+
+namespace snim::circuit {
+
+std::string write_spice(const Netlist& netlist, const std::string& title = "");
+
+/// Writes to a file; throws snim::Error on I/O failure.
+void save_spice(const Netlist& netlist, const std::string& path,
+                const std::string& title = "");
+
+} // namespace snim::circuit

@@ -1,0 +1,86 @@
+// MNA stamping interfaces.
+//
+// Analyses build a matrix/RHS pair by asking every device to stamp itself.
+// NodeId -1 is ground; stamps touching ground are silently dropped, which
+// keeps device code free of special cases.
+#pragma once
+
+#include <complex>
+
+#include "numeric/sparse.hpp"
+
+namespace snim::circuit {
+
+using NodeId = int;
+inline constexpr NodeId kGround = -1;
+
+/// Voltage of node `n` in solution vector `x` (ground reads as 0).
+inline double volt(const std::vector<double>& x, NodeId n) {
+    return n < 0 ? 0.0 : x[static_cast<size_t>(n)];
+}
+
+template <class T>
+class Stamper {
+public:
+    explicit Stamper(size_t n_unknowns) : a_(n_unknowns), b_(n_unknowns, T{}) {}
+
+    size_t size() const { return b_.size(); }
+
+    void clear() {
+        a_.clear();
+        std::fill(b_.begin(), b_.end(), T{});
+    }
+
+    /// Raw matrix entry A(row, col) += v; ground rows/cols dropped.
+    void entry(NodeId row, NodeId col, T v) {
+        if (row < 0 || col < 0) return;
+        a_.add(static_cast<size_t>(row), static_cast<size_t>(col), v);
+    }
+
+    /// Two-terminal admittance stamp between nodes a and b.
+    void admittance(NodeId a, NodeId b, T y) {
+        entry(a, a, y);
+        entry(b, b, y);
+        entry(a, b, -y);
+        entry(b, a, -y);
+    }
+
+    /// Transconductance: current y*(v(cp)-v(cn)) flows from `to` out of `from`
+    /// (i.e. a VCCS with output current from -> to through the element).
+    void transconductance(NodeId from, NodeId to, NodeId cp, NodeId cn, T y) {
+        entry(from, cp, y);
+        entry(from, cn, -y);
+        entry(to, cp, -y);
+        entry(to, cn, y);
+    }
+
+    /// RHS: current `i` flowing INTO node `n` from an independent source.
+    void rhs_current(NodeId n, T i) {
+        if (n < 0) return;
+        b_[static_cast<size_t>(n)] += i;
+    }
+
+    /// RHS entry for a branch (auxiliary) equation row.
+    void rhs_entry(NodeId row, T v) { rhs_current(row, v); }
+
+    const Triplets<T>& matrix() const { return a_; }
+    Triplets<T>& matrix() { return a_; }
+    const std::vector<T>& rhs() const { return b_; }
+
+private:
+    Triplets<T> a_;
+    std::vector<T> b_;
+};
+
+using RealStamper = Stamper<double>;
+using ComplexStamper = Stamper<std::complex<double>>;
+
+/// Transient integration context handed to stamp_tran/commit_tran.
+struct TranParams {
+    double time = 0.0; // end of the step being solved
+    double dt = 0.0;
+    /// 1 = backward Euler, 2 = trapezoidal.
+    int order = 2;
+};
+
+} // namespace snim::circuit

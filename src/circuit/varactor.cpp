@@ -1,0 +1,87 @@
+#include "circuit/varactor.hpp"
+
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace snim::circuit {
+
+namespace {
+constexpr size_t kGate = 0, kWell = 1;
+
+// log(cosh(x)) without overflow for large |x|.
+double log_cosh(double x) {
+    const double ax = std::fabs(x);
+    if (ax > 20.0) return ax - std::log(2.0);
+    return std::log(std::cosh(x));
+}
+} // namespace
+
+Varactor::Varactor(std::string name, NodeId gate, NodeId well, tech::VaractorCard card,
+                   double area_um2)
+    : Device(std::move(name), {gate, well}), card_(std::move(card)), area_(area_um2) {
+    SNIM_ASSERT(area_ > 0, "varactor '%s': non-positive area", this->name().c_str());
+    cmax_ = card_.cmax_per_area * area_;
+    cmin_ = cmax_ * card_.cmin_ratio;
+    SNIM_ASSERT(cmin_ > 0 && cmin_ < cmax_, "varactor '%s': bad C-V card",
+                this->name().c_str());
+}
+
+double Varactor::capacitance(double v) const {
+    const double u = (v - card_.vmid) / card_.vslope;
+    return cmin_ + (cmax_ - cmin_) * 0.5 * (1.0 + std::tanh(u));
+}
+
+double Varactor::charge(double v) const {
+    // integral of C: Cmin v + (Cmax-Cmin)/2 [v + vslope ln cosh((v-vmid)/vs)]
+    const double u = (v - card_.vmid) / card_.vslope;
+    return cmin_ * v +
+           0.5 * (cmax_ - cmin_) * (v + card_.vslope * log_cosh(u));
+}
+
+void Varactor::stamp_dc(RealStamper&, const std::vector<double>&) const {
+    // Open at DC.
+}
+
+void Varactor::init_tran(const std::vector<double>& x) {
+    const double v = volt(x, term(kGate)) - volt(x, term(kWell));
+    q_prev_ = charge(v);
+    i_prev_ = 0.0;
+}
+
+void Varactor::stamp_tran(RealStamper& s, const std::vector<double>& x,
+                          const TranParams& tp) {
+    // Charge-based companion: i = k (q(v) - q_n) - (order==2) i_n,
+    // k = 2/dt (trap) or 1/dt (BE).  Newton linearisation in v:
+    //   geq = k C(v),  ieq = i(v) - geq v.
+    const double k = (tp.order == 2 ? 2.0 : 1.0) / tp.dt;
+    const double v = volt(x, term(kGate)) - volt(x, term(kWell));
+    const double i = k * (charge(v) - q_prev_) - (tp.order == 2 ? i_prev_ : 0.0);
+    const double geq = k * capacitance(v);
+    const double ieq = i - geq * v;
+    s.admittance(term(kGate), term(kWell), geq);
+    s.rhs_current(term(kGate), -ieq);
+    s.rhs_current(term(kWell), ieq);
+}
+
+void Varactor::commit_tran(const std::vector<double>& x, const TranParams& tp) {
+    const double k = (tp.order == 2 ? 2.0 : 1.0) / tp.dt;
+    const double v = volt(x, term(kGate)) - volt(x, term(kWell));
+    const double q = charge(v);
+    const double i = k * (q - q_prev_) - (tp.order == 2 ? i_prev_ : 0.0);
+    q_prev_ = q;
+    i_prev_ = i;
+}
+
+void Varactor::stamp_ac(ComplexStamper& s, const std::vector<double>& xop,
+                        double omega) const {
+    const double v = volt(xop, term(kGate)) - volt(xop, term(kWell));
+    s.admittance(term(kGate), term(kWell), {0.0, omega * capacitance(v)});
+}
+
+std::string Varactor::card(const NodeNamer& nn) const {
+    return format("%s %s %s %s area=%g", spice_head('Y', name()).c_str(), nn(term(kGate)).c_str(),
+                  nn(term(kWell)).c_str(), card_.name.c_str(), area_);
+}
+
+} // namespace snim::circuit

@@ -1,0 +1,46 @@
+// Accumulation-mode NMOS varactor: a two-terminal nonlinear capacitor with a
+// smooth tanh C-V transition between depletion (Cmin) and accumulation
+// (Cmax).  The charge formulation is exact (Q is the integral of C), so
+// transient simulation conserves charge -- essential for a VCO tank where the
+// varactor sets the oscillation frequency.
+#pragma once
+
+#include "circuit/device.hpp"
+#include "tech/technology.hpp"
+
+namespace snim::circuit {
+
+class Varactor : public Device {
+public:
+    /// `gate` and `well` are the tank node and the tuning node; `area_um2`
+    /// scales the card's per-area capacitances.
+    Varactor(std::string name, NodeId gate, NodeId well, tech::VaractorCard card,
+             double area_um2);
+
+    /// C(v) with v = V(gate) - V(well).
+    double capacitance(double v) const;
+    /// Q(v), the exact integral of C.
+    double charge(double v) const;
+    double cmax() const { return cmax_; }
+    double cmin() const { return cmin_; }
+
+    void stamp_dc(RealStamper& s, const std::vector<double>& x) const override;
+    void stamp_tran(RealStamper& s, const std::vector<double>& x,
+                    const TranParams& tp) override;
+    void init_tran(const std::vector<double>& x) override;
+    void commit_tran(const std::vector<double>& x, const TranParams& tp) override;
+    void stamp_ac(ComplexStamper& s, const std::vector<double>& xop,
+                  double omega) const override;
+    bool is_nonlinear() const override { return true; }
+    std::string card(const NodeNamer& nn) const override;
+
+private:
+    tech::VaractorCard card_;
+    double area_;
+    double cmax_, cmin_;
+    // Transient state: charge and current at the last accepted step.
+    double q_prev_ = 0.0;
+    double i_prev_ = 0.0;
+};
+
+} // namespace snim::circuit

@@ -1,0 +1,83 @@
+#include "core/classify.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace snim::core {
+
+double db_slope_per_decade(const std::vector<double>& freqs,
+                           const std::vector<double>& db_values) {
+    SNIM_ASSERT(freqs.size() == db_values.size() && freqs.size() >= 2,
+                "slope needs >= 2 points");
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    const double n = static_cast<double>(freqs.size());
+    for (size_t i = 0; i < freqs.size(); ++i) {
+        SNIM_ASSERT(freqs[i] > 0, "frequencies must be positive");
+        const double x = std::log10(freqs[i]);
+        sx += x;
+        sy += db_values[i];
+        sxx += x * x;
+        sxy += x * db_values[i];
+    }
+    const double denom = n * sxx - sx * sx;
+    SNIM_ASSERT(std::fabs(denom) > 1e-12, "degenerate frequency grid");
+    return (n * sxy - sx * sy) / denom;
+}
+
+MechanismReport classify_mechanism(const std::vector<double>& freqs,
+                                   const std::vector<double>& h_db,
+                                   const std::vector<double>& spur_db) {
+    MechanismReport out;
+    out.h_slope_db_per_dec = db_slope_per_decade(freqs, h_db);
+    out.spur_slope_db_per_dec = db_slope_per_decade(freqs, spur_db);
+
+    // Coupling from the transfer slope.
+    if (out.h_slope_db_per_dec < 6.0) {
+        out.coupling = CouplingKind::Resistive;
+    } else if (out.h_slope_db_per_dec > 14.0) {
+        out.coupling = CouplingKind::Capacitive;
+    } else {
+        out.coupling = CouplingKind::Mixed;
+    }
+
+    // Modulation from the residual slope: FM contributes -20 dB/dec on top
+    // of the coupling slope, AM contributes 0.
+    const double residual = out.spur_slope_db_per_dec - out.h_slope_db_per_dec;
+    if (residual < -14.0) {
+        out.modulation = ModulationKind::FM;
+    } else if (residual > -6.0) {
+        out.modulation = ModulationKind::AM;
+    } else {
+        out.modulation = ModulationKind::Mixed;
+    }
+    return out;
+}
+
+std::string to_string(CouplingKind k) {
+    switch (k) {
+        case CouplingKind::Resistive: return "resistive";
+        case CouplingKind::Capacitive: return "capacitive";
+        case CouplingKind::Mixed: return "mixed";
+    }
+    return "?";
+}
+
+std::string to_string(ModulationKind m) {
+    switch (m) {
+        case ModulationKind::FM: return "FM";
+        case ModulationKind::AM: return "AM";
+        case ModulationKind::Mixed: return "mixed";
+    }
+    return "?";
+}
+
+std::string MechanismReport::describe() const {
+    return format("%s coupling followed by %s (|H| slope %.1f dB/dec, spur slope "
+                  "%.1f dB/dec)",
+                  to_string(coupling).c_str(), to_string(modulation).c_str(),
+                  h_slope_db_per_dec, spur_slope_db_per_dec);
+}
+
+} // namespace snim::core

@@ -1,0 +1,36 @@
+// Coupling / modulation mechanism classification from frequency series --
+// the reasoning of the paper's Section 6: resistive coupling has
+// frequency-flat |H|, FM spurs fall 20 dB/decade, AM spurs are flat, and
+// capacitive coupling adds +20 dB/decade to |H|.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace snim::core {
+
+enum class CouplingKind { Resistive, Capacitive, Mixed };
+enum class ModulationKind { FM, AM, Mixed };
+
+struct MechanismReport {
+    CouplingKind coupling = CouplingKind::Mixed;
+    ModulationKind modulation = ModulationKind::Mixed;
+    double h_slope_db_per_dec = 0.0;    // slope of 20log10|H| vs log10 f
+    double spur_slope_db_per_dec = 0.0; // slope of spur dB vs log10 f
+    std::string describe() const;
+};
+
+/// Least-squares slope of `db_values` against log10(freqs) [dB/decade].
+double db_slope_per_decade(const std::vector<double>& freqs,
+                           const std::vector<double>& db_values);
+
+/// Classifies from the transfer magnitudes and the spur amplitudes (both in
+/// dB) over the same frequency grid.
+MechanismReport classify_mechanism(const std::vector<double>& freqs,
+                                   const std::vector<double>& h_db,
+                                   const std::vector<double>& spur_db);
+
+std::string to_string(CouplingKind k);
+std::string to_string(ModulationKind m);
+
+} // namespace snim::core

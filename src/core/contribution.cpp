@@ -1,0 +1,70 @@
+#include "core/contribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace snim::core {
+
+const ContributionSeries& ContributionReport::dominant() const {
+    SNIM_ASSERT(!entries.empty(), "empty contribution report");
+    size_t best = 0;
+    double best_avg = -1e300;
+    for (size_t i = 0; i < entries.size(); ++i) {
+        double avg = 0.0;
+        for (double v : entries[i].spur_dbc) avg += v;
+        avg /= static_cast<double>(entries[i].spur_dbc.size());
+        if (avg > best_avg) {
+            best_avg = avg;
+            best = i;
+        }
+    }
+    return entries[best];
+}
+
+double ContributionReport::dominance_margin_db() const {
+    SNIM_ASSERT(entries.size() >= 2, "need at least two entries for a margin");
+    std::vector<double> avgs;
+    for (const auto& e : entries) {
+        double avg = 0.0;
+        for (double v : e.spur_dbc) avg += v;
+        avgs.push_back(avg / static_cast<double>(e.spur_dbc.size()));
+    }
+    std::sort(avgs.rbegin(), avgs.rend());
+    return avgs[0] - avgs[1];
+}
+
+ContributionReport contribution_sweep(ImpactAnalyzer& analyzer,
+                                      const std::vector<double>& freqs) {
+    SNIM_ASSERT(!freqs.empty(), "empty frequency sweep");
+    SNIM_ASSERT(analyzer.paths_calibrated(),
+                "contribution sweep needs calibrate_paths()");
+    ContributionReport out;
+    out.fnoise = freqs;
+    out.entries.resize(analyzer.entries().size());
+    for (size_t i = 0; i < analyzer.entries().size(); ++i) {
+        out.entries[i].label = analyzer.entries()[i].label;
+        out.entries[i].fnoise = freqs;
+    }
+
+    for (double f : freqs) {
+        const auto pred = analyzer.predict(f);
+        out.total_dbm.push_back(pred.total_dbm());
+        const auto h = analyzer.entry_transfers(f);
+        for (size_t i = 0; i < pred.parts.size(); ++i) {
+            out.entries[i].spur_dbc.push_back(pred.parts[i].spur_dbc(pred.carrier_amp));
+            out.entries[i].h_db.push_back(
+                units::db20(std::max(std::abs(h[i]), 1e-30)));
+        }
+    }
+
+    if (freqs.size() >= 2) {
+        for (auto& e : out.entries)
+            e.mechanism = classify_mechanism(freqs, e.h_db, e.spur_dbc);
+    }
+    return out;
+}
+
+} // namespace snim::core

@@ -1,0 +1,34 @@
+// Per-device contribution analysis (the paper's Figure 9): sweeps the noise
+// frequency and reports each entry's FM/AM spur separately so the designer
+// sees which device must be shielded or resized.
+#pragma once
+
+#include "core/classify.hpp"
+#include "core/impact_model.hpp"
+
+namespace snim::core {
+
+struct ContributionSeries {
+    std::string label;
+    std::vector<double> fnoise;
+    std::vector<double> spur_dbc;    // dominant-path spur, dBc vs carrier
+    std::vector<double> h_db;        // 20log10|H| at each frequency
+    MechanismReport mechanism;       // classified over the sweep
+};
+
+struct ContributionReport {
+    std::vector<double> fnoise;
+    std::vector<ContributionSeries> entries;
+    std::vector<double> total_dbm;   // combined spur power per frequency
+    /// Entry with the highest average spur level.
+    const ContributionSeries& dominant() const;
+    /// dB gap between the strongest and the runner-up entry (averaged).
+    double dominance_margin_db() const;
+};
+
+/// Runs predict() over `freqs` and splits the result per entry.  The
+/// analyzer must be calibrated.
+ContributionReport contribution_sweep(ImpactAnalyzer& analyzer,
+                                      const std::vector<double>& freqs);
+
+} // namespace snim::core

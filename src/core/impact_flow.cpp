@@ -1,0 +1,104 @@
+#include "core/impact_flow.hpp"
+
+#include <cmath>
+
+#include "layout/connectivity.hpp"
+#include "mor/macromodel.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace snim::core {
+
+const interconnect::NetStats* ImpactModel::wire_stats_for(const std::string& net) const {
+    for (const auto& s : wire_stats)
+        if (equals_nocase(s.name, net)) return &s;
+    return nullptr;
+}
+
+ImpactModel build_impact_model(FlowInputs inputs, const FlowOptions& opt) {
+    SNIM_ASSERT(inputs.layout != nullptr && inputs.tech != nullptr,
+                "flow needs layout and technology");
+    const layout::Layout& lay = *inputs.layout;
+    const tech::Technology& tech = *inputs.tech;
+
+    // --- layout preparation ------------------------------------------------
+    const auto shapes = lay.flatten_shapes();
+    const auto labels = lay.flatten_labels();
+    const auto nets = layout::extract_connectivity(shapes, labels, tech);
+    const geom::Rect area = lay.bbox();
+    SNIM_ASSERT(!area.empty(), "layout is empty");
+
+    // --- substrate ports ----------------------------------------------------
+    std::vector<substrate::PortSpec> ports = inputs.substrate_ports;
+    if (opt.auto_tap_ports) {
+        // Taps only; wells are passed explicitly so their names match
+        // schematic nodes.
+        for (auto& p : substrate::ports_from_layout(shapes, nets, labels, tech)) {
+            if (p.kind == substrate::PortKind::Resistive) ports.push_back(std::move(p));
+        }
+    }
+
+    // Surface-potential patches: coupling targets for wire capacitance.
+    const int s = std::max(1, opt.surface_patches);
+    const double px = area.width() / s;
+    const double py = area.height() / s;
+    std::vector<std::string> patch_names;
+    for (int iy = 0; iy < s; ++iy) {
+        for (int ix = 0; ix < s; ++ix) {
+            substrate::PortSpec spec;
+            spec.name = format("surf:%d_%d", ix, iy);
+            spec.kind = substrate::PortKind::Probe;
+            const double cx = area.x0 + (ix + 0.5) * px;
+            const double cy = area.y0 + (iy + 0.5) * py;
+            // Footprint ~ one fine mesh cell so the probe does not laterally
+            // short the surface.
+            const double probe_w = std::min(px, 2.0 * opt.substrate.mesh.fine_pitch);
+            const double probe_h = std::min(py, 2.0 * opt.substrate.mesh.fine_pitch);
+            spec.region.add(geom::Rect::centered(cx, cy, probe_w, probe_h));
+            patch_names.push_back(spec.name);
+            ports.push_back(std::move(spec));
+        }
+    }
+
+    // --- substrate extraction ----------------------------------------------
+    ImpactModel out;
+    out.substrate = substrate::extract_substrate(area, tech.substrate(), ports,
+                                                 opt.substrate);
+    out.substrate_seconds = out.substrate.extract_seconds;
+    out.mesh_nodes = out.substrate.mesh_node_count;
+
+    // --- interconnect extraction --------------------------------------------
+    interconnect::ExtractOptions ic_opt = opt.interconnect;
+    if (!ic_opt.substrate_node) {
+        ic_opt.substrate_node = [area, s, px, py, patch_names](const geom::Rect& foot,
+                                                               const std::string&) {
+            const auto c = foot.center();
+            int ix = static_cast<int>((c.x - area.x0) / px);
+            int iy = static_cast<int>((c.y - area.y0) / py);
+            ix = std::clamp(ix, 0, s - 1);
+            iy = std::clamp(iy, 0, s - 1);
+            return patch_names[static_cast<size_t>(iy * s + ix)];
+        };
+    }
+    auto ic = interconnect::extract_interconnect(shapes, nets, tech, inputs.pins, ic_opt);
+    out.wire_stats = std::move(ic.stats);
+    out.interconnect_seconds = ic.extract_seconds;
+
+    // --- stitching ------------------------------------------------------------
+    // Substrate macromodel first (creates the port-named nodes), then the
+    // wiring (shares tap ports / surface patches by name), then the
+    // schematic (shares pin nodes), then the package.
+    mor::instantiate(out.substrate.reduced, out.netlist, out.substrate.port_names,
+                     "sub:");
+    out.netlist.absorb(std::move(ic.netlist), "", {});
+    out.netlist.absorb(std::move(inputs.schematic), "", {});
+    inputs.package.instantiate(out.netlist);
+
+    log_info("impact model: %zu devices, %zu nodes (mesh %zu -> %zu ports)",
+             out.netlist.device_count(), out.netlist.node_count(), out.mesh_nodes,
+             out.substrate.port_names.size());
+    return out;
+}
+
+} // namespace snim::core

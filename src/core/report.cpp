@@ -1,0 +1,69 @@
+#include "core/report.hpp"
+
+#include <set>
+
+#include "circuit/mosfet.hpp"
+#include "circuit/passives.hpp"
+#include "circuit/sources.hpp"
+#include "util/strings.hpp"
+
+namespace snim::core {
+
+ModelReport report_model(const ImpactModel& model) {
+    ModelReport r;
+    const auto& nl = model.netlist;
+    r.devices = nl.device_count();
+    r.nodes = nl.node_count();
+    r.substrate_ports = model.substrate.port_names.size();
+    r.mesh_nodes = model.mesh_nodes;
+
+    std::set<circuit::NodeId> touched;
+    for (const auto& d : nl.devices()) {
+        for (auto id : d->nodes())
+            if (id >= 0) touched.insert(id);
+        if (dynamic_cast<const circuit::Resistor*>(d.get())) {
+            ++r.resistors;
+        } else if (dynamic_cast<const circuit::Capacitor*>(d.get())) {
+            ++r.capacitors;
+        } else if (dynamic_cast<const circuit::Inductor*>(d.get())) {
+            ++r.inductors;
+        } else if (dynamic_cast<const circuit::Mosfet*>(d.get())) {
+            ++r.mosfets;
+        } else if (dynamic_cast<const circuit::VSource*>(d.get()) ||
+                   dynamic_cast<const circuit::ISource*>(d.get())) {
+            ++r.sources;
+        } else {
+            ++r.others;
+        }
+    }
+    for (size_t i = 0; i < nl.node_count(); ++i) {
+        if (!touched.count(static_cast<circuit::NodeId>(i)))
+            r.floating_nodes.push_back(nl.node_name(static_cast<circuit::NodeId>(i)));
+    }
+    for (const auto& s : model.wire_stats) {
+        r.total_wire_squares += s.resistance_squares;
+        r.total_wire_cap += s.capacitance_total;
+    }
+    return r;
+}
+
+std::string ModelReport::to_string() const {
+    std::string out;
+    out += format("impact model: %zu devices on %zu nodes\n", devices, nodes);
+    out += format("  R=%zu C=%zu L=%zu MOS=%zu sources=%zu other=%zu\n", resistors,
+                  capacitors, inductors, mosfets, sources, others);
+    out += format("  substrate: %zu mesh nodes reduced to %zu ports\n", mesh_nodes,
+                  substrate_ports);
+    out += format("  wiring: %.0f squares, %s to substrate\n", total_wire_squares,
+                  eng_format(total_wire_cap).c_str());
+    if (floating_nodes.empty()) {
+        out += "  connectivity: no floating nodes\n";
+    } else {
+        out += format("  WARNING: %zu floating node(s):", floating_nodes.size());
+        for (const auto& n : floating_nodes) out += " " + n;
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace snim::core

@@ -1,0 +1,31 @@
+// Sign-off style report of an impact model: device histogram, per-net wire
+// statistics, substrate port inventory and basic sanity checks.  The paper
+// frames the methodology as enabling "mixed-signal chip verification and
+// sign-off of substrate noise coupling issues" -- this is the artifact such
+// a flow hands to the designer.
+#pragma once
+
+#include <string>
+
+#include "core/impact_flow.hpp"
+
+namespace snim::core {
+
+struct ModelReport {
+    size_t devices = 0;
+    size_t nodes = 0;
+    size_t resistors = 0, capacitors = 0, inductors = 0, mosfets = 0, sources = 0,
+           others = 0;
+    size_t substrate_ports = 0;
+    size_t mesh_nodes = 0;
+    double total_wire_squares = 0.0;
+    double total_wire_cap = 0.0; // F
+    /// Node names that no device touches after stitching (suspicious).
+    std::vector<std::string> floating_nodes;
+
+    std::string to_string() const;
+};
+
+ModelReport report_model(const ImpactModel& model);
+
+} // namespace snim::core

@@ -1,0 +1,64 @@
+#include "dsp/fft.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace snim::dsp {
+
+size_t next_pow2(size_t n) {
+    SNIM_ASSERT(n >= 1, "next_pow2 needs n >= 1");
+    size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+}
+
+namespace {
+
+void fft_core(std::vector<std::complex<double>>& a, bool inverse) {
+    const size_t n = a.size();
+    SNIM_ASSERT(n > 0 && (n & (n - 1)) == 0, "FFT size %zu not a power of two", n);
+
+    // Bit-reversal permutation.
+    for (size_t i = 1, j = 0; i < n; ++i) {
+        size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1) j ^= bit;
+        j ^= bit;
+        if (i < j) std::swap(a[i], a[j]);
+    }
+
+    for (size_t len = 2; len <= n; len <<= 1) {
+        const double ang = (inverse ? 1.0 : -1.0) * units::kTwoPi / static_cast<double>(len);
+        const std::complex<double> wlen(std::cos(ang), std::sin(ang));
+        for (size_t i = 0; i < n; i += len) {
+            std::complex<double> w(1.0, 0.0);
+            for (size_t k = 0; k < len / 2; ++k) {
+                const auto u = a[i + k];
+                const auto v = a[i + k + len / 2] * w;
+                a[i + k] = u + v;
+                a[i + k + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+    }
+    if (inverse) {
+        const double inv = 1.0 / static_cast<double>(n);
+        for (auto& x : a) x *= inv;
+    }
+}
+
+} // namespace
+
+void fft(std::vector<std::complex<double>>& data) { fft_core(data, false); }
+void ifft(std::vector<std::complex<double>>& data) { fft_core(data, true); }
+
+std::vector<std::complex<double>> fft_real(const std::vector<double>& signal) {
+    SNIM_ASSERT(!signal.empty(), "empty signal");
+    std::vector<std::complex<double>> a(next_pow2(signal.size()));
+    for (size_t i = 0; i < signal.size(); ++i) a[i] = signal[i];
+    fft(a);
+    return a;
+}
+
+} // namespace snim::dsp

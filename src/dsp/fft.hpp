@@ -1,0 +1,21 @@
+// Iterative radix-2 FFT used for spectrum estimation of transient waveforms.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace snim::dsp {
+
+/// In-place forward FFT; size must be a power of two.
+void fft(std::vector<std::complex<double>>& data);
+/// In-place inverse FFT (includes the 1/N scaling).
+void ifft(std::vector<std::complex<double>>& data);
+
+/// FFT of a real signal; returns the full complex spectrum of length
+/// next_pow2(signal.size()) with the input zero-padded.
+std::vector<std::complex<double>> fft_real(const std::vector<double>& signal);
+
+/// Smallest power of two >= n (n >= 1).
+size_t next_pow2(size_t n);
+
+} // namespace snim::dsp

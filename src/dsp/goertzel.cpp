@@ -1,0 +1,76 @@
+#include "dsp/goertzel.hpp"
+
+#include <cmath>
+
+#include "dsp/window.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace snim::dsp {
+
+std::complex<double> goertzel(const std::vector<double>& signal, double cycles_per_sample) {
+    SNIM_ASSERT(!signal.empty(), "goertzel: empty signal");
+    // Direct correlation with a recursively generated phasor; O(n) per
+    // frequency, numerically stable for long windows.
+    const double w = units::kTwoPi * cycles_per_sample;
+    const std::complex<double> rot(std::cos(w), -std::sin(w));
+    std::complex<double> phasor(1.0, 0.0);
+    std::complex<double> acc(0.0, 0.0);
+    size_t renorm = 0;
+    for (double x : signal) {
+        acc += x * phasor;
+        phasor *= rot;
+        // Periodic renormalisation keeps |phasor| = 1 over millions of samples.
+        if (++renorm == 4096) {
+            phasor /= std::abs(phasor);
+            renorm = 0;
+        }
+    }
+    return acc;
+}
+
+double tone_amplitude(const std::vector<double>& signal, double fs, double freq,
+                      const std::vector<double>& window) {
+    SNIM_ASSERT(signal.size() == window.size(), "signal/window length mismatch");
+    SNIM_ASSERT(fs > 0 && freq >= 0 && freq < fs / 2, "tone frequency out of range");
+    std::vector<double> xw(signal.size());
+    for (size_t i = 0; i < signal.size(); ++i) xw[i] = signal[i] * window[i];
+    const auto c = goertzel(xw, freq / fs);
+    // For a tone A*cos(2 pi f t + phi), the windowed DFT at f gives
+    // A/2 * sum(w), so amplitude = 2|X| / sum(w).
+    return 2.0 * std::abs(c) / window_sum(window);
+}
+
+double refine_tone_frequency(const std::vector<double>& signal, double fs, double f0,
+                             double span, const std::vector<double>& window,
+                             int iterations) {
+    SNIM_ASSERT(span > 0, "span must be positive");
+    std::vector<double> xw(signal.size());
+    for (size_t i = 0; i < signal.size(); ++i) xw[i] = signal[i] * window[i];
+    auto mag = [&](double f) { return std::abs(goertzel(xw, f / fs)); };
+
+    // Golden-section search on [f0-span, f0+span]; the windowed mainlobe is
+    // unimodal around the true tone.
+    const double gr = 0.5 * (std::sqrt(5.0) - 1.0);
+    double a = f0 - span, b = f0 + span;
+    double c = b - gr * (b - a), d = a + gr * (b - a);
+    double fc = mag(c), fd = mag(d);
+    for (int it = 0; it < iterations; ++it) {
+        if (fc > fd) {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - gr * (b - a);
+            fc = mag(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + gr * (b - a);
+            fd = mag(d);
+        }
+    }
+    return 0.5 * (a + b);
+}
+
+} // namespace snim::dsp

@@ -1,0 +1,28 @@
+// Single-frequency DFT evaluation (generalised Goertzel) at arbitrary,
+// non-bin-aligned frequencies.  This is how spur amplitudes are read off a
+// transient waveform: window, then evaluate at fc and fc +/- fnoise exactly.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace snim::dsp {
+
+/// Complex DFT coefficient of `signal` at normalised frequency f/fs
+/// (cycles per sample).  Equivalent to sum x[n] exp(-j 2 pi fn n).
+std::complex<double> goertzel(const std::vector<double>& signal, double cycles_per_sample);
+
+/// Amplitude of the sinusoidal component at frequency `freq` in a signal
+/// sampled at `fs`, using window `w` (already applied? no: applied here).
+/// Returns the single-sided amplitude estimate (V peak for a voltage wave).
+double tone_amplitude(const std::vector<double>& signal, double fs, double freq,
+                      const std::vector<double>& window);
+
+/// Local search for the exact frequency of the strongest tone near `f0`
+/// (within +/- `span`), maximising windowed-Goertzel magnitude.  Used to
+/// refine the oscillator carrier frequency before spur readout.
+double refine_tone_frequency(const std::vector<double>& signal, double fs, double f0,
+                             double span, const std::vector<double>& window,
+                             int iterations = 40);
+
+} // namespace snim::dsp

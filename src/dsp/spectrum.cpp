@@ -1,0 +1,55 @@
+#include "dsp/spectrum.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/fft.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace snim::dsp {
+
+Spectrum amplitude_spectrum(const std::vector<double>& signal, double fs,
+                            WindowKind window) {
+    SNIM_ASSERT(signal.size() >= 8, "signal too short for a spectrum");
+    SNIM_ASSERT(fs > 0, "fs must be positive");
+    const auto w = make_window(window, signal.size());
+    std::vector<double> xw(signal.size());
+    for (size_t i = 0; i < signal.size(); ++i) xw[i] = signal[i] * w[i];
+    auto spec = fft_real(xw);
+    const size_t nfft = spec.size();
+    const double scale = 2.0 / window_sum(w);
+
+    Spectrum out;
+    out.fs = fs;
+    out.rbw = window_enbw(w) * fs / static_cast<double>(signal.size());
+    const size_t half = nfft / 2;
+    out.freq.resize(half);
+    out.amp.resize(half);
+    for (size_t k = 0; k < half; ++k) {
+        out.freq[k] = fs * static_cast<double>(k) / static_cast<double>(nfft);
+        out.amp[k] = scale * std::abs(spec[k]);
+    }
+    if (!out.amp.empty()) out.amp[0] *= 0.5; // DC is single-sided already
+    return out;
+}
+
+std::vector<Peak> find_peaks(const Spectrum& s, double min_amp, size_t max_peaks) {
+    std::vector<Peak> peaks;
+    for (size_t k = 1; k + 1 < s.amp.size(); ++k) {
+        if (s.amp[k] < min_amp) continue;
+        if (s.amp[k] >= s.amp[k - 1] && s.amp[k] > s.amp[k + 1]) {
+            peaks.push_back({s.freq[k], s.amp[k]});
+        }
+    }
+    std::sort(peaks.begin(), peaks.end(),
+              [](const Peak& a, const Peak& b) { return a.amp > b.amp; });
+    if (peaks.size() > max_peaks) peaks.resize(max_peaks);
+    return peaks;
+}
+
+double peak_dbm(const Peak& p, double rload) {
+    return units::dbm_from_amplitude(p.amp, rload);
+}
+
+} // namespace snim::dsp

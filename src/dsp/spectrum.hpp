@@ -1,0 +1,34 @@
+// Spectrum estimation helpers: windowed periodogram (for Figure-7 style
+// plots) and peak extraction.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dsp/window.hpp"
+
+namespace snim::dsp {
+
+struct Spectrum {
+    std::vector<double> freq;   // Hz, [0 .. fs/2]
+    std::vector<double> amp;    // single-sided amplitude (V peak)
+    double fs = 0.0;
+    double rbw = 0.0;           // resolution bandwidth ~ ENBW * fs / n
+};
+
+/// Windowed single-sided amplitude spectrum of a uniformly sampled signal.
+Spectrum amplitude_spectrum(const std::vector<double>& signal, double fs,
+                            WindowKind window = WindowKind::BlackmanHarris4);
+
+struct Peak {
+    double freq = 0.0;
+    double amp = 0.0; // V peak
+};
+
+/// Local maxima above `min_amp`, strongest first, at most `max_peaks`.
+std::vector<Peak> find_peaks(const Spectrum& s, double min_amp, size_t max_peaks = 16);
+
+/// dBm of a sinusoid with the given peak amplitude into `rload`.
+double peak_dbm(const Peak& p, double rload = 50.0);
+
+} // namespace snim::dsp

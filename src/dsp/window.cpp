@@ -1,0 +1,73 @@
+#include "dsp/window.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace snim::dsp {
+
+std::vector<double> make_window(WindowKind kind, size_t n) {
+    SNIM_ASSERT(n >= 2, "window needs n >= 2");
+    std::vector<double> w(n);
+    const double N = static_cast<double>(n - 1);
+    switch (kind) {
+        case WindowKind::Rect:
+            for (auto& v : w) v = 1.0;
+            break;
+        case WindowKind::Hann:
+            for (size_t i = 0; i < n; ++i)
+                w[i] = 0.5 * (1.0 - std::cos(units::kTwoPi * i / N));
+            break;
+        case WindowKind::Hamming:
+            for (size_t i = 0; i < n; ++i)
+                w[i] = 0.54 - 0.46 * std::cos(units::kTwoPi * i / N);
+            break;
+        case WindowKind::BlackmanHarris4: {
+            const double a0 = 0.35875, a1 = 0.48829, a2 = 0.14128, a3 = 0.01168;
+            for (size_t i = 0; i < n; ++i) {
+                const double t = units::kTwoPi * i / N;
+                w[i] = a0 - a1 * std::cos(t) + a2 * std::cos(2 * t) - a3 * std::cos(3 * t);
+            }
+            break;
+        }
+    }
+    return w;
+}
+
+double window_sum(const std::vector<double>& w) {
+    double s = 0.0;
+    for (double v : w) s += v;
+    return s;
+}
+
+double window_enbw(const std::vector<double>& w) {
+    double s = 0.0, s2 = 0.0;
+    for (double v : w) {
+        s += v;
+        s2 += v * v;
+    }
+    return static_cast<double>(w.size()) * s2 / (s * s);
+}
+
+double mainlobe_halfwidth_bins(WindowKind kind) {
+    switch (kind) {
+        case WindowKind::Rect: return 1.0;
+        case WindowKind::Hann: return 2.0;
+        case WindowKind::Hamming: return 2.0;
+        case WindowKind::BlackmanHarris4: return 4.0;
+    }
+    return 4.0;
+}
+
+std::string to_string(WindowKind kind) {
+    switch (kind) {
+        case WindowKind::Rect: return "rect";
+        case WindowKind::Hann: return "hann";
+        case WindowKind::Hamming: return "hamming";
+        case WindowKind::BlackmanHarris4: return "blackman-harris4";
+    }
+    return "?";
+}
+
+} // namespace snim::dsp

@@ -1,0 +1,31 @@
+// Window functions for leakage control in spur measurements.
+//
+// Spur levels down to ~-90 dBc next to a strong carrier need the 4-term
+// Blackman-Harris window (-92 dB sidelobes); Hann suffices for coarse
+// spectrum plots.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace snim::dsp {
+
+enum class WindowKind { Rect, Hann, Hamming, BlackmanHarris4 };
+
+/// Window samples w[0..n-1].
+std::vector<double> make_window(WindowKind kind, size_t n);
+
+/// Sum of window samples (the coherent gain * n); used to normalise
+/// amplitude estimates of windowed tones.
+double window_sum(const std::vector<double>& w);
+
+/// Equivalent noise bandwidth in bins.
+double window_enbw(const std::vector<double>& w);
+
+/// Approximate half mainlobe width in bins (rect 1, hann 2, bh4 4); a tone
+/// must be at least this many bins away from the carrier to be resolved.
+double mainlobe_halfwidth_bins(WindowKind kind);
+
+std::string to_string(WindowKind kind);
+
+} // namespace snim::dsp

@@ -1,0 +1,42 @@
+#include "geom/grid_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace snim::geom {
+
+GridIndex::GridIndex(double cell) : cell_(cell) {
+    SNIM_ASSERT(cell > 0, "grid cell must be positive");
+}
+
+int64_t GridIndex::bin(double v) const {
+    return static_cast<int64_t>(std::floor(v / cell_));
+}
+
+void GridIndex::insert(size_t id, const Rect& r) {
+    const int64_t bx0 = bin(r.x0), bx1 = bin(r.x1);
+    const int64_t by0 = bin(r.y0), by1 = bin(r.y1);
+    for (int64_t bx = bx0; bx <= bx1; ++bx)
+        for (int64_t by = by0; by <= by1; ++by) bins_[{bx, by}].push_back(id);
+    ++count_;
+}
+
+std::vector<size_t> GridIndex::candidates(const Rect& query) const {
+    std::vector<size_t> out;
+    const int64_t bx0 = bin(query.x0), bx1 = bin(query.x1);
+    const int64_t by0 = bin(query.y0), by1 = bin(query.y1);
+    for (int64_t bx = bx0; bx <= bx1; ++bx) {
+        for (int64_t by = by0; by <= by1; ++by) {
+            auto it = bins_.find({bx, by});
+            if (it == bins_.end()) continue;
+            out.insert(out.end(), it->second.begin(), it->second.end());
+        }
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+} // namespace snim::geom

@@ -1,0 +1,45 @@
+// Uniform-grid spatial index for rectangle overlap queries.  Connectivity
+// extraction over thousands of shapes needs better than O(n^2).
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "geom/rect.hpp"
+
+namespace snim::geom {
+
+class GridIndex {
+public:
+    /// `cell` is the bin edge length in the same units as the rects (um).
+    explicit GridIndex(double cell = 10.0);
+
+    /// Inserts a rect with a caller-chosen id (e.g. shape index).
+    void insert(size_t id, const Rect& r);
+
+    /// Ids of rects whose bins intersect `query`; caller re-checks geometry.
+    /// Result is deduplicated but unordered.
+    std::vector<size_t> candidates(const Rect& query) const;
+
+    size_t size() const { return count_; }
+
+private:
+    struct CellKey {
+        int64_t x, y;
+        bool operator==(const CellKey& o) const { return x == o.x && y == o.y; }
+    };
+    struct CellHash {
+        size_t operator()(const CellKey& k) const {
+            return std::hash<int64_t>()(k.x * 1000003 ^ k.y);
+        }
+    };
+
+    int64_t bin(double v) const;
+
+    double cell_;
+    size_t count_ = 0;
+    std::unordered_map<CellKey, std::vector<size_t>, CellHash> bins_;
+};
+
+} // namespace snim::geom

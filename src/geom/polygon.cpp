@@ -1,0 +1,72 @@
+#include "geom/polygon.hpp"
+
+#include "util/error.hpp"
+
+namespace snim::geom {
+
+void Region::add(const Rect& r) {
+    if (!r.empty()) rects_.push_back(r);
+}
+
+Rect Region::bbox() const {
+    Rect b;
+    for (const auto& r : rects_) b = b.bounding_union(r);
+    return b;
+}
+
+bool Region::contains(const Point& p) const {
+    for (const auto& r : rects_)
+        if (r.contains(p)) return true;
+    return false;
+}
+
+bool Region::overlaps(const Rect& q) const {
+    for (const auto& r : rects_)
+        if (r.overlaps(q)) return true;
+    return false;
+}
+
+Region Region::clipped(const Rect& window) const {
+    Region out;
+    for (const auto& r : rects_) out.add(r.intersection(window));
+    return out;
+}
+
+Region Region::translated(double dx, double dy) const {
+    Region out;
+    for (const auto& r : rects_) out.add(r.translated(dx, dy));
+    return out;
+}
+
+std::vector<Rect> make_ring(const Rect& outer, double width) {
+    SNIM_ASSERT(width > 0, "ring width must be positive");
+    SNIM_ASSERT(outer.width() > 2 * width && outer.height() > 2 * width,
+                "ring width %g too large for outer %s", width, outer.to_string().c_str());
+    std::vector<Rect> ring;
+    ring.emplace_back(outer.x0, outer.y1 - width, outer.x1, outer.y1);       // top
+    ring.emplace_back(outer.x0, outer.y0, outer.x1, outer.y0 + width);       // bottom
+    ring.emplace_back(outer.x0, outer.y0 + width, outer.x0 + width,
+                      outer.y1 - width);                                      // left
+    ring.emplace_back(outer.x1 - width, outer.y0 + width, outer.x1,
+                      outer.y1 - width);                                      // right
+    return ring;
+}
+
+std::vector<Rect> make_serpentine(const Point& origin, double span_x, double wire_width,
+                                  double pitch, int turns) {
+    SNIM_ASSERT(turns >= 1, "serpentine needs at least one leg");
+    SNIM_ASSERT(pitch > wire_width, "pitch must exceed wire width");
+    std::vector<Rect> out;
+    for (int leg = 0; leg < turns; ++leg) {
+        const double y = origin.y + leg * pitch;
+        out.emplace_back(origin.x, y, origin.x + span_x, y + wire_width);
+        if (leg + 1 < turns) {
+            // Alternate the connecting stub between right and left ends.
+            const double x = (leg % 2 == 0) ? origin.x + span_x - wire_width : origin.x;
+            out.emplace_back(x, y, x + wire_width, y + pitch + wire_width);
+        }
+    }
+    return out;
+}
+
+} // namespace snim::geom

@@ -1,0 +1,45 @@
+// Rectilinear polygons as rectangle unions; ring (annulus) helpers used by
+// guard rings and the NMOS ground ring in the paper's test structures.
+#pragma once
+
+#include <vector>
+
+#include "geom/rect.hpp"
+
+namespace snim::geom {
+
+/// A rectilinear region stored as a set of axis-aligned rectangles.  The
+/// rectangles may overlap; area() deduplicates.
+class Region {
+public:
+    Region() = default;
+    explicit Region(std::vector<Rect> rects) : rects_(std::move(rects)) {}
+
+    void add(const Rect& r);
+    const std::vector<Rect>& rects() const { return rects_; }
+    bool empty() const { return rects_.empty(); }
+
+    double area() const { return union_area(rects_); }
+    Rect bbox() const;
+    bool contains(const Point& p) const;
+    bool overlaps(const Rect& r) const;
+
+    /// Region clipped to `window`.
+    Region clipped(const Rect& window) const;
+    Region translated(double dx, double dy) const;
+
+private:
+    std::vector<Rect> rects_;
+};
+
+/// Four rectangles forming a rectangular ring with outer boundary `outer`
+/// and uniform band width `width` (a guard-ring / substrate-contact ring).
+std::vector<Rect> make_ring(const Rect& outer, double width);
+
+/// Serpentine wire: `turns` horizontal legs of width `wire_width` spanning
+/// `span_x`, pitched `pitch` apart, connected by vertical stubs.  Used to
+/// build realistic resistive ground straps.
+std::vector<Rect> make_serpentine(const Point& origin, double span_x, double wire_width,
+                                  double pitch, int turns);
+
+} // namespace snim::geom

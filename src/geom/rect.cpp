@@ -1,0 +1,109 @@
+#include "geom/rect.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace snim::geom {
+
+Rect::Rect(double ax0, double ay0, double ax1, double ay1)
+    : x0(std::min(ax0, ax1)),
+      y0(std::min(ay0, ay1)),
+      x1(std::max(ax0, ax1)),
+      y1(std::max(ay0, ay1)) {}
+
+Rect Rect::centered(double cx, double cy, double w, double h) {
+    SNIM_ASSERT(w >= 0 && h >= 0, "negative size");
+    return Rect(cx - w / 2, cy - h / 2, cx + w / 2, cy + h / 2);
+}
+
+bool Rect::contains(const Point& p) const {
+    return p.x >= x0 && p.x <= x1 && p.y >= y0 && p.y <= y1;
+}
+
+bool Rect::contains(const Rect& r) const {
+    return r.x0 >= x0 && r.x1 <= x1 && r.y0 >= y0 && r.y1 <= y1;
+}
+
+bool Rect::touches(const Rect& r) const {
+    return x0 <= r.x1 && r.x0 <= x1 && y0 <= r.y1 && r.y0 <= y1;
+}
+
+bool Rect::overlaps(const Rect& r) const {
+    return x0 < r.x1 && r.x0 < x1 && y0 < r.y1 && r.y0 < y1;
+}
+
+Rect Rect::intersection(const Rect& r) const {
+    Rect out;
+    out.x0 = std::max(x0, r.x0);
+    out.y0 = std::max(y0, r.y0);
+    out.x1 = std::min(x1, r.x1);
+    out.y1 = std::min(y1, r.y1);
+    if (out.x1 < out.x0 || out.y1 < out.y0) return Rect{};
+    return out;
+}
+
+Rect Rect::bounding_union(const Rect& r) const {
+    if (empty()) return r;
+    if (r.empty()) return *this;
+    return Rect(std::min(x0, r.x0), std::min(y0, r.y0), std::max(x1, r.x1),
+                std::max(y1, r.y1));
+}
+
+Rect Rect::translated(double dx, double dy) const {
+    return Rect(x0 + dx, y0 + dy, x1 + dx, y1 + dy);
+}
+
+Rect Rect::inflated(double margin) const {
+    return Rect(x0 - margin, y0 - margin, x1 + margin, y1 + margin);
+}
+
+bool Rect::operator==(const Rect& o) const {
+    return x0 == o.x0 && y0 == o.y0 && x1 == o.x1 && y1 == o.y1;
+}
+
+std::string Rect::to_string() const {
+    return format("(%g,%g)-(%g,%g)", x0, y0, x1, y1);
+}
+
+double union_area(const std::vector<Rect>& rects) {
+    // Coordinate-compression decomposition: O(n^2) cells, fine for the shape
+    // counts a net carries.
+    std::vector<double> xs, ys;
+    for (const auto& r : rects) {
+        if (r.empty()) continue;
+        xs.push_back(r.x0);
+        xs.push_back(r.x1);
+        ys.push_back(r.y0);
+        ys.push_back(r.y1);
+    }
+    if (xs.empty()) return 0.0;
+    std::sort(xs.begin(), xs.end());
+    xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+    std::sort(ys.begin(), ys.end());
+    ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+
+    double total = 0.0;
+    for (size_t i = 0; i + 1 < xs.size(); ++i) {
+        for (size_t j = 0; j + 1 < ys.size(); ++j) {
+            const double cx = 0.5 * (xs[i] + xs[i + 1]);
+            const double cy = 0.5 * (ys[j] + ys[j + 1]);
+            for (const auto& r : rects) {
+                if (r.contains(Point{cx, cy})) {
+                    total += (xs[i + 1] - xs[i]) * (ys[j + 1] - ys[j]);
+                    break;
+                }
+            }
+        }
+    }
+    return total;
+}
+
+double rect_distance(const Rect& a, const Rect& b) {
+    const double dx = std::max({0.0, b.x0 - a.x1, a.x0 - b.x1});
+    const double dy = std::max({0.0, b.y0 - a.y1, a.y0 - b.y1});
+    return std::hypot(dx, dy);
+}
+
+} // namespace snim::geom

@@ -1,0 +1,59 @@
+// Planar geometry primitives.  All layout coordinates are micrometres.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace snim::geom {
+
+struct Point {
+    double x = 0.0;
+    double y = 0.0;
+
+    Point operator+(const Point& o) const { return {x + o.x, y + o.y}; }
+    Point operator-(const Point& o) const { return {x - o.x, y - o.y}; }
+    bool operator==(const Point& o) const { return x == o.x && y == o.y; }
+};
+
+/// Axis-aligned rectangle, normalised so x0 <= x1 and y0 <= y1.
+struct Rect {
+    double x0 = 0.0, y0 = 0.0, x1 = 0.0, y1 = 0.0;
+
+    Rect() = default;
+    Rect(double ax0, double ay0, double ax1, double ay1);
+    /// Rectangle centred at (cx, cy) with the given width/height.
+    static Rect centered(double cx, double cy, double w, double h);
+
+    double width() const { return x1 - x0; }
+    double height() const { return y1 - y0; }
+    double area() const { return width() * height(); }
+    double perimeter() const { return 2.0 * (width() + height()); }
+    Point center() const { return {0.5 * (x0 + x1), 0.5 * (y0 + y1)}; }
+    bool empty() const { return width() <= 0.0 || height() <= 0.0; }
+
+    bool contains(const Point& p) const;
+    bool contains(const Rect& r) const;
+    /// Closed-interval overlap test (shared edges count as touching).
+    bool touches(const Rect& r) const;
+    /// Open-interval overlap test (shared edges do NOT overlap).
+    bool overlaps(const Rect& r) const;
+
+    Rect intersection(const Rect& r) const; // empty() if disjoint
+    Rect bounding_union(const Rect& r) const;
+    Rect translated(double dx, double dy) const;
+    Rect inflated(double margin) const;
+
+    bool operator==(const Rect& o) const;
+
+    std::string to_string() const;
+};
+
+/// Total area of a set of possibly overlapping rectangles (sweep by
+/// coordinate decomposition).  Used for capacitance extraction where
+/// overlapping shapes on one net must not double-count.
+double union_area(const std::vector<Rect>& rects);
+
+/// Euclidean distance between rect boundaries (0 when touching/overlapping).
+double rect_distance(const Rect& a, const Rect& b);
+
+} // namespace snim::geom

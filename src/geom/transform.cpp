@@ -1,0 +1,56 @@
+#include "geom/transform.hpp"
+
+namespace snim::geom {
+
+namespace {
+Point orient_point(const Point& p, Orient o) {
+    switch (o) {
+        case Orient::R0: return p;
+        case Orient::R90: return {-p.y, p.x};
+        case Orient::R180: return {-p.x, -p.y};
+        case Orient::R270: return {p.y, -p.x};
+        case Orient::MX: return {p.x, -p.y};
+        case Orient::MY: return {-p.x, p.y};
+        case Orient::MX90: return {p.y, p.x};
+        case Orient::MY90: return {-p.y, -p.x};
+    }
+    return p;
+}
+
+Orient compose_orient(Orient outer, Orient inner) {
+    // Compose by probing two basis points; exhaustive table would be larger.
+    const Point ex{1, 0}, ey{0, 1};
+    const Point rx = orient_point(orient_point(ex, inner), outer);
+    const Point ry = orient_point(orient_point(ey, inner), outer);
+    if (rx == Point{1, 0} && ry == Point{0, 1}) return Orient::R0;
+    if (rx == Point{0, 1} && ry == Point{-1, 0}) return Orient::R90;
+    if (rx == Point{-1, 0} && ry == Point{0, -1}) return Orient::R180;
+    if (rx == Point{0, -1} && ry == Point{1, 0}) return Orient::R270;
+    if (rx == Point{1, 0} && ry == Point{0, -1}) return Orient::MX;
+    if (rx == Point{-1, 0} && ry == Point{0, 1}) return Orient::MY;
+    if (rx == Point{0, 1} && ry == Point{1, 0}) return Orient::MX90;
+    return Orient::MY90;
+}
+} // namespace
+
+Point Transform::apply(const Point& p) const {
+    const Point q = orient_point(p, orient);
+    return {q.x + dx, q.y + dy};
+}
+
+Rect Transform::apply(const Rect& r) const {
+    const Point a = apply(Point{r.x0, r.y0});
+    const Point b = apply(Point{r.x1, r.y1});
+    return Rect(a.x, a.y, b.x, b.y);
+}
+
+Transform Transform::compose(const Transform& inner) const {
+    Transform out;
+    out.orient = compose_orient(orient, inner.orient);
+    const Point shifted = apply(Point{inner.dx, inner.dy});
+    out.dx = shifted.x;
+    out.dy = shifted.y;
+    return out;
+}
+
+} // namespace snim::geom

@@ -1,0 +1,30 @@
+// Orthogonal layout transforms (translation, 90-degree rotations, mirror).
+#pragma once
+
+#include "geom/rect.hpp"
+
+namespace snim::geom {
+
+enum class Orient {
+    R0,
+    R90,
+    R180,
+    R270,
+    MX,    // mirror about x axis
+    MY,    // mirror about y axis
+    MX90,  // mirror about x axis, then rotate 90  ((x,y) -> (y,x))
+    MY90,  // mirror about y axis, then rotate 90  ((x,y) -> (-y,-x))
+};
+
+struct Transform {
+    double dx = 0.0;
+    double dy = 0.0;
+    Orient orient = Orient::R0;
+
+    Point apply(const Point& p) const;
+    Rect apply(const Rect& r) const;
+    /// Composition: (this o inner), i.e. apply `inner` first.
+    Transform compose(const Transform& inner) const;
+};
+
+} // namespace snim::geom

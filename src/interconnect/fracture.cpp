@@ -1,0 +1,55 @@
+#include "interconnect/fracture.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace snim::interconnect {
+
+Fracture fracture_shape(const geom::Rect& shape, const std::vector<Attach>& attaches,
+                        double merge_tol) {
+    SNIM_ASSERT(!shape.empty(), "cannot fracture an empty shape");
+    Fracture out;
+    out.horizontal = shape.width() >= shape.height();
+    const double lo = out.horizontal ? shape.x0 : shape.y0;
+    const double hi = out.horizontal ? shape.x1 : shape.y1;
+    const double width = out.horizontal ? shape.height() : shape.width();
+
+    // Project and clamp attach positions onto the axis.
+    std::vector<std::pair<double, int>> pos; // (axis position, attach index)
+    for (size_t k = 0; k < attaches.size(); ++k) {
+        const double p = out.horizontal ? attaches[k].at.x : attaches[k].at.y;
+        pos.emplace_back(std::clamp(p, lo, hi), static_cast<int>(k));
+    }
+    if (pos.empty()) pos.emplace_back(0.5 * (lo + hi), -1);
+    std::sort(pos.begin(), pos.end());
+
+    // Merge nearby positions into nodes.
+    out.attach_node.assign(attaches.size(), -1);
+    for (const auto& [p, k] : pos) {
+        if (out.positions.empty() || p - out.positions.back() > merge_tol) {
+            out.positions.push_back(p);
+        }
+        if (k >= 0) out.attach_node[static_cast<size_t>(k)] =
+            static_cast<int>(out.positions.size()) - 1;
+    }
+
+    // Series segments between consecutive nodes.
+    for (size_t i = 0; i + 1 < out.positions.size(); ++i) {
+        Segment s;
+        s.node_a = static_cast<int>(i);
+        s.node_b = static_cast<int>(i) + 1;
+        s.length = out.positions[i + 1] - out.positions[i];
+        s.width = width;
+        s.footprint = out.horizontal
+                          ? geom::Rect(out.positions[i], shape.y0, out.positions[i + 1],
+                                       shape.y1)
+                          : geom::Rect(shape.x0, out.positions[i], shape.x1,
+                                       out.positions[i + 1]);
+        out.segments.push_back(s);
+    }
+    return out;
+}
+
+} // namespace snim::interconnect

@@ -1,0 +1,44 @@
+// Wire fracturing: projects the connection points of a rectangular wire
+// shape onto its long axis and cuts the shape into series segments.  Each
+// segment becomes a resistance (sheet_res * length / width) and a
+// distributed capacitance in the extractor.
+#pragma once
+
+#include <vector>
+
+#include "geom/rect.hpp"
+
+namespace snim::interconnect {
+
+/// A connection event on a wire shape, tagged with a caller-defined id.
+struct Attach {
+    geom::Point at;
+    int id = -1;
+};
+
+struct Segment {
+    /// Indices into the fracture's node list.
+    int node_a = 0;
+    int node_b = 0;
+    double length = 0.0; // um along the wire axis
+    double width = 0.0;  // um across
+    geom::Rect footprint; // for substrate-coupling lookup
+};
+
+struct Fracture {
+    /// One internal node per distinct axial position; node i sits at
+    /// positions[i] (in axis coordinates).
+    std::vector<double> positions;
+    /// attach_node[k] = node index for attaches[k].
+    std::vector<int> attach_node;
+    std::vector<Segment> segments;
+    bool horizontal = true;
+};
+
+/// Fractures `shape` at the given attach points.  Positions closer than
+/// `merge_tol` um collapse into one node.  With fewer than one attach the
+/// fracture degenerates to a single node at the shape centre.
+Fracture fracture_shape(const geom::Rect& shape, const std::vector<Attach>& attaches,
+                        double merge_tol = 0.05);
+
+} // namespace snim::interconnect

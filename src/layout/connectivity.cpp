@@ -1,0 +1,130 @@
+#include "layout/connectivity.hpp"
+
+#include <numeric>
+#include <unordered_map>
+
+#include "geom/grid_index.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace snim::layout {
+
+namespace {
+
+class UnionFind {
+public:
+    explicit UnionFind(size_t n) : parent_(n) {
+        std::iota(parent_.begin(), parent_.end(), 0);
+    }
+    size_t find(size_t x) {
+        while (parent_[x] != x) {
+            parent_[x] = parent_[parent_[x]];
+            x = parent_[x];
+        }
+        return x;
+    }
+    void unite(size_t a, size_t b) { parent_[find(a)] = find(b); }
+
+private:
+    std::vector<size_t> parent_;
+};
+
+} // namespace
+
+int ExtractedNets::find_net(const std::string& name) const {
+    for (size_t i = 0; i < net_names.size(); ++i)
+        if (equals_nocase(net_names[i], name)) return static_cast<int>(i);
+    return -1;
+}
+
+ExtractedNets extract_connectivity(const std::vector<Shape>& shapes,
+                                   const std::vector<Label>& labels,
+                                   const tech::Technology& tech) {
+    const size_t n = shapes.size();
+    UnionFind uf(n);
+
+    // Index shapes per conducting layer.
+    std::unordered_map<std::string, geom::GridIndex> index;
+    std::unordered_map<std::string, std::vector<size_t>> by_layer;
+    for (size_t i = 0; i < n; ++i) {
+        const tech::Layer* layer = tech.find_layer(shapes[i].layer);
+        if (!layer) continue;
+        if (layer->kind != tech::LayerKind::Routing) continue;
+        auto [it, inserted] = index.try_emplace(shapes[i].layer, 5.0);
+        it->second.insert(i, shapes[i].rect);
+        by_layer[shapes[i].layer].push_back(i);
+    }
+
+    // Same-layer touching shapes merge.
+    for (size_t i = 0; i < n; ++i) {
+        auto it = index.find(shapes[i].layer);
+        if (it == index.end()) continue;
+        const tech::Layer* layer = tech.find_layer(shapes[i].layer);
+        if (!layer || layer->kind != tech::LayerKind::Routing) continue;
+        for (size_t j : it->second.candidates(shapes[i].rect)) {
+            if (j <= i) continue;
+            if (shapes[i].rect.touches(shapes[j].rect)) uf.unite(i, j);
+        }
+    }
+
+    // Vias/contacts merge their bottom and top layers where the cut overlaps.
+    for (size_t i = 0; i < n; ++i) {
+        const tech::Layer* layer = tech.find_layer(shapes[i].layer);
+        if (!layer) continue;
+        if (layer->kind != tech::LayerKind::Via && layer->kind != tech::LayerKind::Contact)
+            continue;
+        for (const std::string& side : {layer->connects_bottom, layer->connects_top}) {
+            if (side.empty() || side == "substrate") continue;
+            auto it = index.find(side);
+            if (it == index.end()) continue;
+            size_t first_hit = SIZE_MAX;
+            for (size_t j : it->second.candidates(shapes[i].rect)) {
+                if (!shapes[i].rect.touches(shapes[j].rect)) continue;
+                if (first_hit == SIZE_MAX) first_hit = j;
+                uf.unite(i, j); // the cut itself joins the nets of both sides
+            }
+        }
+    }
+
+    // Assign compact net ids to conducting shapes (vias included so the
+    // interconnect extractor can locate them on a net).
+    ExtractedNets out;
+    out.shape_net.assign(n, -1);
+    std::unordered_map<size_t, int> root_to_net;
+    for (size_t i = 0; i < n; ++i) {
+        const tech::Layer* layer = tech.find_layer(shapes[i].layer);
+        if (!layer) continue;
+        const bool conducting = layer->kind == tech::LayerKind::Routing ||
+                                layer->kind == tech::LayerKind::Via ||
+                                layer->kind == tech::LayerKind::Contact;
+        if (!conducting) continue;
+        const size_t root = uf.find(i);
+        auto [it, inserted] = root_to_net.try_emplace(root, static_cast<int>(out.net_count));
+        if (inserted) ++out.net_count;
+        out.shape_net[i] = it->second;
+    }
+
+    // Name nets from labels: a label names the net of a shape on its layer
+    // containing the label point.
+    out.net_names.resize(out.net_count);
+    for (const auto& label : labels) {
+        auto it = by_layer.find(label.layer);
+        if (it == by_layer.end()) continue;
+        for (size_t i : it->second) {
+            if (!shapes[i].rect.contains(label.pos)) continue;
+            const int net = out.shape_net[i];
+            if (net < 0) continue;
+            auto& name = out.net_names[static_cast<size_t>(net)];
+            if (!name.empty() && !equals_nocase(name, label.text))
+                raise("net has two labels: '%s' and '%s'", name.c_str(),
+                      label.text.c_str());
+            name = label.text;
+            break;
+        }
+    }
+    for (size_t k = 0; k < out.net_count; ++k)
+        if (out.net_names[k].empty()) out.net_names[k] = format("net%zu", k);
+    return out;
+}
+
+} // namespace snim::layout

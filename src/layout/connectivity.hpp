@@ -1,0 +1,34 @@
+// Connectivity (net) extraction over flattened layout shapes: the
+// DIVA-style LVS step that groups touching shapes into nets and names them
+// from labels.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "layout/layout.hpp"
+#include "tech/technology.hpp"
+
+namespace snim::layout {
+
+struct ExtractedNets {
+    /// Net id per flattened shape; -1 for shapes on non-conducting layers.
+    std::vector<int> shape_net;
+    size_t net_count = 0;
+    /// Net names: from labels where present, otherwise "net<k>".
+    std::vector<std::string> net_names;
+
+    /// Net id by name; -1 when absent.
+    int find_net(const std::string& name) const;
+};
+
+/// Extracts connectivity.  Conducting layers are Routing layers; Via and
+/// Contact layers merge the nets of their connects_bottom/connects_top
+/// layers where the cut overlaps both.  Substrate-tap contacts (those whose
+/// connects_bottom is "substrate") only conduct to their top layer here;
+/// the resistive path into silicon belongs to the substrate extractor.
+ExtractedNets extract_connectivity(const std::vector<Shape>& shapes,
+                                   const std::vector<Label>& labels,
+                                   const tech::Technology& tech);
+
+} // namespace snim::layout

@@ -1,0 +1,124 @@
+#include "layout/io.hpp"
+
+#include <cstdio>
+#include <memory>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace snim::layout {
+
+std::string orient_name(geom::Orient o) {
+    switch (o) {
+        case geom::Orient::R0: return "R0";
+        case geom::Orient::R90: return "R90";
+        case geom::Orient::R180: return "R180";
+        case geom::Orient::R270: return "R270";
+        case geom::Orient::MX: return "MX";
+        case geom::Orient::MY: return "MY";
+        case geom::Orient::MX90: return "MX90";
+        case geom::Orient::MY90: return "MY90";
+    }
+    return "R0";
+}
+
+geom::Orient orient_from_name(const std::string& name) {
+    for (auto o : {geom::Orient::R0, geom::Orient::R90, geom::Orient::R180,
+                   geom::Orient::R270, geom::Orient::MX, geom::Orient::MY,
+                   geom::Orient::MX90, geom::Orient::MY90}) {
+        if (equals_nocase(orient_name(o), name)) return o;
+    }
+    raise("unknown orientation '%s'", name.c_str());
+}
+
+std::string write_layout(const Layout& layout) {
+    std::string out = format("layout %s\n", layout.top_name().c_str());
+    for (const auto& c : layout.cells()) {
+        out += format("cell %s\n", c.name().c_str());
+        for (const auto& s : c.shapes())
+            out += format("  rect %s %.6g %.6g %.6g %.6g\n", s.layer.c_str(), s.rect.x0,
+                          s.rect.y0, s.rect.x1, s.rect.y1);
+        for (const auto& l : c.labels())
+            out += format("  label %s %.6g %.6g %s\n", l.layer.c_str(), l.pos.x, l.pos.y,
+                          l.text.c_str());
+        for (const auto& i : c.instances())
+            out += format("  inst %s %.6g %.6g %s\n", i.cell_name.c_str(), i.transform.dx,
+                          i.transform.dy, orient_name(i.transform.orient).c_str());
+        out += "end\n";
+    }
+    return out;
+}
+
+Layout parse_layout(const std::string& text) {
+    Layout* layout = nullptr;
+    // Deferred construction: the first line names the top cell.
+    std::unique_ptr<Layout> holder;
+    Cell* cur = nullptr;
+    int lineno = 0;
+    for (const auto& raw : split_keep(text, '\n')) {
+        ++lineno;
+        const std::string line = trim(raw);
+        if (line.empty() || line[0] == '#') continue;
+        auto toks = split(line);
+        const std::string& cmd = toks[0];
+        auto need = [&](size_t k) {
+            if (toks.size() < k) raise("layout parse error line %d: too few fields", lineno);
+        };
+        if (cmd == "layout") {
+            need(2);
+            holder = std::make_unique<Layout>(toks[1]);
+            layout = holder.get();
+        } else if (cmd == "cell") {
+            need(2);
+            if (!layout) raise("layout parse error line %d: 'cell' before 'layout'", lineno);
+            cur = &layout->cell(toks[1]);
+        } else if (cmd == "rect") {
+            need(6);
+            if (!cur) raise("layout parse error line %d: 'rect' outside cell", lineno);
+            cur->add_rect(toks[1],
+                          geom::Rect(parse_spice_number(toks[2]), parse_spice_number(toks[3]),
+                                     parse_spice_number(toks[4]), parse_spice_number(toks[5])));
+        } else if (cmd == "label") {
+            need(5);
+            if (!cur) raise("layout parse error line %d: 'label' outside cell", lineno);
+            cur->add_label(toks[4], toks[1],
+                           {parse_spice_number(toks[2]), parse_spice_number(toks[3])});
+        } else if (cmd == "inst") {
+            need(5);
+            if (!cur) raise("layout parse error line %d: 'inst' outside cell", lineno);
+            geom::Transform t;
+            t.dx = parse_spice_number(toks[2]);
+            t.dy = parse_spice_number(toks[3]);
+            t.orient = orient_from_name(toks[4]);
+            cur->add_instance(toks[1], t);
+        } else if (cmd == "end") {
+            cur = nullptr;
+        } else {
+            raise("layout parse error line %d: unknown command '%s'", lineno, cmd.c_str());
+        }
+    }
+    if (!layout) raise("layout text missing 'layout' header");
+    return std::move(*holder);
+}
+
+void save_layout(const Layout& layout, const std::string& path) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) raise("cannot open '%s' for writing", path.c_str());
+    const std::string s = write_layout(layout);
+    const size_t n = std::fwrite(s.data(), 1, s.size(), f);
+    std::fclose(f);
+    if (n != s.size()) raise("short write to '%s'", path.c_str());
+}
+
+Layout load_layout(const std::string& path) {
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    if (!f) raise("cannot open '%s'", path.c_str());
+    std::string text;
+    char buf[4096];
+    size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, got);
+    std::fclose(f);
+    return parse_layout(text);
+}
+
+} // namespace snim::layout

@@ -1,0 +1,26 @@
+// Plain-text layout serialisation (a GDS substitute the repo can diff):
+//
+//   layout TOPCELL
+//   cell NAME
+//     rect LAYER x0 y0 x1 y1
+//     label LAYER x y TEXT
+//     inst CELL dx dy ORIENT
+//   end
+#pragma once
+
+#include <string>
+
+#include "layout/layout.hpp"
+
+namespace snim::layout {
+
+std::string write_layout(const Layout& layout);
+Layout parse_layout(const std::string& text);
+
+void save_layout(const Layout& layout, const std::string& path);
+Layout load_layout(const std::string& path);
+
+std::string orient_name(geom::Orient o);
+geom::Orient orient_from_name(const std::string& name);
+
+} // namespace snim::layout

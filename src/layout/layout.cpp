@@ -1,0 +1,96 @@
+#include "layout/layout.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace snim::layout {
+
+void Cell::add_rect(const std::string& layer, const geom::Rect& r) {
+    SNIM_ASSERT(!layer.empty(), "shape needs a layer");
+    SNIM_ASSERT(!r.empty(), "cell '%s': empty rect on '%s'", name_.c_str(),
+                layer.c_str());
+    shapes_.push_back({layer, r});
+}
+
+void Cell::add_rects(const std::string& layer, const std::vector<geom::Rect>& rects) {
+    for (const auto& r : rects) add_rect(layer, r);
+}
+
+void Cell::add_label(const std::string& text, const std::string& layer,
+                     const geom::Point& pos) {
+    SNIM_ASSERT(!text.empty(), "empty label");
+    labels_.push_back({text, layer, pos});
+}
+
+void Cell::add_instance(const std::string& cell_name, const geom::Transform& t) {
+    SNIM_ASSERT(!cell_name.empty(), "instance needs a cell name");
+    SNIM_ASSERT(cell_name != name_, "cell '%s' cannot instantiate itself", name_.c_str());
+    instances_.push_back({cell_name, t});
+}
+
+Layout::Layout(std::string top_name) : top_name_(std::move(top_name)) {
+    cells_.emplace_back(top_name_);
+}
+
+const Cell& Layout::top() const {
+    const Cell* c = find_cell(top_name_);
+    SNIM_ASSERT(c != nullptr, "missing top cell");
+    return *c;
+}
+
+Cell& Layout::cell(const std::string& name) {
+    for (auto& c : cells_)
+        if (c.name() == name) return c;
+    cells_.emplace_back(name);
+    return cells_.back();
+}
+
+const Cell* Layout::find_cell(const std::string& name) const {
+    for (const auto& c : cells_)
+        if (c.name() == name) return &c;
+    return nullptr;
+}
+
+void Layout::flatten_into(const Cell& c, const geom::Transform& t, int depth,
+                          std::vector<Shape>* shapes, std::vector<Label>* labels) const {
+    if (depth > 64) raise("instance recursion too deep (cycle through '%s'?)",
+                          c.name().c_str());
+    if (shapes)
+        for (const auto& s : c.shapes()) shapes->push_back({s.layer, t.apply(s.rect)});
+    if (labels)
+        for (const auto& l : c.labels())
+            labels->push_back({l.text, l.layer, t.apply(l.pos)});
+    for (const auto& inst : c.instances()) {
+        const Cell* child = find_cell(inst.cell_name);
+        if (!child) raise("instance of unknown cell '%s'", inst.cell_name.c_str());
+        flatten_into(*child, t.compose(inst.transform), depth + 1, shapes, labels);
+    }
+}
+
+std::vector<Shape> Layout::flatten_shapes() const {
+    std::vector<Shape> out;
+    flatten_into(top(), geom::Transform{}, 0, &out, nullptr);
+    return out;
+}
+
+std::vector<Label> Layout::flatten_labels() const {
+    std::vector<Label> out;
+    flatten_into(top(), geom::Transform{}, 0, nullptr, &out);
+    return out;
+}
+
+geom::Rect Layout::bbox() const {
+    geom::Rect b;
+    for (const auto& s : flatten_shapes()) b = b.bounding_union(s.rect);
+    return b;
+}
+
+std::vector<std::pair<std::string, size_t>> Layout::layer_histogram() const {
+    std::map<std::string, size_t> hist;
+    for (const auto& s : flatten_shapes()) ++hist[s.layer];
+    return {hist.begin(), hist.end()};
+}
+
+} // namespace snim::layout

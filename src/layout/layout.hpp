@@ -1,0 +1,86 @@
+// Layout database: cells holding rectangles and labels on named layers,
+// with transformed cell instances.  This is the "layout" input of the
+// paper's Figure-2 flow.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geom/rect.hpp"
+#include "geom/transform.hpp"
+
+namespace snim::layout {
+
+struct Shape {
+    std::string layer;
+    geom::Rect rect;
+};
+
+/// Text label attaching a net name to the shape under `pos` on `layer`.
+struct Label {
+    std::string text;
+    std::string layer;
+    geom::Point pos;
+};
+
+class Cell {
+public:
+    explicit Cell(std::string name) : name_(std::move(name)) {}
+
+    const std::string& name() const { return name_; }
+
+    void add_rect(const std::string& layer, const geom::Rect& r);
+    void add_rects(const std::string& layer, const std::vector<geom::Rect>& rects);
+    void add_label(const std::string& text, const std::string& layer,
+                   const geom::Point& pos);
+    void add_instance(const std::string& cell_name, const geom::Transform& t);
+
+    const std::vector<Shape>& shapes() const { return shapes_; }
+    const std::vector<Label>& labels() const { return labels_; }
+
+    struct Instance {
+        std::string cell_name;
+        geom::Transform transform;
+    };
+    const std::vector<Instance>& instances() const { return instances_; }
+
+private:
+    std::string name_;
+    std::vector<Shape> shapes_;
+    std::vector<Label> labels_;
+    std::vector<Instance> instances_;
+};
+
+class Layout {
+public:
+    explicit Layout(std::string top_name);
+
+    const std::string& top_name() const { return top_name_; }
+    Cell& top() { return cell(top_name_); }
+    const Cell& top() const;
+
+    /// Get-or-create a cell.
+    Cell& cell(const std::string& name);
+    const Cell* find_cell(const std::string& name) const;
+    const std::vector<Cell>& cells() const { return cells_; }
+
+    /// Flattened shapes/labels of the top cell (instances resolved
+    /// recursively; throws on missing cells or instance cycles).
+    std::vector<Shape> flatten_shapes() const;
+    std::vector<Label> flatten_labels() const;
+
+    /// Bounding box of the flattened top cell.
+    geom::Rect bbox() const;
+
+    /// Shape statistics per layer (for run reports).
+    std::vector<std::pair<std::string, size_t>> layer_histogram() const;
+
+private:
+    void flatten_into(const Cell& c, const geom::Transform& t, int depth,
+                      std::vector<Shape>* shapes, std::vector<Label>* labels) const;
+
+    std::string top_name_;
+    std::vector<Cell> cells_;
+};
+
+} // namespace snim::layout

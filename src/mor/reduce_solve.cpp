@@ -1,0 +1,260 @@
+#include <cmath>
+#include <unordered_map>
+
+#include "mor/elimination.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace snim::mor {
+
+namespace {
+
+/// Compressed sparse row matrix for the internal-internal conductance block.
+struct Csr {
+    std::vector<int> ptr, idx;
+    std::vector<double> val;
+    std::vector<double> diag;
+    size_t n = 0;
+
+    void multiply(const std::vector<double>& x, std::vector<double>& y) const {
+        for (size_t i = 0; i < n; ++i) {
+            double s = diag[i] * x[i];
+            for (int p = ptr[i]; p < ptr[i + 1]; ++p)
+                s += val[static_cast<size_t>(p)] *
+                     x[static_cast<size_t>(idx[static_cast<size_t>(p)])];
+            y[i] = s;
+        }
+    }
+};
+
+/// Jacobi-preconditioned CG for the SPD conductance Laplacian.
+bool pcg(const Csr& a, const std::vector<double>& b, std::vector<double>& x,
+         double tol, int max_iter) {
+    const size_t n = a.n;
+    x.assign(n, 0.0);
+    std::vector<double> r = b, z(n), p(n), ap(n);
+    double bnorm = 0.0;
+    for (double v : b) bnorm += v * v;
+    bnorm = std::sqrt(bnorm);
+    if (bnorm == 0.0) return true;
+
+    for (size_t i = 0; i < n; ++i) z[i] = r[i] / a.diag[i];
+    p = z;
+    double rz = 0.0;
+    for (size_t i = 0; i < n; ++i) rz += r[i] * z[i];
+
+    for (int it = 0; it < max_iter; ++it) {
+        a.multiply(p, ap);
+        double pap = 0.0;
+        for (size_t i = 0; i < n; ++i) pap += p[i] * ap[i];
+        if (pap <= 0.0) return false; // lost positive definiteness
+        const double alpha = rz / pap;
+        double rnorm = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+            rnorm += r[i] * r[i];
+        }
+        if (std::sqrt(rnorm) <= tol * bnorm) return true;
+        double rz_new = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+            z[i] = r[i] / a.diag[i];
+            rz_new += r[i] * z[i];
+        }
+        const double beta = rz_new / rz;
+        rz = rz_new;
+        for (size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+    }
+    return false;
+}
+
+} // namespace
+
+RcNetwork reduce_by_solve(const RcNetwork& net, const std::vector<int>& ports,
+                          double cg_tol, int max_iter) {
+    const size_t n = net.node_count;
+    const size_t np = ports.size();
+    SNIM_ASSERT(np >= 1, "need at least one port");
+
+    // Index maps: global -> internal index or port index.
+    std::vector<int> port_of(n, -1), internal_of(n, -1);
+    for (size_t j = 0; j < np; ++j) {
+        const int p = ports[j];
+        SNIM_ASSERT(p >= 0 && static_cast<size_t>(p) < n, "bad port %d", p);
+        SNIM_ASSERT(port_of[static_cast<size_t>(p)] < 0, "duplicate port %d", p);
+        port_of[static_cast<size_t>(p)] = static_cast<int>(j);
+    }
+    size_t ni = 0;
+    for (size_t i = 0; i < n; ++i)
+        if (port_of[i] < 0) internal_of[i] = static_cast<int>(ni++);
+
+    // Assemble Gii (CSR), Gip (per-port sparse rhs), Gpp, ground terms.
+    std::vector<std::vector<std::pair<int, double>>> rows(ni);
+    std::vector<double> diag(ni, 0.0);
+    std::vector<std::vector<std::pair<int, double>>> gip(np); // (internal, g)
+    std::vector<std::vector<double>> gpp(np, std::vector<double>(np, 0.0));
+    std::vector<double> gnd_int(ni, 0.0), gnd_port(np, 0.0);
+
+    for (const auto& e : net.conductances) {
+        const int pa = port_of[static_cast<size_t>(e.a)];
+        const int pb = e.b < 0 ? -2 : port_of[static_cast<size_t>(e.b)];
+        const int ia = internal_of[static_cast<size_t>(e.a)];
+        const int ib = e.b < 0 ? -2 : internal_of[static_cast<size_t>(e.b)];
+        if (e.b < 0) {
+            if (pa >= 0)
+                gnd_port[static_cast<size_t>(pa)] += e.value;
+            else
+                gnd_int[static_cast<size_t>(ia)] += e.value;
+            continue;
+        }
+        if (pa >= 0 && pb >= 0) {
+            gpp[static_cast<size_t>(pa)][static_cast<size_t>(pb)] -= e.value;
+            gpp[static_cast<size_t>(pb)][static_cast<size_t>(pa)] -= e.value;
+            gpp[static_cast<size_t>(pa)][static_cast<size_t>(pa)] += e.value;
+            gpp[static_cast<size_t>(pb)][static_cast<size_t>(pb)] += e.value;
+        } else if (pa >= 0) {
+            gip[static_cast<size_t>(pa)].emplace_back(ib, e.value);
+            diag[static_cast<size_t>(ib)] += e.value;
+            gpp[static_cast<size_t>(pa)][static_cast<size_t>(pa)] += e.value;
+        } else if (pb >= 0) {
+            gip[static_cast<size_t>(pb)].emplace_back(ia, e.value);
+            diag[static_cast<size_t>(ia)] += e.value;
+            gpp[static_cast<size_t>(pb)][static_cast<size_t>(pb)] += e.value;
+        } else {
+            rows[static_cast<size_t>(ia)].emplace_back(ib, -e.value);
+            rows[static_cast<size_t>(ib)].emplace_back(ia, -e.value);
+            diag[static_cast<size_t>(ia)] += e.value;
+            diag[static_cast<size_t>(ib)] += e.value;
+        }
+    }
+    for (size_t i = 0; i < ni; ++i) {
+        diag[i] += gnd_int[i];
+        // Regularise isolated internal nodes.
+        if (diag[i] <= 0.0) diag[i] = 1e-15;
+    }
+
+    Csr a;
+    a.n = ni;
+    a.diag = diag;
+    a.ptr.resize(ni + 1, 0);
+    for (size_t i = 0; i < ni; ++i)
+        a.ptr[i + 1] = a.ptr[i] + static_cast<int>(rows[i].size());
+    a.idx.resize(static_cast<size_t>(a.ptr[ni]));
+    a.val.resize(static_cast<size_t>(a.ptr[ni]));
+    for (size_t i = 0; i < ni; ++i) {
+        int p = a.ptr[i];
+        for (const auto& [j, v] : rows[i]) {
+            a.idx[static_cast<size_t>(p)] = j;
+            a.val[static_cast<size_t>(p)] = v;
+            ++p;
+        }
+    }
+
+    // Influence solves: Gii w_j = Gip(:,j); M[k][j] = w_j[k] in [0,1].
+    std::vector<std::vector<double>> w(np);
+    for (size_t j = 0; j < np; ++j) {
+        std::vector<double> rhs(ni, 0.0);
+        for (const auto& [k, g] : gip[j]) rhs[static_cast<size_t>(k)] += g;
+        if (ni == 0) {
+            w[j] = {};
+            continue;
+        }
+        if (!pcg(a, rhs, w[j], cg_tol, max_iter))
+            raise("substrate reduction: CG failed to converge for port %zu", j);
+    }
+
+    // Port conductance matrix: Gpp - Gip^T Gii^-1 Gip.
+    std::vector<std::vector<double>> gport = gpp;
+    for (size_t i = 0; i < np; ++i) {
+        for (size_t j = i; j < np; ++j) {
+            double s = 0.0;
+            for (const auto& [k, g] : gip[i]) s += g * w[j][static_cast<size_t>(k)];
+            gport[i][j] -= s;
+            if (j != i) gport[j][i] = gport[i][j];
+        }
+    }
+
+    RcNetwork out;
+    out.node_count = np;
+    // Ground conductance per port: row sum (includes direct ground legs and
+    // the current lost to grounded internal nodes).
+    for (size_t i = 0; i < np; ++i) {
+        double row = gnd_port[i];
+        for (size_t j = 0; j < np; ++j) row += gport[i][j];
+        // Account for internal ground legs: current into ground via Gii^-1
+        // is already part of the Schur row sum when the network is grounded.
+        if (row > 1e-18) out.add_g(static_cast<int>(i), -1, row);
+        for (size_t j = i + 1; j < np; ++j) {
+            const double g = -gport[i][j];
+            if (g > 1e-18) out.add_g(static_cast<int>(i), static_cast<int>(j), g);
+        }
+    }
+
+    // --- capacitance projection -----------------------------------------
+    // Ground caps at internal nodes lump onto ports with influence weights;
+    // port-attached caps redistribute their internal plate exactly.
+    std::vector<double> cgnd_int(ni, 0.0);
+    std::vector<double> cgnd_port(np, 0.0);
+    std::unordered_map<long long, double> cpair; // (i<j) port pair caps
+    auto pair_key = [](int i, int j) {
+        return (static_cast<long long>(std::min(i, j)) << 32) ^
+               static_cast<unsigned>(std::max(i, j));
+    };
+    std::vector<std::vector<std::pair<int, double>>> capadj(ni); // internal->port
+
+    for (const auto& e : net.capacitances) {
+        const int pa = port_of[static_cast<size_t>(e.a)];
+        const int pb = e.b < 0 ? -2 : port_of[static_cast<size_t>(e.b)];
+        const int ia = internal_of[static_cast<size_t>(e.a)];
+        const int ib = e.b < 0 ? -2 : internal_of[static_cast<size_t>(e.b)];
+        if (e.b < 0) {
+            if (pa >= 0)
+                cgnd_port[static_cast<size_t>(pa)] += e.value;
+            else
+                cgnd_int[static_cast<size_t>(ia)] += e.value;
+        } else if (pa >= 0 && pb >= 0) {
+            cpair[pair_key(pa, pb)] += e.value;
+        } else if (pa >= 0) {
+            capadj[static_cast<size_t>(ib)].emplace_back(pa, e.value);
+        } else if (pb >= 0) {
+            capadj[static_cast<size_t>(ia)].emplace_back(pb, e.value);
+        } else {
+            cgnd_int[static_cast<size_t>(ia)] += 0.5 * e.value;
+            cgnd_int[static_cast<size_t>(ib)] += 0.5 * e.value;
+        }
+    }
+
+    for (size_t k = 0; k < ni; ++k) {
+        if (cgnd_int[k] > 0.0) {
+            for (size_t j = 0; j < np; ++j) {
+                const double m = w[j].empty() ? 0.0 : w[j][k];
+                if (m > 1e-12) cgnd_port[j] += cgnd_int[k] * m;
+            }
+        }
+        for (const auto& [port, c] : capadj[k]) {
+            double covered = 0.0;
+            for (size_t j = 0; j < np; ++j) {
+                const double m = w[j].empty() ? 0.0 : w[j][k];
+                if (m <= 1e-12) continue;
+                covered += m;
+                if (static_cast<int>(j) == port) continue; // shorted plate
+                cpair[pair_key(port, static_cast<int>(j))] += c * m;
+            }
+            // Remainder flows to ground (grounded networks only).
+            const double rest = c * std::max(0.0, 1.0 - covered);
+            if (rest > 1e-21) cgnd_port[static_cast<size_t>(port)] += rest;
+        }
+    }
+
+    for (size_t i = 0; i < np; ++i)
+        if (cgnd_port[i] > 0.0) out.add_c(static_cast<int>(i), -1, cgnd_port[i]);
+    for (const auto& [key, c] : cpair) {
+        if (c <= 0.0) continue;
+        const int i = static_cast<int>(key >> 32);
+        const int j = static_cast<int>(key & 0xffffffff);
+        out.add_c(i, j, c);
+    }
+    return out;
+}
+
+} // namespace snim::mor

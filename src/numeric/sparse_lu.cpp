@@ -1,0 +1,194 @@
+#include "numeric/sparse_lu.hpp"
+
+#include <cmath>
+
+namespace snim {
+
+namespace {
+
+template <class T>
+double mag(const T& v) {
+    return std::abs(v);
+}
+
+} // namespace
+
+template <class T>
+SparseLU<T>::SparseLU(const SparseCSC<T>& a, double pivot_tol) : n_(a.size()) {
+    SNIM_ASSERT(pivot_tol >= 0.0 && pivot_tol <= 1.0, "pivot_tol out of range");
+    l_.resize(n_);
+    u_.resize(n_);
+    pinv_.assign(n_, -1);
+
+    const auto& cp = a.col_ptr();
+    const auto& ri = a.row_idx();
+    const auto& vx = a.values();
+
+    std::vector<T> x(n_, T{});          // scatter workspace
+    std::vector<int> topo(n_);          // xi: topological pattern of x
+    std::vector<int> mark(n_, -1);      // mark[i] == k -> visited this column
+    std::vector<int> stack_node(n_);    // DFS stacks
+    std::vector<int> stack_ptr(n_);
+
+    for (size_t kk = 0; kk < n_; ++kk) {
+        const int k = static_cast<int>(kk);
+
+        // --- symbolic: pattern of L\A(:,k) via DFS over pivoted L columns ---
+        int top = static_cast<int>(n_);
+        for (int p = cp[kk]; p < cp[kk + 1]; ++p) {
+            const int start = ri[static_cast<size_t>(p)];
+            if (mark[static_cast<size_t>(start)] == k) continue;
+            // Iterative DFS; nodes are appended in reverse topological order.
+            int head = 0;
+            stack_node[0] = start;
+            mark[static_cast<size_t>(start)] = k;
+            stack_ptr[0] = 0;
+            while (head >= 0) {
+                const int j = stack_node[static_cast<size_t>(head)];
+                const int jp = pinv_[static_cast<size_t>(j)];
+                const Column* col = (jp >= 0) ? &l_[static_cast<size_t>(jp)] : nullptr;
+                const int len = col ? static_cast<int>(col->size()) : 0;
+                bool descended = false;
+                for (int q = stack_ptr[static_cast<size_t>(head)]; q < len; ++q) {
+                    const int child = (*col)[static_cast<size_t>(q)].row;
+                    if (mark[static_cast<size_t>(child)] == k) continue;
+                    mark[static_cast<size_t>(child)] = k;
+                    stack_ptr[static_cast<size_t>(head)] = q + 1;
+                    ++head;
+                    stack_node[static_cast<size_t>(head)] = child;
+                    stack_ptr[static_cast<size_t>(head)] = 0;
+                    descended = true;
+                    break;
+                }
+                if (!descended) {
+                    topo[static_cast<size_t>(--top)] = j;
+                    --head;
+                }
+            }
+        }
+
+        // --- numeric: scatter A(:,k), then sparse forward solve ---
+        for (int p = top; p < static_cast<int>(n_); ++p)
+            x[static_cast<size_t>(topo[static_cast<size_t>(p)])] = T{};
+        for (int p = cp[kk]; p < cp[kk + 1]; ++p)
+            x[static_cast<size_t>(ri[static_cast<size_t>(p)])] = vx[static_cast<size_t>(p)];
+        for (int p = top; p < static_cast<int>(n_); ++p) {
+            const int j = topo[static_cast<size_t>(p)];
+            const int jp = pinv_[static_cast<size_t>(j)];
+            if (jp < 0) continue;
+            const Column& lcol = l_[static_cast<size_t>(jp)];
+            const T xj = x[static_cast<size_t>(j)]; // L diagonal is 1
+            // Skip the diagonal entry (index 0).
+            for (size_t q = 1; q < lcol.size(); ++q)
+                x[static_cast<size_t>(lcol[q].row)] -= lcol[q].value * xj;
+        }
+
+        // --- pivot selection among not-yet-pivoted rows ---
+        int ipiv = -1;
+        double best = 0.0;
+        for (int p = top; p < static_cast<int>(n_); ++p) {
+            const int i = topo[static_cast<size_t>(p)];
+            if (pinv_[static_cast<size_t>(i)] >= 0) continue;
+            const double m = mag(x[static_cast<size_t>(i)]);
+            if (m > best) {
+                best = m;
+                ipiv = i;
+            }
+        }
+        if (ipiv < 0 || best == 0.0) raise("sparse LU: matrix singular at column %d", k);
+        // Prefer the diagonal when acceptable (only if row k is in the pattern).
+        if (pinv_[kk] < 0 && mark[kk] == k && mag(x[kk]) >= pivot_tol * best) ipiv = k;
+
+        const T pivot = x[static_cast<size_t>(ipiv)];
+
+        // --- gather U(:,k) (pivoted rows) and L(:,k) (remaining rows) ---
+        Column& ucol = u_[kk];
+        Column& lcol = l_[kk];
+        for (int p = top; p < static_cast<int>(n_); ++p) {
+            const int i = topo[static_cast<size_t>(p)];
+            const int ip = pinv_[static_cast<size_t>(i)];
+            if (ip >= 0) {
+                if (x[static_cast<size_t>(i)] != T{})
+                    ucol.push_back({ip, x[static_cast<size_t>(i)]});
+            }
+        }
+        ucol.push_back({k, pivot}); // diagonal last
+        pinv_[static_cast<size_t>(ipiv)] = k;
+        lcol.push_back({ipiv, T{1}}); // diagonal first
+        for (int p = top; p < static_cast<int>(n_); ++p) {
+            const int i = topo[static_cast<size_t>(p)];
+            if (pinv_[static_cast<size_t>(i)] >= 0) continue;
+            if (x[static_cast<size_t>(i)] != T{})
+                lcol.push_back({i, x[static_cast<size_t>(i)] / pivot});
+        }
+    }
+
+    // Remap L row indices into pivot coordinates so solves are triangular.
+    for (auto& col : l_)
+        for (auto& e : col) e.row = pinv_[static_cast<size_t>(e.row)];
+}
+
+template <class T>
+std::vector<T> SparseLU<T>::solve(const std::vector<T>& b) const {
+    SNIM_ASSERT(b.size() == n_, "rhs size %zu != %zu", b.size(), n_);
+    std::vector<T> x(n_);
+    for (size_t i = 0; i < n_; ++i) x[static_cast<size_t>(pinv_[i])] = b[i];
+    // L y = Pb (unit lower, diagonal first in each column).
+    for (size_t k = 0; k < n_; ++k) {
+        const T xk = x[k];
+        if (xk == T{}) continue;
+        const Column& col = l_[k];
+        for (size_t q = 1; q < col.size(); ++q)
+            x[static_cast<size_t>(col[q].row)] -= col[q].value * xk;
+    }
+    // U x = y (diagonal last in each column).
+    for (size_t kk = n_; kk-- > 0;) {
+        const Column& col = u_[kk];
+        const T diag = col.back().value;
+        x[kk] /= diag;
+        const T xk = x[kk];
+        if (xk == T{}) continue;
+        for (size_t q = 0; q + 1 < col.size(); ++q)
+            x[static_cast<size_t>(col[q].row)] -= col[q].value * xk;
+    }
+    return x;
+}
+
+template <class T>
+std::vector<T> SparseLU<T>::solve_transpose(const std::vector<T>& b) const {
+    SNIM_ASSERT(b.size() == n_, "rhs size %zu != %zu", b.size(), n_);
+    // A^T = (P^T L U)^T = U^T L^T P, so solve U^T y = b, L^T z = y, x = P^T z.
+    std::vector<T> x = b;
+    // U^T y = b: forward substitution over columns of U used as rows.
+    for (size_t k = 0; k < n_; ++k) {
+        const Column& col = u_[k];
+        T acc = x[k];
+        for (size_t q = 0; q + 1 < col.size(); ++q)
+            acc -= col[q].value * x[static_cast<size_t>(col[q].row)];
+        x[k] = acc / col.back().value;
+    }
+    // L^T z = y: backward substitution.
+    for (size_t kk = n_; kk-- > 0;) {
+        const Column& col = l_[kk];
+        T acc = x[kk];
+        for (size_t q = 1; q < col.size(); ++q)
+            acc -= col[q].value * x[static_cast<size_t>(col[q].row)];
+        x[kk] = acc;
+    }
+    std::vector<T> out(n_);
+    for (size_t i = 0; i < n_; ++i) out[i] = x[static_cast<size_t>(pinv_[i])];
+    return out;
+}
+
+template <class T>
+size_t SparseLU<T>::nnz() const {
+    size_t total = 0;
+    for (const auto& c : l_) total += c.size();
+    for (const auto& c : u_) total += c.size();
+    return total;
+}
+
+template class SparseLU<double>;
+template class SparseLU<std::complex<double>>;
+
+} // namespace snim

@@ -1,0 +1,61 @@
+#include "numeric/vecops.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace snim {
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+    SNIM_ASSERT(a.size() == b.size(), "dot size mismatch");
+    double s = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+    return s;
+}
+
+double norm2(const std::vector<double>& v) { return std::sqrt(dot(v, v)); }
+
+double norm_inf(const std::vector<double>& v) {
+    double m = 0.0;
+    for (double x : v) m = std::max(m, std::fabs(x));
+    return m;
+}
+
+double norm_inf(const std::vector<std::complex<double>>& v) {
+    double m = 0.0;
+    for (const auto& x : v) m = std::max(m, std::abs(x));
+    return m;
+}
+
+void axpy(double alpha, const std::vector<double>& x, std::vector<double>& y) {
+    SNIM_ASSERT(x.size() == y.size(), "axpy size mismatch");
+    for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+double max_abs_diff(const std::vector<double>& a, const std::vector<double>& b) {
+    SNIM_ASSERT(a.size() == b.size(), "size mismatch");
+    double m = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) m = std::max(m, std::fabs(a[i] - b[i]));
+    return m;
+}
+
+std::vector<double> linspace(double lo, double hi, size_t n) {
+    SNIM_ASSERT(n >= 2, "linspace needs n >= 2");
+    std::vector<double> v(n);
+    for (size_t i = 0; i < n; ++i)
+        v[i] = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(n - 1);
+    return v;
+}
+
+std::vector<double> logspace(double lo, double hi, size_t n) {
+    SNIM_ASSERT(lo > 0 && hi > 0, "logspace needs positive bounds");
+    SNIM_ASSERT(n >= 2, "logspace needs n >= 2");
+    std::vector<double> v(n);
+    const double la = std::log10(lo), lb = std::log10(hi);
+    for (size_t i = 0; i < n; ++i)
+        v[i] = std::pow(10.0, la + (lb - la) * static_cast<double>(i) /
+                                   static_cast<double>(n - 1));
+    return v;
+}
+
+} // namespace snim

@@ -1,0 +1,25 @@
+// Vector helpers shared by solvers and analyses.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace snim {
+
+double dot(const std::vector<double>& a, const std::vector<double>& b);
+double norm2(const std::vector<double>& v);
+double norm_inf(const std::vector<double>& v);
+double norm_inf(const std::vector<std::complex<double>>& v);
+
+/// y += alpha * x
+void axpy(double alpha, const std::vector<double>& x, std::vector<double>& y);
+
+/// max_i |a[i] - b[i]|
+double max_abs_diff(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Linearly spaced values, inclusive of both ends (n >= 2).
+std::vector<double> linspace(double lo, double hi, size_t n);
+/// Logarithmically spaced values, inclusive of both ends (n >= 2, lo/hi > 0).
+std::vector<double> logspace(double lo, double hi, size_t n);
+
+} // namespace snim

@@ -1,0 +1,39 @@
+#include "package/package.hpp"
+
+#include "circuit/passives.hpp"
+#include "util/strings.hpp"
+
+namespace snim::package {
+
+void PackageModel::instantiate(circuit::Netlist& target) const {
+    int idx = 0;
+    for (const auto& w : wires) {
+        SNIM_ASSERT(!w.pad_node.empty() && !w.board_node.empty(),
+                    "bondwire needs both end nodes");
+        const auto pad = target.node(w.pad_node);
+        const auto board = target.node(w.board_node);
+        target.add<circuit::Inductor>(format("pkg:l%d", idx), pad, board, w.inductance,
+                                      w.resistance);
+        if (w.pad_cap > 0) {
+            target.add<circuit::Capacitor>(format("pkg:c%d", idx), pad,
+                                           target.node(w.pad_cap_node), w.pad_cap);
+        }
+        ++idx;
+    }
+}
+
+PackageModel default_rf_package(const std::vector<std::string>& pad_nodes) {
+    PackageModel pkg;
+    for (const auto& pad : pad_nodes) {
+        BondwireSpec w;
+        w.pad_node = pad;
+        w.board_node = "0";
+        w.inductance = 1.2e-9;
+        w.resistance = 0.15;
+        w.pad_cap = 120e-15;
+        pkg.wires.push_back(std::move(w));
+    }
+    return pkg;
+}
+
+} // namespace snim::package

@@ -1,0 +1,37 @@
+// Package model: bondwire + lead parasitics between on-chip pads and the
+// off-chip reference.  Classical substrate-noise flows [2,3,4] already
+// include this; the ground bondwire inductance matters because it separates
+// the on-chip ground from the clean off-chip ground.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+
+namespace snim::package {
+
+struct BondwireSpec {
+    std::string pad_node;   // on-chip pad node
+    std::string board_node; // off-chip node ("0" for the clean reference)
+    double inductance = 1e-9;  // [H] ~1 nH/mm of bondwire
+    double resistance = 0.1;   // [ohm]
+    double pad_cap = 100e-15;  // pad + ESD capacitance to substrate/ground [F]
+    /// Node the pad capacitance refers to (usually the local substrate
+    /// port or ground).
+    std::string pad_cap_node = "0";
+};
+
+struct PackageModel {
+    std::vector<BondwireSpec> wires;
+
+    /// Instantiates all bondwires into `target` (device names prefixed
+    /// "pkg:").
+    void instantiate(circuit::Netlist& target) const;
+};
+
+/// Chip-on-board style default package for the paper's test chip: supply,
+/// ground, tune and output bondwires of ~1 mm.
+PackageModel default_rf_package(const std::vector<std::string>& pad_nodes);
+
+} // namespace snim::package

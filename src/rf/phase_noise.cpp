@@ -1,0 +1,56 @@
+#include "rf/phase_noise.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace snim::rf {
+
+double q_from_resonance(const std::vector<double>& freq, const std::vector<double>& mag) {
+    SNIM_ASSERT(freq.size() == mag.size() && freq.size() >= 5, "bad resonance sweep");
+    size_t kpeak = 0;
+    for (size_t k = 1; k < mag.size(); ++k)
+        if (mag[k] > mag[kpeak]) kpeak = k;
+    SNIM_ASSERT(kpeak > 0 && kpeak + 1 < mag.size(),
+                "resonance peak at the sweep edge -- widen the sweep");
+    const double target = mag[kpeak] / std::sqrt(2.0);
+
+    auto cross = [&](bool left) -> double {
+        if (left) {
+            for (size_t k = kpeak; k-- > 0;) {
+                if (mag[k] <= target) {
+                    const double f = (target - mag[k]) / (mag[k + 1] - mag[k]);
+                    return freq[k] + f * (freq[k + 1] - freq[k]);
+                }
+            }
+        } else {
+            for (size_t k = kpeak + 1; k < mag.size(); ++k) {
+                if (mag[k] <= target) {
+                    const double f = (mag[k - 1] - target) / (mag[k - 1] - mag[k]);
+                    return freq[k - 1] + f * (freq[k] - freq[k - 1]);
+                }
+            }
+        }
+        raise("resonance -3 dB point outside the sweep -- widen the sweep");
+    };
+
+    const double f_lo = cross(true);
+    const double f_hi = cross(false);
+    SNIM_ASSERT(f_hi > f_lo, "degenerate resonance bandwidth");
+    return freq[kpeak] / (f_hi - f_lo);
+}
+
+double leeson_phase_noise(const LeesonInputs& in, double offset_hz) {
+    SNIM_ASSERT(in.fc > 0 && in.q_loaded > 0 && offset_hz > 0, "bad Leeson inputs");
+    const double psig = 1e-3 * std::pow(10.0, in.psig_dbm / 10.0);
+    const double f = std::pow(10.0, in.noise_figure_db / 10.0);
+    const double kt = units::kBoltzmann * in.temperature;
+    // L(dm) = 10log10( (2FkT/Ps) (1 + (fc/(2 Q dm))^2) (1 + fcorner/dm) / 2 )
+    const double resonator = in.fc / (2.0 * in.q_loaded * offset_hz);
+    const double l = (f * kt / psig) * (1.0 + resonator * resonator) *
+                     (1.0 + in.flicker_corner / offset_hz);
+    return 10.0 * std::log10(l);
+}
+
+} // namespace snim::rf

@@ -1,0 +1,27 @@
+// Phase-noise estimation: tank quality factor from an AC sweep and the
+// Leeson model -- enough to check the paper's headline VCO spec of
+// -100 dBc/Hz at 100 kHz offset.
+#pragma once
+
+#include "circuit/netlist.hpp"
+
+namespace snim::rf {
+
+/// Loaded Q from the -3 dB bandwidth of a resonance: Q = f0 / BW.
+/// `mag` is |H(f)| sampled over `freq` (same length); the peak and its
+/// half-power crossings are interpolated linearly.
+double q_from_resonance(const std::vector<double>& freq, const std::vector<double>& mag);
+
+struct LeesonInputs {
+    double fc = 0.0;         // carrier [Hz]
+    double q_loaded = 10.0;  // loaded tank Q
+    double psig_dbm = 0.0;   // carrier power [dBm]
+    double noise_figure_db = 6.0;
+    double temperature = 300.0;
+    double flicker_corner = 100e3; // 1/f^3 corner [Hz]
+};
+
+/// Single-sideband phase noise L(df) [dBc/Hz] at offset `offset_hz`.
+double leeson_phase_noise(const LeesonInputs& in, double offset_hz);
+
+} // namespace snim::rf

@@ -1,0 +1,50 @@
+#include "rf/sensitivity.hpp"
+
+#include <cmath>
+
+#include "circuit/sources.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace snim::rf {
+
+Sensitivity measure_sensitivity(circuit::Netlist& netlist, const std::string& node,
+                                const OscCapture& baseline,
+                                const SensitivityOptions& opt) {
+    const circuit::NodeId target = netlist.existing_node(node);
+    SNIM_ASSERT(target >= 0, "cannot perturb the ground node");
+    SNIM_ASSERT(opt.itest > 0, "test current must be positive");
+
+    // Temporary current source injecting into the node; removed afterwards.
+    const std::string injector_name = "snim_sens_injector";
+    auto& inj = netlist.add<circuit::ISource>(injector_name, circuit::kGround, target,
+                                              circuit::Waveform::dc(0.0));
+    auto run = [&](double current) {
+        inj.set_waveform(circuit::Waveform::dc(current));
+        return capture_oscillator(netlist, opt.osc);
+    };
+    const auto plus = run(opt.itest);
+    const auto minus = run(-opt.itest);
+    netlist.remove(injector_name);
+
+    const double vplus = plus.node_avg[static_cast<size_t>(target)];
+    const double vminus = minus.node_avg[static_cast<size_t>(target)];
+    const double dv = vplus - vminus;
+
+    Sensitivity out;
+    out.node = node;
+    out.f0 = baseline.fc;
+    out.a0 = baseline.amplitude;
+    out.dv = dv;
+    if (std::fabs(dv) < 1e-9) {
+        log_warn("sensitivity '%s': negligible voltage perturbation %.3g V -- "
+                 "node is stiffly driven; K set to 0",
+                 node.c_str(), dv);
+        return out;
+    }
+    out.k = (plus.fc - minus.fc) / dv;
+    out.g_am = (plus.amplitude - minus.amplitude) / dv / baseline.amplitude;
+    return out;
+}
+
+} // namespace snim::rf

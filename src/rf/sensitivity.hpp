@@ -1,0 +1,37 @@
+// Oscillator sensitivity extraction: K_i = d f_osc / d V_i (Hz/V) and the
+// AM gain G_AM,i = (1/Ac) d A_c / d V_i (1/V) for a chosen circuit node --
+// the per-entry coefficients of the paper's eqs. (2) and (3).
+//
+// Method: inject a small +/- DC test current at the node, rerun the
+// oscillator, and finite-difference the measured frequency / amplitude
+// against the measured node voltage change.  Current injection avoids any
+// netlist surgery and works for internal nodes of extracted networks.
+#pragma once
+
+#include "rf/oscillator.hpp"
+
+namespace snim::rf {
+
+struct SensitivityOptions {
+    OscOptions osc;
+    /// Test current amplitude [A]; the node swing it causes should stay in
+    /// the small-signal regime (mV level).
+    double itest = 100e-6;
+};
+
+struct Sensitivity {
+    std::string node;
+    double k = 0.0;       // Hz/V
+    double g_am = 0.0;    // 1/V
+    double dv = 0.0;      // achieved voltage perturbation [V]
+    double f0 = 0.0;      // unperturbed frequency
+    double a0 = 0.0;      // unperturbed amplitude
+};
+
+/// Measures K and G_AM for `node`.  `baseline` must come from
+/// capture_oscillator on the same netlist with the same options.
+Sensitivity measure_sensitivity(circuit::Netlist& netlist, const std::string& node,
+                                const OscCapture& baseline,
+                                const SensitivityOptions& opt);
+
+} // namespace snim::rf

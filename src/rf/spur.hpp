@@ -1,0 +1,42 @@
+// Spur measurement on an oscillator waveform: FM/AM demodulation at a known
+// noise frequency, combined into the left/right sideband amplitudes at
+// fc +/- fnoise (the quantity the paper's Figures 7-10 report).
+#pragma once
+
+#include <complex>
+
+#include "rf/oscillator.hpp"
+
+namespace snim::rf {
+
+struct SpurResult {
+    double fnoise = 0.0;
+    double fc = 0.0;
+    double carrier_amp = 0.0;   // V peak
+    // Modulation quantities (the paper's eq. (1) decomposition).
+    double freq_dev = 0.0;      // peak frequency deviation [Hz]
+    double fm_phase = 0.0;      // rad
+    double am_dev = 0.0;        // peak envelope deviation [V]
+    double am_phase = 0.0;      // rad
+    // Sideband amplitudes [V peak].
+    double left_amp = 0.0;      // at fc - fnoise
+    double right_amp = 0.0;     // at fc + fnoise
+
+    double beta() const { return fc > 0 ? freq_dev / fnoise : 0.0; }
+    double fm_spur_amp() const { return 0.5 * carrier_amp * beta(); }
+    double am_spur_amp() const { return 0.5 * am_dev; }
+    double left_dbc() const;
+    double right_dbc() const;
+    /// Total spur power at both sidebands, expressed in dBm into `rload`.
+    double total_dbm(double rload = 50.0) const;
+};
+
+/// Demodulates `cap` at `fnoise` and reconstructs the sidebands.
+SpurResult measure_spur(const OscCapture& cap, double fnoise);
+
+/// Direct spectral measurement (windowed Goertzel at fc and fc +/- fnoise);
+/// needs a capture long enough for the window to separate the tones
+/// (>= ~8/fnoise with Blackman-Harris).  Used to cross-check demodulation.
+SpurResult measure_spur_spectral(const OscCapture& cap, double fnoise);
+
+} // namespace snim::rf

@@ -1,0 +1,36 @@
+#include "sim/ac.hpp"
+
+#include "numeric/sparse_lu.hpp"
+#include "sim/mna.hpp"
+#include "util/units.hpp"
+
+namespace snim::sim {
+
+std::complex<double> AcResult::at(size_t k, circuit::NodeId node) const {
+    SNIM_ASSERT(k < x.size(), "sweep index %zu out of %zu", k, x.size());
+    if (node < 0) return {0.0, 0.0};
+    SNIM_ASSERT(static_cast<size_t>(node) < x[k].size(), "bad node id %d", node);
+    return x[k][static_cast<size_t>(node)];
+}
+
+AcResult ac_sweep(circuit::Netlist& netlist, const std::vector<double>& freqs,
+                  const std::vector<double>& xop, const AcOptions& opt) {
+    netlist.finalize();
+    const size_t n = netlist.unknown_count();
+    SNIM_ASSERT(xop.size() == n, "operating point size mismatch");
+
+    AcResult out;
+    out.freq = freqs;
+    out.x.reserve(freqs.size());
+    circuit::ComplexStamper s(n);
+    for (double f : freqs) {
+        SNIM_ASSERT(f >= 0, "negative frequency");
+        s.clear();
+        assemble_ac(netlist, s, xop, units::kTwoPi * f, opt.gmin, opt.exclude);
+        SparseLU<std::complex<double>> lu(s.matrix());
+        out.x.push_back(lu.solve(s.rhs()));
+    }
+    return out;
+}
+
+} // namespace snim::sim

@@ -1,0 +1,28 @@
+#include "sim/dc_sweep.hpp"
+
+#include "circuit/sources.hpp"
+#include "util/error.hpp"
+
+namespace snim::sim {
+
+DcSweepResult dc_sweep(circuit::Netlist& netlist, const std::string& source_name,
+                       const std::vector<double>& values, const OpOptions& opt) {
+    auto* src = netlist.find_as<circuit::VSource>(source_name);
+    if (!src) raise("dc_sweep: no voltage source named '%s'", source_name.c_str());
+    const circuit::Waveform saved = src->waveform();
+
+    DcSweepResult out;
+    out.values = values;
+    out.x.reserve(values.size());
+    OpOptions o = opt;
+    for (double v : values) {
+        src->set_waveform(circuit::Waveform::dc(v));
+        auto x = operating_point(netlist, o);
+        o.initial = x; // continuation
+        out.x.push_back(std::move(x));
+    }
+    src->set_waveform(saved);
+    return out;
+}
+
+} // namespace snim::sim

@@ -1,0 +1,19 @@
+// DC sweep: repeated operating points while stepping a source value.
+#pragma once
+
+#include "circuit/netlist.hpp"
+#include "sim/op.hpp"
+
+namespace snim::sim {
+
+struct DcSweepResult {
+    std::vector<double> values;               // swept source values
+    std::vector<std::vector<double>> x;       // per-point full solution
+};
+
+/// Sweeps the DC value of voltage source `source_name` over `values`,
+/// reusing each converged point as the next initial guess (continuation).
+DcSweepResult dc_sweep(circuit::Netlist& netlist, const std::string& source_name,
+                       const std::vector<double>& values, const OpOptions& opt = {});
+
+} // namespace snim::sim

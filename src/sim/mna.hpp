@@ -1,0 +1,29 @@
+// MNA system assembly: loops devices and collects stamps.  Shared by every
+// analysis (OP, AC, transient).
+#pragma once
+
+#include "circuit/netlist.hpp"
+
+namespace snim::sim {
+
+using circuit::Netlist;
+using circuit::NodeId;
+
+/// Assembles the DC Newton system at iterate `x`.  `gmin` is added from
+/// every node (not branch unknowns) to ground to keep matrices regular.
+void assemble_dc(const Netlist& netlist, circuit::RealStamper& s,
+                 const std::vector<double>& x, double gmin);
+
+/// Assembles a transient Newton system for the step described by `tp`.
+void assemble_tran(const Netlist& netlist, circuit::RealStamper& s,
+                   const std::vector<double>& x, const circuit::TranParams& tp,
+                   double gmin);
+
+/// Assembles the small-signal system at angular frequency `omega` around the
+/// operating point `xop`.  Devices in `exclude` (may be null) are skipped --
+/// used for coupling-path ablation studies.
+void assemble_ac(const Netlist& netlist, circuit::ComplexStamper& s,
+                 const std::vector<double>& xop, double omega, double gmin,
+                 const std::vector<const circuit::Device*>* exclude = nullptr);
+
+} // namespace snim::sim

@@ -1,0 +1,146 @@
+#include "sim/noise.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "circuit/diode.hpp"
+#include "circuit/mosfet.hpp"
+#include "circuit/passives.hpp"
+#include "numeric/sparse_lu.hpp"
+#include "sim/mna.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace snim::sim {
+
+double NoiseResult::total_rms(double f_lo, double f_hi) const {
+    SNIM_ASSERT(freq.size() >= 2, "need at least two frequency points");
+    // Trapezoidal integration of the PSD over [f_lo, f_hi].
+    double power = 0.0;
+    for (size_t k = 1; k < freq.size(); ++k) {
+        const double a = std::max(freq[k - 1], f_lo);
+        const double b = std::min(freq[k], f_hi);
+        if (b <= a) continue;
+        power += 0.5 * (total_psd[k - 1] + total_psd[k]) * (b - a);
+    }
+    return std::sqrt(power);
+}
+
+namespace {
+
+/// One physical noise generator mapped onto the MNA unknowns.
+struct Source {
+    const circuit::Device* device;
+    circuit::NodeId a = circuit::kGround; // current injected a -> b
+    circuit::NodeId b = circuit::kGround;
+    circuit::NodeId branch = -1;          // or a branch-row voltage source
+    double psd = 0.0;                     // A^2/Hz (nodes) or V^2/Hz (branch)
+};
+
+} // namespace
+
+NoiseResult noise_analysis(circuit::Netlist& netlist, const std::string& output_node,
+                           const std::vector<double>& freqs,
+                           const std::vector<double>& xop, const NoiseOptions& opt) {
+    using circuit::Diode;
+    using circuit::Inductor;
+    using circuit::Mosfet;
+    using circuit::Resistor;
+
+    netlist.finalize();
+    const size_t n = netlist.unknown_count();
+    SNIM_ASSERT(xop.size() == n, "operating point size mismatch");
+    const auto out_id = netlist.existing_node(output_node);
+    SNIM_ASSERT(out_id >= 0, "cannot take noise at the ground node");
+    const double fourkt = 4.0 * units::kBoltzmann * opt.temperature;
+
+    // Collect noise generators.
+    std::vector<Source> sources;
+    for (const auto& d : netlist.devices()) {
+        if (d->disabled()) continue;
+        if (const auto* r = dynamic_cast<const Resistor*>(d.get())) {
+            Source s;
+            s.device = d.get();
+            s.a = d->nodes()[0];
+            s.b = d->nodes()[1];
+            s.psd = fourkt / r->resistance();
+            sources.push_back(s);
+        } else if (const auto* m = dynamic_cast<const Mosfet*>(d.get())) {
+            const auto ss = m->small_signal(xop);
+            if (!ss.on) continue;
+            Source s;
+            s.device = d.get();
+            s.a = d->nodes()[0]; // drain
+            s.b = d->nodes()[2]; // source
+            s.psd = fourkt * (ss.saturated ? opt.mos_gamma * ss.gm : ss.gds);
+            sources.push_back(s);
+        } else if (const auto* dd = dynamic_cast<const Diode*>(d.get())) {
+            const double v = circuit::volt(xop, d->nodes()[0]) -
+                             circuit::volt(xop, d->nodes()[1]);
+            const double i = std::fabs(dd->current(v));
+            if (i < 1e-18) continue;
+            Source s;
+            s.device = d.get();
+            s.a = d->nodes()[0];
+            s.b = d->nodes()[1];
+            s.psd = 2.0 * units::kQ * i; // shot noise
+            sources.push_back(s);
+        } else if (const auto* l = dynamic_cast<const Inductor*>(d.get())) {
+            if (l->series_res() <= 0) continue;
+            // Series resistance noise enters as a branch-row voltage source.
+            Source s;
+            s.device = d.get();
+            s.branch = d->aux_base();
+            s.psd = fourkt * l->series_res();
+            sources.push_back(s);
+        }
+    }
+
+    NoiseResult out;
+    out.freq = freqs;
+    out.total_psd.reserve(freqs.size());
+    std::vector<double> last_contrib(sources.size(), 0.0);
+
+    circuit::ComplexStamper st(n);
+    for (double f : freqs) {
+        st.clear();
+        assemble_ac(netlist, st, xop, units::kTwoPi * f, opt.gmin);
+        SparseLU<std::complex<double>> lu(st.matrix());
+        // Adjoint solve: y = A^-T e_out gives every transfer impedance at once.
+        std::vector<std::complex<double>> e(n, {0.0, 0.0});
+        e[static_cast<size_t>(out_id)] = {1.0, 0.0};
+        const auto y = lu.solve_transpose(e);
+
+        double total = 0.0;
+        for (size_t k = 0; k < sources.size(); ++k) {
+            const auto& s = sources[k];
+            std::complex<double> z;
+            if (s.branch >= 0) {
+                z = y[static_cast<size_t>(s.branch)];
+            } else {
+                const auto ya = s.a >= 0 ? y[static_cast<size_t>(s.a)]
+                                         : std::complex<double>{0, 0};
+                const auto yb = s.b >= 0 ? y[static_cast<size_t>(s.b)]
+                                         : std::complex<double>{0, 0};
+                z = ya - yb;
+            }
+            const double c = std::norm(z) * s.psd;
+            total += c;
+            last_contrib[k] = c;
+        }
+        out.total_psd.push_back(total);
+    }
+
+    // Rank contributors at the last frequency.
+    std::vector<size_t> order(sources.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](size_t a, size_t b) { return last_contrib[a] > last_contrib[b]; });
+    for (size_t i = 0; i < std::min(opt.max_contributors, order.size()); ++i) {
+        out.contributors.push_back(
+            {sources[order[i]].device->name(), last_contrib[order[i]]});
+    }
+    return out;
+}
+
+} // namespace snim::sim

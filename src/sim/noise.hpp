@@ -1,0 +1,46 @@
+// Small-signal noise analysis: output noise spectral density at a chosen
+// node from the thermal noise of every resistor and the channel noise of
+// every MOSFET, computed with the adjoint-network method (one transpose
+// solve per frequency, regardless of the number of noise sources).
+//
+// Complements the substrate-noise work: the same tank and bias network that
+// sets the spur levels also sets the oscillator's intrinsic phase noise.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+
+namespace snim::sim {
+
+struct NoiseContribution {
+    std::string device;
+    double psd = 0.0; // V^2/Hz at the output node
+};
+
+struct NoiseResult {
+    std::vector<double> freq;
+    /// Total output noise voltage PSD [V^2/Hz] per frequency.
+    std::vector<double> total_psd;
+    /// Largest contributors at the LAST frequency point, sorted descending.
+    std::vector<NoiseContribution> contributors;
+
+    double total_rms(double f_lo, double f_hi) const;
+};
+
+struct NoiseOptions {
+    double temperature = 300.0; // [K]
+    double gmin = 1e-12;
+    /// MOSFET channel thermal noise coefficient (2/3 long-channel).
+    double mos_gamma = 2.0 / 3.0;
+    size_t max_contributors = 10;
+};
+
+/// Output-referred noise at `output_node` around the operating point `xop`.
+NoiseResult noise_analysis(circuit::Netlist& netlist, const std::string& output_node,
+                           const std::vector<double>& freqs,
+                           const std::vector<double>& xop,
+                           const NoiseOptions& opt = {});
+
+} // namespace snim::sim

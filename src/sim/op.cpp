@@ -1,0 +1,89 @@
+#include "sim/op.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "numeric/sparse_lu.hpp"
+#include "numeric/vecops.hpp"
+#include "sim/mna.hpp"
+#include "util/log.hpp"
+
+namespace snim::sim {
+
+namespace {
+
+/// One Newton solve at fixed gmin; returns true on convergence and leaves
+/// the result in `x`.
+bool newton_dc(circuit::Netlist& netlist, std::vector<double>& x, double gmin,
+               const OpOptions& opt) {
+    const size_t n = netlist.unknown_count();
+    bool nonlinear = false;
+    for (const auto& d : netlist.devices()) nonlinear |= d->is_nonlinear();
+
+    circuit::RealStamper s(n);
+    for (int it = 0; it < opt.max_iter; ++it) {
+        s.clear();
+        assemble_dc(netlist, s, x, gmin);
+        std::vector<double> xn;
+        try {
+            SparseLU<double> lu(s.matrix());
+            xn = lu.solve(s.rhs());
+        } catch (const Error&) {
+            return false; // singular at this gmin level
+        }
+        // Clamp voltage-like updates for stability (nonlinear circuits only;
+        // a linear solve is exact and must not be truncated).
+        double max_dx = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+            double dx = xn[i] - x[i];
+            const bool is_node = i < netlist.node_count();
+            if (is_node && nonlinear) dx = std::clamp(dx, -opt.dv_max, opt.dv_max);
+            max_dx = std::max(max_dx, std::fabs(dx));
+            x[i] += dx;
+        }
+        if (!nonlinear) return std::isfinite(max_dx);
+        if (!std::isfinite(max_dx)) return false;
+        if (max_dx < opt.vntol + opt.reltol * norm_inf(x)) {
+            // One undamped verification pass: the iterate must reproduce
+            // itself (companion models are exact at the fixpoint).
+            s.clear();
+            assemble_dc(netlist, s, x, gmin);
+            try {
+                SparseLU<double> lu(s.matrix());
+                xn = lu.solve(s.rhs());
+            } catch (const Error&) {
+                return false;
+            }
+            return max_abs_diff(xn, x) < 10 * (opt.vntol + opt.reltol * norm_inf(x));
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+std::vector<double> operating_point(circuit::Netlist& netlist, const OpOptions& opt) {
+    netlist.finalize();
+    const size_t n = netlist.unknown_count();
+    std::vector<double> x = opt.initial;
+    if (x.empty()) x.assign(n, 0.0);
+    SNIM_ASSERT(x.size() == n, "initial point size %zu != %zu", x.size(), n);
+
+    if (newton_dc(netlist, x, opt.gmin, opt)) return x;
+
+    if (opt.gmin_stepping) {
+        log_info("operating point: direct Newton failed, gmin stepping");
+        std::vector<double> xg(n, 0.0);
+        bool ok = true;
+        for (double g = 1e-2; g >= opt.gmin; g *= 0.1) {
+            if (!newton_dc(netlist, xg, g, opt)) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok && newton_dc(netlist, xg, opt.gmin, opt)) return xg;
+    }
+    raise("operating point did not converge (%zu unknowns)", n);
+}
+
+} // namespace snim::sim

@@ -1,0 +1,24 @@
+// DC operating point: damped Newton iteration with gmin stepping fallback.
+#pragma once
+
+#include "circuit/netlist.hpp"
+
+namespace snim::sim {
+
+struct OpOptions {
+    int max_iter = 300;
+    double reltol = 1e-6;
+    double vntol = 1e-9;   // absolute voltage tolerance [V]
+    double gmin = 1e-12;   // final gmin [S]
+    double dv_max = 0.5;   // Newton step clamp [V]
+    bool gmin_stepping = true;
+    /// Starting point; empty means all-zeros.
+    std::vector<double> initial;
+};
+
+/// Solves the DC operating point; returns the full unknown vector
+/// (node voltages then branch currents).  Throws snim::Error if Newton
+/// fails to converge even with gmin stepping.
+std::vector<double> operating_point(circuit::Netlist& netlist, const OpOptions& opt = {});
+
+} // namespace snim::sim

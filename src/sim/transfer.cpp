@@ -1,0 +1,76 @@
+#include "sim/transfer.hpp"
+
+#include "circuit/sources.hpp"
+#include "sim/ac.hpp"
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+namespace snim::sim {
+
+double TransferResult::mag_db(size_t k) const {
+    SNIM_ASSERT(k < h.size(), "index out of range");
+    return units::db20(std::abs(h[k]));
+}
+
+namespace {
+
+/// RAII: suppress every source's AC spec except `keep`, excite `keep` with
+/// unit magnitude; restore on destruction.
+class AcIsolator {
+public:
+    AcIsolator(circuit::Netlist& netlist, const std::string& keep) {
+        using circuit::ISource;
+        using circuit::VSource;
+        for (const auto& d : netlist.devices()) {
+            if (auto* v = dynamic_cast<VSource*>(d.get())) {
+                saved_v_.emplace_back(v, v->ac());
+                v->set_ac({equals_nocase(v->name(), keep) ? 1.0 : 0.0, 0.0});
+                found_ |= equals_nocase(v->name(), keep);
+            } else if (auto* i = dynamic_cast<ISource*>(d.get())) {
+                saved_i_.emplace_back(i, i->ac());
+                i->set_ac({equals_nocase(i->name(), keep) ? 1.0 : 0.0, 0.0});
+                found_ |= equals_nocase(i->name(), keep);
+            }
+        }
+        if (!found_) raise("transfer: no source named '%s'", keep.c_str());
+    }
+    ~AcIsolator() {
+        for (auto& [v, ac] : saved_v_) v->set_ac(ac);
+        for (auto& [i, ac] : saved_i_) i->set_ac(ac);
+    }
+
+private:
+    bool found_ = false;
+    std::vector<std::pair<circuit::VSource*, circuit::AcSpec>> saved_v_;
+    std::vector<std::pair<circuit::ISource*, circuit::AcSpec>> saved_i_;
+};
+
+} // namespace
+
+std::vector<TransferResult> transfer_multi(
+    circuit::Netlist& netlist, const std::string& source_name,
+    const std::vector<std::string>& node_names, const std::vector<double>& freqs,
+    const std::vector<double>& xop,
+    const std::vector<const circuit::Device*>* exclude) {
+    AcIsolator iso(netlist, source_name);
+    AcOptions opt;
+    opt.exclude = exclude;
+    const AcResult ac = ac_sweep(netlist, freqs, xop, opt);
+
+    std::vector<TransferResult> out(node_names.size());
+    for (size_t p = 0; p < node_names.size(); ++p) {
+        const circuit::NodeId node = netlist.existing_node(node_names[p]);
+        out[p].freq = freqs;
+        out[p].h.reserve(freqs.size());
+        for (size_t k = 0; k < freqs.size(); ++k) out[p].h.push_back(ac.at(k, node));
+    }
+    return out;
+}
+
+TransferResult transfer(circuit::Netlist& netlist, const std::string& source_name,
+                        const std::string& node_name, const std::vector<double>& freqs,
+                        const std::vector<double>& xop) {
+    return transfer_multi(netlist, source_name, {node_name}, freqs, xop)[0];
+}
+
+} // namespace snim::sim

@@ -1,0 +1,36 @@
+// Small-signal transfer functions from one independent source to circuit
+// nodes.  This is the workhorse of the impact flow: H_sub(f) from the
+// substrate noise injector to every entry point of the victim circuit.
+#pragma once
+
+#include <complex>
+#include <string>
+
+#include "circuit/netlist.hpp"
+
+namespace snim::sim {
+
+struct TransferResult {
+    std::vector<double> freq;
+    std::vector<std::complex<double>> h; // V(node)/excitation per frequency
+
+    double mag_db(size_t k) const;
+};
+
+/// Transfer from source `source_name` (V or I source; excited with unit AC)
+/// to node `node_name`.  All other sources' AC excitations are suppressed
+/// for the duration of the computation and restored afterwards.
+TransferResult transfer(circuit::Netlist& netlist, const std::string& source_name,
+                        const std::string& node_name, const std::vector<double>& freqs,
+                        const std::vector<double>& xop);
+
+/// Same sweep for several observation nodes at once (single factorisation
+/// per frequency).  `exclude` (optional) lists devices skipped during AC
+/// assembly -- coupling-path ablation.
+std::vector<TransferResult> transfer_multi(
+    circuit::Netlist& netlist, const std::string& source_name,
+    const std::vector<std::string>& node_names, const std::vector<double>& freqs,
+    const std::vector<double>& xop,
+    const std::vector<const circuit::Device*>* exclude = nullptr);
+
+} // namespace snim::sim

@@ -1,0 +1,54 @@
+// Transient analysis: fixed-step trapezoidal (or backward-Euler) integration
+// with per-step Newton iteration.
+//
+// Fixed stepping is deliberate: spur measurement reads tones off the sampled
+// waveform with windowed Goertzel sums, which wants uniform sampling; and an
+// oscillator run at 3 GHz needs a stable, repeatable phase trajectory.
+#pragma once
+
+#include <string>
+
+#include "circuit/netlist.hpp"
+
+namespace snim::sim {
+
+struct TranOptions {
+    double tstop = 0.0;
+    double dt = 0.0;
+    int order = 2;          // 1 = backward Euler, 2 = trapezoidal
+    double gmin = 1e-12;
+    int max_newton = 60;
+    double reltol = 1e-4;
+    double vntol = 1e-6;
+    double dv_max = 0.5;    // Newton step clamp [V]
+    /// Recording starts at this time (settle/startup skip).
+    double record_start = 0.0;
+    /// Keep every k-th accepted step.
+    int record_stride = 1;
+    /// Operating point to start from; empty -> computed internally.
+    std::vector<double> initial;
+    /// Number of initial steps integrated with backward Euler to damp the
+    /// trapezoidal rule's startup ringing.
+    int be_startup_steps = 4;
+    /// Accumulate the time-average of the FULL unknown vector over the
+    /// recorded window (quasi-DC levels during oscillation).
+    bool accumulate_average = false;
+};
+
+struct TranResult {
+    std::vector<double> time;
+    std::vector<std::string> probe_names;
+    std::vector<std::vector<double>> waves; // waves[p][k], p indexes probes
+    double dt_sample = 0.0;                 // dt * record_stride
+    /// Mean of every unknown over the recorded window (when requested).
+    std::vector<double> average;
+
+    const std::vector<double>& wave(const std::string& probe) const;
+};
+
+/// Integrates the netlist to `tstop`, recording the named probe nodes.
+/// Throws snim::Error if Newton fails at any step.
+TranResult transient(circuit::Netlist& netlist, const std::vector<std::string>& probes,
+                     const TranOptions& opt);
+
+} // namespace snim::sim

@@ -1,0 +1,37 @@
+#include "substrate/analytic.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace snim::substrate {
+
+double disc_spreading_resistance(double rho_ohm_cm, double a_um) {
+    SNIM_ASSERT(rho_ohm_cm > 0 && a_um > 0, "bad spreading-resistance arguments");
+    const double rho = rho_ohm_cm * 1e-2; // ohm m
+    const double a = a_um * 1e-6;
+    return rho / (4.0 * a);
+}
+
+double equivalent_disc_radius(double w_um, double h_um) {
+    SNIM_ASSERT(w_um > 0 && h_um > 0, "bad contact size");
+    return std::sqrt(w_um * h_um / units::kPi);
+}
+
+double potential_ratio_at_distance(double a_um, double d_um) {
+    SNIM_ASSERT(a_um > 0 && d_um > a_um, "need d > a");
+    // Disc at potential V spreads current I = V / (rho/4a); the potential at
+    // lateral distance d on the surface is rho I / (2 pi d) = V 2a/(pi d).
+    return 2.0 * a_um / (units::kPi * d_um);
+}
+
+double two_contact_resistance(double rho_ohm_cm, double a_um, double d_um) {
+    SNIM_ASSERT(d_um > 2 * a_um, "contacts overlap");
+    const double rho = rho_ohm_cm * 1e-2;
+    const double a = a_um * 1e-6;
+    const double d = d_um * 1e-6;
+    return rho / (2.0 * a) - rho / (units::kPi * d);
+}
+
+} // namespace snim::substrate

@@ -1,0 +1,24 @@
+// Closed-form substrate coupling estimates used to validate the FDM
+// extractor (classic spreading-resistance formulas for contacts on a
+// half-space of uniform resistivity).
+#pragma once
+
+namespace snim::substrate {
+
+/// Spreading resistance of a disc contact of radius `a_um` on a uniform
+/// half-space of resistivity `rho_ohm_cm`:  R = rho / (4 a).
+double disc_spreading_resistance(double rho_ohm_cm, double a_um);
+
+/// Equivalent disc radius of a rectangular contact (area-equivalent).
+double equivalent_disc_radius(double w_um, double h_um);
+
+/// Approximate two-contact transfer: the voltage divider from a unit
+/// voltage on contact 1 to the open-circuit potential at distance `d_um`
+/// (point-probe):  v(d)/v(contact) = (2 a / (pi d)) for d >> a.
+double potential_ratio_at_distance(double a_um, double d_um);
+
+/// Approximate resistance between two identical disc contacts separated by
+/// d (centre-centre):  R12 ~ rho/(2a) - rho/(pi d).
+double two_contact_resistance(double rho_ohm_cm, double a_um, double d_um);
+
+} // namespace snim::substrate

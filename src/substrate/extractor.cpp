@@ -1,0 +1,99 @@
+#include "substrate/extractor.hpp"
+
+#include <chrono>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace snim::substrate {
+
+int SubstrateModel::port_index(const std::string& name) const {
+    for (size_t i = 0; i < port_names.size(); ++i)
+        if (equals_nocase(port_names[i], name)) return static_cast<int>(i);
+    return -1;
+}
+
+SubstrateModel extract_substrate(const geom::Rect& area,
+                                 const tech::DopingProfile& profile,
+                                 const std::vector<PortSpec>& ports,
+                                 const ExtractOptions& opt) {
+    SNIM_ASSERT(!ports.empty(), "substrate extraction needs at least one port");
+    const auto t0 = std::chrono::steady_clock::now();
+
+    Mesh mesh(area, profile, opt.mesh);
+
+    SubstrateModel out;
+    out.mesh_node_count = mesh.node_count();
+
+    std::vector<int> port_nodes;
+    for (const auto& spec : ports) {
+        SNIM_ASSERT(!spec.name.empty(), "substrate port needs a name");
+        SNIM_ASSERT(!spec.region.empty(), "substrate port '%s' has no footprint",
+                    spec.name.c_str());
+        const int pnode = mesh.add_aux_node();
+        port_nodes.push_back(pnode);
+        out.port_names.push_back(spec.name);
+
+        // Collect all overlapped surface cells across the region's rects,
+        // merging duplicates (cells covered by several rects).
+        std::vector<std::pair<int, double>> cover;
+        double total_area = 0.0;
+        for (const auto& r : spec.region.rects()) {
+            for (auto [node, a] : mesh.surface_overlap(r)) {
+                bool merged = false;
+                for (auto& [n2, a2] : cover)
+                    if (n2 == node) {
+                        a2 += a;
+                        merged = true;
+                        break;
+                    }
+                if (!merged) cover.emplace_back(node, a);
+                total_area += a;
+            }
+        }
+        if (cover.empty())
+            raise("substrate port '%s' does not overlap the meshed area",
+                  spec.name.c_str());
+
+        switch (spec.kind) {
+            case PortKind::Resistive: {
+                SNIM_ASSERT(spec.contact_resistance > 0,
+                            "port '%s': contact resistance must be positive",
+                            spec.name.c_str());
+                // Total contact conductance distributed by covered area.
+                const double gtot = 1.0 / spec.contact_resistance;
+                for (auto [node, a] : cover)
+                    mesh.network().add_g(pnode, node, gtot * a / total_area);
+                break;
+            }
+            case PortKind::Capacitive: {
+                SNIM_ASSERT(spec.cap_per_area > 0, "port '%s': needs cap_per_area",
+                            spec.name.c_str());
+                for (auto [node, a] : cover)
+                    mesh.network().add_c(pnode, node, spec.cap_per_area * a);
+                break;
+            }
+            case PortKind::Probe: {
+                // Stiff link: far above any substrate conductance so the
+                // probe tracks the surface potential exactly, far below the
+                // solver's pivot range.
+                const double gprobe = 10.0; // 0.1 ohm
+                for (auto [node, a] : cover)
+                    mesh.network().add_g(pnode, node, gprobe * a / total_area);
+                break;
+            }
+        }
+    }
+
+    // Schur reduction via CG solves: exact to solver tolerance and immune
+    // to the fill-in explosion of node elimination on 3-D meshes.
+    out.reduced = mor::reduce_by_solve(mesh.network(), port_nodes);
+    out.extract_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    log_info("substrate: %zu mesh nodes -> %zu ports in %.2fs", out.mesh_node_count,
+             out.port_names.size(), out.extract_seconds);
+    return out;
+}
+
+} // namespace snim::substrate

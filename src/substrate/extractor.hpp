@@ -1,0 +1,59 @@
+// Substrate extractor: chip area + doping profile + port footprints in,
+// reduced port-level RC macromodel out (the "substrate model" box of the
+// paper's Figure 2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geom/polygon.hpp"
+#include "mor/elimination.hpp"
+#include "substrate/mesh.hpp"
+
+namespace snim::substrate {
+
+/// How a circuit node touches the substrate surface.
+enum class PortKind {
+    /// Ohmic contact (p+ substrate tap): resistance per cut / per area.
+    Resistive,
+    /// Junction / dielectric interface (n-well, inductor metal): C per area.
+    Capacitive,
+    /// Direct probe of the surface potential (no contact impedance); used
+    /// for sensing the local substrate voltage under a device back-gate.
+    Probe,
+};
+
+struct PortSpec {
+    std::string name;       // circuit node this port exposes
+    geom::Region region;    // surface footprint [um]
+    PortKind kind = PortKind::Resistive;
+    /// Resistive: total contact resistance spread over the footprint [ohm].
+    double contact_resistance = 5.0;
+    /// Capacitive: capacitance per area [F/um^2].
+    double cap_per_area = 0.0;
+};
+
+struct ExtractOptions {
+    MeshOptions mesh;
+    /// Drop tolerance handed to the reducer (0 keeps the model exact).
+    double drop_tol = 0.0;
+};
+
+struct SubstrateModel {
+    /// Reduced network; node i is port i.
+    mor::RcNetwork reduced;
+    std::vector<std::string> port_names;
+    size_t mesh_node_count = 0;
+    double extract_seconds = 0.0;
+
+    int port_index(const std::string& name) const;
+};
+
+/// Runs the extraction.  `area` is the chip outline in um (margin is added
+/// by the mesher).  Port regions outside the meshed area are an error.
+SubstrateModel extract_substrate(const geom::Rect& area,
+                                 const tech::DopingProfile& profile,
+                                 const std::vector<PortSpec>& ports,
+                                 const ExtractOptions& opt = {});
+
+} // namespace snim::substrate

@@ -1,0 +1,47 @@
+#include "tech/doping.hpp"
+
+#include "util/error.hpp"
+
+namespace snim::tech {
+
+DopingProfile::DopingProfile(std::vector<DopingLayer> layers, bool backside_grounded)
+    : layers_(std::move(layers)), backside_grounded_(backside_grounded) {
+    SNIM_ASSERT(!layers_.empty(), "doping profile needs at least one layer");
+    for (const auto& l : layers_) {
+        SNIM_ASSERT(l.thickness > 0, "doping layer thickness must be positive");
+        SNIM_ASSERT(l.resistivity > 0, "doping layer resistivity must be positive");
+    }
+}
+
+double DopingProfile::depth() const {
+    double d = 0.0;
+    for (const auto& l : layers_) d += l.thickness;
+    return d;
+}
+
+double DopingProfile::resistivity_at(double z_um) const {
+    SNIM_ASSERT(z_um >= 0, "depth must be non-negative");
+    double z = 0.0;
+    for (const auto& l : layers_) {
+        z += l.thickness;
+        if (z_um < z) return l.resistivity * 1e-2; // ohm cm -> ohm m
+    }
+    return layers_.back().resistivity * 1e-2;
+}
+
+double DopingProfile::conductivity_at(double z_um) const {
+    return 1.0 / resistivity_at(z_um);
+}
+
+DopingProfile DopingProfile::high_ohmic(double rho_ohm_cm, double depth_um) {
+    return DopingProfile({{depth_um, rho_ohm_cm}}, /*backside_grounded=*/false);
+}
+
+DopingProfile DopingProfile::epi(double epi_rho_ohm_cm, double epi_um,
+                                 double bulk_rho_ohm_cm, double depth_um) {
+    SNIM_ASSERT(depth_um > epi_um, "bulk depth must exceed epi depth");
+    return DopingProfile({{epi_um, epi_rho_ohm_cm}, {depth_um - epi_um, bulk_rho_ohm_cm}},
+                         /*backside_grounded=*/true);
+}
+
+} // namespace snim::tech

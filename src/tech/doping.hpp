@@ -1,0 +1,47 @@
+// Substrate doping description: a stack of uniform-resistivity slabs from
+// the surface down.  The paper's wafer is high-ohmic (20 ohm cm) twin-well
+// material; lightly doped bulk means the substrate is well modelled as a
+// resistive mesh with small dielectric capacitance in parallel.
+#pragma once
+
+#include <vector>
+
+namespace snim::tech {
+
+struct DopingLayer {
+    double thickness = 0.0;       // [um]
+    double resistivity = 20.0;    // [ohm cm]
+};
+
+class DopingProfile {
+public:
+    DopingProfile() = default;
+    explicit DopingProfile(std::vector<DopingLayer> layers, bool backside_grounded = false);
+
+    const std::vector<DopingLayer>& layers() const { return layers_; }
+    bool backside_grounded() const { return backside_grounded_; }
+
+    /// Total stack depth [um].
+    double depth() const;
+
+    /// Conductivity [S/m] at depth z um below the surface (z in [0, depth)).
+    double conductivity_at(double z_um) const;
+
+    /// Resistivity [ohm m] at depth z um.
+    double resistivity_at(double z_um) const;
+
+    /// High-ohmic uniform wafer like the paper's (rho in ohm cm).
+    static DopingProfile high_ohmic(double rho_ohm_cm = 20.0, double depth_um = 250.0);
+
+    /// Low-ohmic wafer with highly doped bulk under a lightly doped epi
+    /// layer (for comparison studies; EPI-type substrates behave as a
+    /// single-node "ground plane").
+    static DopingProfile epi(double epi_rho_ohm_cm = 15.0, double epi_um = 7.0,
+                             double bulk_rho_ohm_cm = 0.015, double depth_um = 250.0);
+
+private:
+    std::vector<DopingLayer> layers_;
+    bool backside_grounded_ = false;
+};
+
+} // namespace snim::tech

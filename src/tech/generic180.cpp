@@ -1,0 +1,140 @@
+#include "tech/generic180.hpp"
+
+namespace snim::tech {
+
+Technology generic180() {
+    // Twin-well: a conductive p-well / channel-stop surface layer over the
+    // high-ohmic (20 ohm cm) bulk.  The surface layer carries the lateral
+    // coupling between a device's back-gate and its guard-ring contacts.
+    Technology t("generic180",
+                 DopingProfile({{1.2, 0.15}, {248.8, 20.0}}, /*backside_grounded=*/false));
+
+    // --- silicon-level layers -------------------------------------------
+    {
+        Layer l;
+        l.name = layers::kActive;
+        l.kind = LayerKind::Active;
+        l.thickness = 0.2;
+        t.add_layer(l);
+    }
+    {
+        Layer l;
+        l.name = layers::kNWell;
+        l.kind = LayerKind::Well;
+        l.thickness = 1.5;
+        l.well_cap_area = 0.08e-15; // F/um^2 n-well/p-sub junction
+        t.add_layer(l);
+    }
+    {
+        Layer l;
+        l.name = layers::kPoly;
+        l.kind = LayerKind::Routing;
+        l.sheet_res = 8.0;
+        l.height = 0.35;
+        l.thickness = 0.2;
+        l.cap_area = 0.105e-15; // F/um^2 (poly over field oxide)
+        l.cap_fringe = 0.06e-15;
+        t.add_layer(l);
+    }
+    {
+        Layer l;
+        l.name = layers::kContact;
+        l.kind = LayerKind::Contact;
+        l.via_res = 9.0; // ohm per 0.22 um cut
+        l.connects_bottom = layers::kActive;
+        l.connects_top = layers::kMetal[0];
+        t.add_layer(l);
+    }
+    {
+        // Substrate tap: p+ implant + contact; carries the per-cut resistance
+        // from metal1 down into the p- bulk spreading resistance.
+        Layer l;
+        l.name = layers::kSubTap;
+        l.kind = LayerKind::Contact;
+        l.via_res = 6.0; // ohm per cut (p+ is low-ohmic; spreading handled by mesh)
+        l.connects_bottom = "substrate";
+        l.connects_top = layers::kMetal[0];
+        t.add_layer(l);
+    }
+
+    // --- metal stack ----------------------------------------------------
+    // Thin lower metals, thick top metal (inductor metal).
+    const double sheet[6] = {0.078, 0.078, 0.078, 0.078, 0.078, 0.022};
+    const double height[6] = {1.0, 1.9, 2.8, 3.7, 4.6, 5.8};
+    const double thick[6] = {0.48, 0.48, 0.48, 0.48, 0.48, 2.0};
+    const double ca[6] = {0.031e-15, 0.017e-15, 0.012e-15,
+                          0.009e-15, 0.0075e-15, 0.006e-15}; // F/um^2 to substrate
+    const double cf[6] = {0.035e-15, 0.030e-15, 0.027e-15,
+                          0.025e-15, 0.023e-15, 0.040e-15}; // F/um perim to substrate
+    for (int i = 0; i < 6; ++i) {
+        Layer l;
+        l.name = layers::kMetal[i];
+        l.kind = LayerKind::Routing;
+        l.sheet_res = sheet[i];
+        l.height = height[i];
+        l.thickness = thick[i];
+        l.cap_area = ca[i];
+        l.cap_fringe = cf[i];
+        t.add_layer(l);
+    }
+    for (int i = 0; i < 5; ++i) {
+        Layer l;
+        l.name = layers::kVia[i];
+        l.kind = LayerKind::Via;
+        l.via_res = (i < 4) ? 4.5 : 1.2; // top via is wide
+        l.connects_bottom = layers::kMetal[i];
+        l.connects_top = layers::kMetal[i + 1];
+        t.add_layer(l);
+    }
+
+    // --- device model cards ----------------------------------------------
+    {
+        MosModelCard n;
+        n.name = "nch";
+        n.is_nmos = true;
+        n.vt0 = 0.46;
+        n.kp = 175e-6;
+        n.gamma = 0.60;
+        n.phi = 0.84;
+        n.lambda = 0.09;
+        n.cox = 8.4e-15;
+        n.cj = 0.98e-15;
+        n.cjsw = 0.22e-15;
+        n.pb = 0.73;
+        n.mj = 0.36;
+        n.cgso = 0.36e-15;
+        n.cgdo = 0.36e-15;
+        t.add_mos_model(n);
+    }
+    {
+        MosModelCard p;
+        p.name = "pch";
+        p.is_nmos = false;
+        p.vt0 = 0.48;
+        p.kp = 60e-6;
+        p.gamma = 0.50;
+        p.phi = 0.80;
+        p.lambda = 0.12;
+        p.cox = 8.4e-15;
+        p.cj = 1.10e-15;
+        p.cjsw = 0.24e-15;
+        p.pb = 0.78;
+        p.mj = 0.38;
+        p.cgso = 0.36e-15;
+        p.cgdo = 0.36e-15;
+        t.add_mos_model(p);
+    }
+    {
+        VaractorCard v;
+        v.name = "nvar";
+        v.cmax_per_area = 8.4e-15;
+        v.cmin_ratio = 0.34;
+        v.vmid = 0.05;
+        v.vslope = 0.4;
+        v.nwell_cap_area = 0.08e-15;
+        t.add_varactor_model(v);
+    }
+    return t;
+}
+
+} // namespace snim::tech

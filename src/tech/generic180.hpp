@@ -1,0 +1,28 @@
+// Builtin generic 0.18 um 1P6M high-ohmic CMOS technology.
+//
+// Substitutes the proprietary PDK the paper used.  Values are representative
+// of a late-90s/early-2000s 0.18 um node: 6 Al metals, tungsten contacts and
+// vias, 20 ohm cm p- bulk without epi, twin well.
+#pragma once
+
+#include "tech/technology.hpp"
+
+namespace snim::tech {
+
+/// Returns the generic 0.18 um technology (fresh copy each call).
+Technology generic180();
+
+// Layer names used by the generic 0.18 um technology and the layout
+// generators in src/testcases.
+namespace layers {
+inline constexpr const char* kActive = "active";
+inline constexpr const char* kNWell = "nwell";
+inline constexpr const char* kPoly = "poly";
+inline constexpr const char* kContact = "contact";       // metal1 <-> poly/active
+inline constexpr const char* kSubTap = "subtap";         // substrate contact (p+)
+inline constexpr const char* kMetal[6] = {"metal1", "metal2", "metal3",
+                                          "metal4", "metal5", "metal6"};
+inline constexpr const char* kVia[5] = {"via1", "via2", "via3", "via4", "via5"};
+} // namespace layers
+
+} // namespace snim::tech

@@ -1,0 +1,62 @@
+#include "tech/technology.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace snim::tech {
+
+Technology::Technology(std::string name, DopingProfile substrate)
+    : name_(std::move(name)), substrate_(std::move(substrate)) {}
+
+void Technology::add_layer(Layer layer) {
+    SNIM_ASSERT(!layer.name.empty(), "layer needs a name");
+    SNIM_ASSERT(find_layer(layer.name) == nullptr, "duplicate layer '%s'",
+                layer.name.c_str());
+    layers_.push_back(std::move(layer));
+}
+
+void Technology::add_mos_model(MosModelCard card) {
+    SNIM_ASSERT(!card.name.empty(), "mos model needs a name");
+    mos_models_.push_back(std::move(card));
+}
+
+void Technology::add_varactor_model(VaractorCard card) {
+    SNIM_ASSERT(!card.name.empty(), "varactor model needs a name");
+    varactor_models_.push_back(std::move(card));
+}
+
+const Layer* Technology::find_layer(const std::string& name) const {
+    for (const auto& l : layers_)
+        if (l.name == name) return &l;
+    return nullptr;
+}
+
+const Layer& Technology::layer(const std::string& name) const {
+    const Layer* l = find_layer(name);
+    if (!l) raise("technology '%s' has no layer '%s'", name_.c_str(), name.c_str());
+    return *l;
+}
+
+const MosModelCard& Technology::mos_model(const std::string& name) const {
+    for (const auto& m : mos_models_)
+        if (m.name == name) return m;
+    raise("technology '%s' has no MOS model '%s'", name_.c_str(), name.c_str());
+}
+
+const VaractorCard& Technology::varactor_model(const std::string& name) const {
+    for (const auto& m : varactor_models_)
+        if (m.name == name) return m;
+    raise("technology '%s' has no varactor model '%s'", name_.c_str(), name.c_str());
+}
+
+std::vector<const Layer*> Technology::routing_layers() const {
+    std::vector<const Layer*> out;
+    for (const auto& l : layers_)
+        if (l.kind == LayerKind::Routing) out.push_back(&l);
+    std::sort(out.begin(), out.end(),
+              [](const Layer* a, const Layer* b) { return a->height < b->height; });
+    return out;
+}
+
+} // namespace snim::tech

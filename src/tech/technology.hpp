@@ -1,0 +1,108 @@
+// Process technology description: layer stack, electrical coefficients and
+// device model cards.  This is the "process technology" box of the paper's
+// Figure 2 -- it feeds the substrate, interconnect and circuit extractors.
+//
+// The real design used a proprietary 0.18 um 1P6M high-ohmic CMOS PDK; we
+// substitute `generic180()` (see generic180.hpp) with representative values.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tech/doping.hpp"
+
+namespace snim::tech {
+
+enum class LayerKind {
+    Routing,    // metal or poly: carries sheet resistance + caps
+    Via,        // inter-layer connection: resistance per cut
+    Contact,    // routing-to-silicon connection (also substrate contacts)
+    Well,       // n-well: capacitive interface to substrate
+    Active,     // diffusion
+    Marker,     // device recognition / labels, no electrical model
+};
+
+struct Layer {
+    std::string name;
+    LayerKind kind = LayerKind::Marker;
+    /// Sheet resistance [ohm/sq] for Routing layers.
+    double sheet_res = 0.0;
+    /// Resistance per via/contact cut [ohm] for Via/Contact layers.
+    double via_res = 0.0;
+    /// Height of the layer bottom above the substrate surface [um].
+    double height = 0.0;
+    /// Layer thickness [um].
+    double thickness = 0.0;
+    /// Parallel-plate capacitance to substrate [F/um^2] for Routing layers.
+    double cap_area = 0.0;
+    /// Fringe capacitance to substrate [F/um] of perimeter.
+    double cap_fringe = 0.0;
+    /// For Well layers: depletion capacitance to substrate [F/um^2].
+    double well_cap_area = 0.0;
+    /// Layers this via/contact connects (names), bottom then top.
+    std::string connects_bottom;
+    std::string connects_top;
+};
+
+/// Level-1-style MOSFET model card with junction capacitances.  Values are
+/// per-square / per-micron so devices scale with drawn W/L.
+struct MosModelCard {
+    std::string name;
+    bool is_nmos = true;
+    double vt0 = 0.45;      // zero-bias threshold [V] (magnitude)
+    double kp = 170e-6;     // transconductance parameter u*Cox [A/V^2]
+    double gamma = 0.58;    // body-effect coefficient [V^0.5]
+    double phi = 0.8;       // surface potential 2*phiF [V]
+    double lambda = 0.08;   // channel-length modulation [1/V]
+    double cox = 8.5e-15;   // gate-oxide capacitance [F/um^2]
+    double cj = 1.0e-15;    // junction area capacitance [F/um^2]
+    double cjsw = 0.25e-15; // junction sidewall capacitance [F/um]
+    double pb = 0.75;       // junction built-in potential [V]
+    double mj = 0.4;        // area grading coefficient
+    double cgso = 0.35e-15; // gate-source overlap [F/um]
+    double cgdo = 0.35e-15; // gate-drain overlap [F/um]
+};
+
+/// Accumulation-mode NMOS varactor card (C-V described by a tanh transition).
+struct VaractorCard {
+    std::string name;
+    double cmax_per_area = 8.5e-15; // [F/um^2] accumulation
+    double cmin_ratio = 0.35;       // Cmin/Cmax
+    double vmid = 0.1;              // C-V inflection [V]
+    double vslope = 0.35;           // transition slope [V]
+    /// n-well to substrate junction capacitance [F/um^2].
+    double nwell_cap_area = 0.08e-15;
+};
+
+class Technology {
+public:
+    Technology(std::string name, DopingProfile substrate);
+
+    const std::string& name() const { return name_; }
+    const DopingProfile& substrate() const { return substrate_; }
+
+    void add_layer(Layer layer);
+    void add_mos_model(MosModelCard card);
+    void add_varactor_model(VaractorCard card);
+
+    const Layer& layer(const std::string& name) const;
+    const Layer* find_layer(const std::string& name) const;
+    bool has_layer(const std::string& name) const { return find_layer(name) != nullptr; }
+    const std::vector<Layer>& layers() const { return layers_; }
+
+    const MosModelCard& mos_model(const std::string& name) const;
+    const VaractorCard& varactor_model(const std::string& name) const;
+
+    /// Routing layers ordered by height (lowest first).
+    std::vector<const Layer*> routing_layers() const;
+
+private:
+    std::string name_;
+    DopingProfile substrate_;
+    std::vector<Layer> layers_;
+    std::vector<MosModelCard> mos_models_;
+    std::vector<VaractorCard> varactor_models_;
+};
+
+} // namespace snim::tech

@@ -1,0 +1,68 @@
+// The paper's victim circuit: a ~3 GHz LC-tank VCO in the generic 0.18 um
+// technology.  NMOS/PMOS cross-coupled pair, on-chip inductor (drawn in top
+// metal, series inductance as a schematic element), accumulation-mode NMOS
+// varactor, substrate injection contact (SUB), MOS ground ring, outer guard
+// ring, pad frame and the resistive on-chip ground strap that the paper
+// identifies as the dominant noise entry.
+#pragma once
+
+#include "core/impact_flow.hpp"
+#include "core/impact_model.hpp"
+
+namespace snim::testcases {
+
+struct VcoOptions {
+    /// Width of the on-chip ground strap serpentine [um]; Figure 10
+    /// doubles this (halving the strap resistance).
+    double ground_strap_width = 1.0;
+    /// Tank element values.
+    double l_tank = 2.0e-9;
+    double l_series_res = 3.2;
+    double c_fixed = 1.5e-12;   // per side, to the on-chip ground
+    double varactor_area = 150.0; // um^2 per side
+    /// Cross-coupled pair widths [um].
+    double nmos_w = 29.0;
+    double pmos_w = 85.0;
+    /// Tuning voltage applied at the board [V].
+    double vtune = 0.9;
+    double vdd = 1.8;
+    /// Startup kick current [A].
+    double kick = 1.0e-3;
+    substrate::MeshOptions mesh;
+};
+
+struct VcoTestcase {
+    tech::Technology tech;
+    layout::Layout layout;
+    core::FlowInputs inputs;
+
+    // Node names.
+    static constexpr const char* kOutP = "outp";
+    static constexpr const char* kOutN = "outn";
+    static constexpr const char* kGroundNode = "vgnd_dev"; // on-chip ground at devices
+    static constexpr const char* kBulkNmos = "bulk_nmos";
+    static constexpr const char* kVdd = "vdd";
+    static constexpr const char* kVtune = "vtune";
+    static constexpr const char* kIndP = "indp";
+    static constexpr const char* kIndN = "indn";
+    static constexpr const char* kOutBoard = "out_board";
+    static constexpr const char* kNoiseSource = "vsub";
+    static constexpr const char* kVtuneSource = "vtune_src";
+};
+
+VcoTestcase build_vco(const VcoOptions& opt = {});
+
+/// Runs the full Figure-2 flow (consumes the testcase).
+core::ImpactModel build_model(VcoTestcase&& v, const core::FlowOptions& opt = {});
+
+/// Oscillator measurement settings tuned for this VCO (differential tank
+/// probe, 10 ps step).
+rf::OscOptions vco_osc_options();
+
+/// The noise entry points of the paper's Figure 9 analysis.
+std::vector<core::NoiseEntry> vco_noise_entries();
+
+/// Default flow options with a substrate mesh sized for bench runtimes.
+core::FlowOptions vco_flow_options();
+
+} // namespace snim::testcases

@@ -1,0 +1,48 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace snim {
+
+CsvWriter::CsvWriter(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void CsvWriter::add_row(const std::vector<double>& values) {
+    SNIM_ASSERT(values.size() == headers_.size(), "csv row width mismatch");
+    std::vector<std::string> cells;
+    cells.reserve(values.size());
+    for (double v : values) cells.push_back(format("%.9g", v));
+    rows_.push_back(std::move(cells));
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+    SNIM_ASSERT(cells.size() == headers_.size(), "csv row width mismatch");
+    rows_.push_back(cells);
+}
+
+std::string CsvWriter::to_string() const {
+    std::string out;
+    for (size_t c = 0; c < headers_.size(); ++c) {
+        out += headers_[c];
+        out += (c + 1 < headers_.size()) ? "," : "\n";
+    }
+    for (const auto& row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            out += row[c];
+            out += (c + 1 < row.size()) ? "," : "\n";
+        }
+    }
+    return out;
+}
+
+void CsvWriter::save(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) raise("cannot open '%s' for writing", path.c_str());
+    const std::string s = to_string();
+    const size_t n = std::fwrite(s.data(), 1, s.size(), f);
+    std::fclose(f);
+    if (n != s.size()) raise("short write to '%s'", path.c_str());
+}
+
+} // namespace snim

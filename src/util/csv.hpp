@@ -1,0 +1,25 @@
+// CSV writer used by benches to dump figure data for external plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace snim {
+
+class CsvWriter {
+public:
+    explicit CsvWriter(std::vector<std::string> headers);
+
+    void add_row(const std::vector<double>& values);
+    void add_row(const std::vector<std::string>& cells);
+
+    std::string to_string() const;
+    /// Writes to `path`; throws snim::Error on I/O failure.
+    void save(const std::string& path) const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace snim

@@ -1,0 +1,39 @@
+#include "util/error.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <vector>
+
+namespace snim {
+
+static std::string vformat(const char* fmt, va_list ap) {
+    va_list ap2;
+    va_copy(ap2, ap);
+    const int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    if (n < 0) {
+        va_end(ap2);
+        return fmt;
+    }
+    std::vector<char> buf(static_cast<size_t>(n) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap2);
+    va_end(ap2);
+    return std::string(buf.data(), static_cast<size_t>(n));
+}
+
+std::string format(const char* fmt, ...) {
+    va_list ap;
+    va_start(ap, fmt);
+    std::string s = vformat(fmt, ap);
+    va_end(ap);
+    return s;
+}
+
+void raise(const char* fmt, ...) {
+    va_list ap;
+    va_start(ap, fmt);
+    std::string s = vformat(fmt, ap);
+    va_end(ap);
+    throw Error(s);
+}
+
+} // namespace snim

@@ -1,0 +1,32 @@
+// Error type used across the snim library.
+//
+// All recoverable failures (bad input files, singular matrices,
+// non-converging Newton iterations, ...) throw snim::Error with a
+// human-readable message.  Programming errors use SNIM_ASSERT which
+// throws as well so tests can exercise failure paths.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace snim {
+
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throws snim::Error with a printf-style formatted message.
+[[noreturn]] void raise(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+#define SNIM_ASSERT(cond, ...)                                            \
+    do {                                                                  \
+        if (!(cond)) ::snim::raise("assertion failed: %s (%s:%d) -- %s",  \
+                                   #cond, __FILE__, __LINE__,             \
+                                   ::snim::format(__VA_ARGS__).c_str());  \
+    } while (0)
+
+} // namespace snim

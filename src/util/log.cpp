@@ -1,0 +1,43 @@
+#include "util/log.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace snim {
+
+static LogLevel g_level = LogLevel::Warn;
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+static void emit(const char* tag, const char* fmt, va_list ap) {
+    std::fprintf(stderr, "[snim %s] ", tag);
+    std::vfprintf(stderr, fmt, ap);
+    std::fputc('\n', stderr);
+}
+
+void log_debug(const char* fmt, ...) {
+    if (g_level > LogLevel::Debug) return;
+    va_list ap;
+    va_start(ap, fmt);
+    emit("debug", fmt, ap);
+    va_end(ap);
+}
+
+void log_info(const char* fmt, ...) {
+    if (g_level > LogLevel::Info) return;
+    va_list ap;
+    va_start(ap, fmt);
+    emit("info", fmt, ap);
+    va_end(ap);
+}
+
+void log_warn(const char* fmt, ...) {
+    if (g_level > LogLevel::Warn) return;
+    va_list ap;
+    va_start(ap, fmt);
+    emit("warn", fmt, ap);
+    va_end(ap);
+}
+
+} // namespace snim

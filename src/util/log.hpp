@@ -1,0 +1,18 @@
+// Minimal leveled logger.  Default level is Warn so library users and
+// benchmarks stay quiet; flows raise verbosity explicitly when asked.
+#pragma once
+
+#include <string>
+
+namespace snim {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Quiet = 3 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log_debug(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void log_info(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void log_warn(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace snim

@@ -1,0 +1,62 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/units.hpp"
+
+namespace snim {
+
+namespace {
+uint64_t splitmix64(uint64_t& x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+} // namespace
+
+Rng::Rng(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& s : s_) s = splitmix64(x);
+}
+
+uint64_t Rng::next_u64() {
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double Rng::uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+int Rng::uniform_int(int lo, int hi) {
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int>(next_u64() % span);
+}
+
+double Rng::normal() {
+    if (have_cached_normal_) {
+        have_cached_normal_ = false;
+        return cached_normal_;
+    }
+    double u1 = uniform();
+    while (u1 <= 1e-300) u1 = uniform();
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    cached_normal_ = r * std::sin(units::kTwoPi * u2);
+    have_cached_normal_ = true;
+    return r * std::cos(units::kTwoPi * u2);
+}
+
+} // namespace snim

@@ -1,0 +1,29 @@
+// Deterministic random number generator (xoshiro256**).  Used by tests and
+// property sweeps; fixed seeds keep every run reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace snim {
+
+class Rng {
+public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    uint64_t next_u64();
+    /// Uniform double in [0, 1).
+    double uniform();
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi);
+    /// Uniform integer in [lo, hi] inclusive.
+    int uniform_int(int lo, int hi);
+    /// Standard normal via Box-Muller.
+    double normal();
+
+private:
+    uint64_t s_[4];
+    bool have_cached_normal_ = false;
+    double cached_normal_ = 0.0;
+};
+
+} // namespace snim

@@ -1,0 +1,146 @@
+#include "util/strings.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace snim {
+
+std::vector<std::string> split(std::string_view s, std::string_view seps) {
+    std::vector<std::string> out;
+    size_t i = 0;
+    while (i < s.size()) {
+        while (i < s.size() && seps.find(s[i]) != std::string_view::npos) ++i;
+        size_t j = i;
+        while (j < s.size() && seps.find(s[j]) == std::string_view::npos) ++j;
+        if (j > i) out.emplace_back(s.substr(i, j - i));
+        i = j;
+    }
+    return out;
+}
+
+std::vector<std::string> split_keep(std::string_view s, char sep) {
+    std::vector<std::string> out;
+    size_t start = 0;
+    for (size_t i = 0; i <= s.size(); ++i) {
+        if (i == s.size() || s[i] == sep) {
+            out.emplace_back(s.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return out;
+}
+
+std::string trim(std::string_view s) {
+    size_t a = 0;
+    size_t b = s.size();
+    while (a < b && std::isspace(static_cast<unsigned char>(s[a]))) ++a;
+    while (b > a && std::isspace(static_cast<unsigned char>(s[b - 1]))) --b;
+    return std::string(s.substr(a, b - a));
+}
+
+std::string to_lower(std::string_view s) {
+    std::string out(s);
+    std::transform(out.begin(), out.end(), out.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return out;
+}
+
+std::string to_upper(std::string_view s) {
+    std::string out(s);
+    std::transform(out.begin(), out.end(), out.begin(),
+                   [](unsigned char c) { return std::toupper(c); });
+    return out;
+}
+
+bool starts_with_nocase(std::string_view s, std::string_view prefix) {
+    if (s.size() < prefix.size()) return false;
+    return equals_nocase(s.substr(0, prefix.size()), prefix);
+}
+
+bool equals_nocase(std::string_view a, std::string_view b) {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(a[i])) !=
+            std::tolower(static_cast<unsigned char>(b[i])))
+            return false;
+    }
+    return true;
+}
+
+namespace {
+
+// Returns multiplier for a SPICE suffix starting at `p` in lower-cased `s`,
+// and advances p past the suffix.  "meg" must be checked before "m".
+double suffix_multiplier(const std::string& s, size_t& p) {
+    if (p >= s.size()) return 1.0;
+    if (s.compare(p, 3, "meg") == 0) {
+        p += 3;
+        return 1e6;
+    }
+    switch (s[p]) {
+        case 't': p += 1; return 1e12;
+        case 'g': p += 1; return 1e9;
+        case 'k': p += 1; return 1e3;
+        case 'm': p += 1; return 1e-3;
+        case 'u': p += 1; return 1e-6;
+        case 'n': p += 1; return 1e-9;
+        case 'p': p += 1; return 1e-12;
+        case 'f': p += 1; return 1e-15;
+        default: return 1.0;
+    }
+}
+
+bool parse_impl(std::string_view sv, double& out) {
+    std::string s = to_lower(trim(sv));
+    if (s.empty()) return false;
+    const char* begin = s.c_str();
+    char* end = nullptr;
+    double v = std::strtod(begin, &end);
+    if (end == begin) return false;
+    size_t p = static_cast<size_t>(end - begin);
+    v *= suffix_multiplier(s, p);
+    // Anything left must be unit letters (e.g. "f" in "2p f", "hz", "ohm").
+    for (; p < s.size(); ++p) {
+        if (!std::isalpha(static_cast<unsigned char>(s[p]))) return false;
+    }
+    out = v;
+    return true;
+}
+
+} // namespace
+
+double parse_spice_number(std::string_view s) {
+    double v = 0.0;
+    if (!parse_impl(s, v)) raise("cannot parse number: '%.*s'", int(s.size()), s.data());
+    return v;
+}
+
+bool is_spice_number(std::string_view s) {
+    double v = 0.0;
+    return parse_impl(s, v);
+}
+
+std::string eng_format(double v, int digits) {
+    if (v == 0.0) return "0";
+    if (!std::isfinite(v)) return v > 0 ? "inf" : (v < 0 ? "-inf" : "nan");
+    static const struct {
+        double mult;
+        const char* suffix;
+    } table[] = {
+        {1e12, "T"}, {1e9, "G"}, {1e6, "meg"}, {1e3, "k"}, {1.0, ""},
+        {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"}, {1e-12, "p"}, {1e-15, "f"},
+    };
+    const double mag = std::fabs(v);
+    for (const auto& e : table) {
+        if (mag >= e.mult * 0.9999999 || e.mult == 1e-15) {
+            return format("%.*g%s", digits, v / e.mult, e.suffix);
+        }
+    }
+    return format("%.*g", digits, v);
+}
+
+} // namespace snim

@@ -1,0 +1,32 @@
+// Small string helpers shared by the SPICE parser, layout I/O and CSV code.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace snim {
+
+/// Splits on any of the characters in `seps`; empty fields are dropped.
+std::vector<std::string> split(std::string_view s, std::string_view seps = " \t");
+
+/// Splits on a single separator; empty fields are kept.
+std::vector<std::string> split_keep(std::string_view s, char sep);
+
+std::string trim(std::string_view s);
+std::string to_lower(std::string_view s);
+std::string to_upper(std::string_view s);
+bool starts_with_nocase(std::string_view s, std::string_view prefix);
+bool equals_nocase(std::string_view a, std::string_view b);
+
+/// Parses a number with optional SPICE suffix (t g meg k m u n p f) and
+/// optional trailing unit letters ("2.5pF" -> 2.5e-12).  Throws on garbage.
+double parse_spice_number(std::string_view s);
+
+/// True if `s` parses as a SPICE number.
+bool is_spice_number(std::string_view s);
+
+/// Engineering notation, e.g. 2.2e-12 -> "2.2p".
+std::string eng_format(double v, int digits = 4);
+
+} // namespace snim

@@ -1,0 +1,15 @@
+#include "util/units.hpp"
+
+namespace snim::units {
+
+double dbm_from_amplitude(double amp, double rload) {
+    const double p = amp * amp / (2.0 * rload); // W
+    return 10.0 * std::log10(p / 1e-3);
+}
+
+double amplitude_from_dbm(double dbm, double rload) {
+    const double p = 1e-3 * std::pow(10.0, dbm / 10.0);
+    return std::sqrt(2.0 * rload * p);
+}
+
+} // namespace snim::units

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/classify.hpp"
+#include "core/impact_flow.hpp"
+#include "core/report.hpp"
+#include "numeric/vecops.hpp"
+#include "sim/op.hpp"
+#include "sim/transfer.hpp"
+#include "testcases/nmos_structure.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace snim::core {
+namespace {
+
+TEST(ClassifyTest, SlopeFit) {
+    // Exactly -20 dB/dec data.
+    std::vector<double> f{1e6, 2e6, 5e6, 1e7};
+    std::vector<double> db;
+    for (double x : f) db.push_back(-20.0 * std::log10(x / 1e6) - 30.0);
+    EXPECT_NEAR(db_slope_per_decade(f, db), -20.0, 1e-9);
+    EXPECT_THROW(db_slope_per_decade({1e6}, {0.0}), Error);
+}
+
+TEST(ClassifyTest, ResistiveFm) {
+    std::vector<double> f{1e6, 3e6, 1e7};
+    std::vector<double> h{-60, -60, -60};            // flat |H|
+    std::vector<double> spur{-40, -49.5, -60};       // -20 dB/dec
+    auto r = classify_mechanism(f, h, spur);
+    EXPECT_EQ(r.coupling, CouplingKind::Resistive);
+    EXPECT_EQ(r.modulation, ModulationKind::FM);
+    EXPECT_NE(r.describe().find("resistive"), std::string::npos);
+}
+
+TEST(ClassifyTest, ResistiveAm) {
+    std::vector<double> f{1e6, 3e6, 1e7};
+    std::vector<double> h{-60, -60, -60};
+    std::vector<double> spur{-55, -55, -55}; // flat
+    auto r = classify_mechanism(f, h, spur);
+    EXPECT_EQ(r.coupling, CouplingKind::Resistive);
+    EXPECT_EQ(r.modulation, ModulationKind::AM);
+}
+
+TEST(ClassifyTest, CapacitiveFm) {
+    std::vector<double> f{1e6, 3e6, 1e7};
+    std::vector<double> h{-80, -70.5, -60};  // +20 dB/dec
+    std::vector<double> spur{-70, -70, -70}; // flat spur = capacitive + FM
+    auto r = classify_mechanism(f, h, spur);
+    EXPECT_EQ(r.coupling, CouplingKind::Capacitive);
+    EXPECT_EQ(r.modulation, ModulationKind::FM);
+}
+
+TEST(ClassifyTest, Names) {
+    EXPECT_EQ(to_string(CouplingKind::Resistive), "resistive");
+    EXPECT_EQ(to_string(CouplingKind::Capacitive), "capacitive");
+    EXPECT_EQ(to_string(ModulationKind::FM), "FM");
+    EXPECT_EQ(to_string(ModulationKind::Mixed), "mixed");
+}
+
+// ---------------------------------------------------------------------------
+// Flow integration on the NMOS measurement structure (AC-level, fast).
+class FlowTest : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        auto structure = testcases::build_nmos_structure();
+        core::FlowOptions fo;
+        fo.substrate.mesh.focus = geom::Rect(-20, -20, 50, 30);
+        fo.substrate.mesh.fine_pitch = 5.0;
+        fo.substrate.mesh.margin = 40.0;
+        model_ = new ImpactModel(
+            testcases::build_model(std::move(structure), fo));
+    }
+    static void TearDownTestSuite() {
+        delete model_;
+        model_ = nullptr;
+    }
+    static ImpactModel* model_;
+};
+
+ImpactModel* FlowTest::model_ = nullptr;
+
+TEST_F(FlowTest, StitchedModelHasAllPieces) {
+    auto& nl = model_->netlist;
+    // Schematic, substrate macromodel, interconnect and package all present.
+    EXPECT_TRUE(nl.has_node(testcases::NmosStructure::kOut));
+    EXPECT_TRUE(nl.has_node(testcases::NmosStructure::kBulk));
+    EXPECT_TRUE(nl.has_node("gnd_pad"));
+    EXPECT_NE(nl.find("pkg:l0"), nullptr);
+    EXPECT_NE(nl.find("sub:r0"), nullptr);
+    EXPECT_GT(model_->mesh_nodes, 1000u);
+    EXPECT_GE(model_->substrate.port_names.size(), 5u);
+    // Ground net wiring was extracted with real resistance.
+    const auto* st = model_->wire_stats_for("vgnd");
+    ASSERT_NE(st, nullptr);
+    EXPECT_GT(st->resistance_squares, 100.0);
+}
+
+TEST_F(FlowTest, OperatingPointIsSane) {
+    auto xop = sim::operating_point(model_->netlist);
+    const double vout = circuit::volt(
+        xop, model_->netlist.existing_node(testcases::NmosStructure::kOut));
+    EXPECT_GT(vout, 0.2);
+    EXPECT_LT(vout, 1.1);
+    // The source node sits near board ground (the solid strap plus the
+    // bondwire carry ~20 mA of drain bias, a few tens of mV of IR).
+    const double vs = circuit::volt(
+        xop, model_->netlist.existing_node(testcases::NmosStructure::kSourceNode));
+    EXPECT_LT(std::fabs(vs), 0.15);
+}
+
+TEST_F(FlowTest, SubstrateTransferIsResistiveInBand) {
+    auto& nl = model_->netlist;
+    auto xop = sim::operating_point(nl);
+    auto freqs = logspace(1e6, 15e6, 4);
+    auto tr = sim::transfer(nl, testcases::NmosStructure::kNoiseSource,
+                            testcases::NmosStructure::kBulk, freqs, xop);
+    std::vector<double> hdb;
+    for (size_t k = 0; k < freqs.size(); ++k) hdb.push_back(tr.mag_db(k));
+    // Resistive coupling: |H| flat within a couple of dB per decade.
+    EXPECT_LT(std::fabs(db_slope_per_decade(freqs, hdb)), 3.0);
+    // And attenuating (the injection is far away).
+    EXPECT_LT(hdb[0], -20.0);
+}
+
+TEST_F(FlowTest, BackGateSeesMoreNoiseThanGroundedSource) {
+    auto& nl = model_->netlist;
+    auto xop = sim::operating_point(nl);
+    auto tr = sim::transfer_multi(nl, testcases::NmosStructure::kNoiseSource,
+                                  {testcases::NmosStructure::kBulk,
+                                   testcases::NmosStructure::kSourceNode},
+                                  {5e6}, xop);
+    EXPECT_GT(std::abs(tr[0].h[0]), 3.0 * std::abs(tr[1].h[0]));
+}
+
+TEST_F(FlowTest, ImpactFlowRejectsMissingInputs) {
+    FlowInputs inputs;
+    EXPECT_THROW(build_impact_model(std::move(inputs)), Error);
+}
+
+TEST_F(FlowTest, ModelReportIsConsistent) {
+    const auto r = report_model(*model_);
+    EXPECT_EQ(r.devices, model_->netlist.device_count());
+    EXPECT_EQ(r.nodes, model_->netlist.node_count());
+    EXPECT_EQ(r.devices,
+              r.resistors + r.capacitors + r.inductors + r.mosfets + r.sources +
+                  r.others);
+    EXPECT_GE(r.mosfets, 1u);
+    EXPECT_GT(r.resistors, 10u);
+    EXPECT_GT(r.total_wire_squares, 100.0);
+    EXPECT_TRUE(r.floating_nodes.empty()) << r.to_string();
+    EXPECT_NE(r.to_string().find("no floating nodes"), std::string::npos);
+}
+
+TEST(FlowOptionsTest, IdealInterconnectRemovesWireResistance) {
+    auto structure = testcases::build_nmos_structure();
+    core::FlowOptions fo;
+    fo.substrate.mesh.focus = geom::Rect(-20, -20, 50, 30);
+    fo.substrate.mesh.fine_pitch = 6.0;
+    fo.interconnect.extract_resistance = false;
+    auto model = testcases::build_model(std::move(structure), fo);
+    // All wire segments collapse to milliohm links; squares still counted.
+    auto xop = sim::operating_point(model.netlist);
+    const double v_src = circuit::volt(
+        xop, model.netlist.existing_node(testcases::NmosStructure::kSourceNode));
+    EXPECT_LT(std::fabs(v_src), 5e-3); // bondwire R remains
+}
+
+} // namespace
+} // namespace snim::core

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/fft.hpp"
+#include "dsp/goertzel.hpp"
+#include "dsp/spectrum.hpp"
+#include "dsp/window.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace snim::dsp {
+namespace {
+
+using snim::units::kTwoPi;
+
+std::vector<double> tone(size_t n, double fs, double f, double amp, double phase = 0.0) {
+    std::vector<double> x(n);
+    for (size_t i = 0; i < n; ++i)
+        x[i] = amp * std::cos(kTwoPi * f * static_cast<double>(i) / fs + phase);
+    return x;
+}
+
+TEST(FftTest, NextPow2) {
+    EXPECT_EQ(next_pow2(1), 1u);
+    EXPECT_EQ(next_pow2(2), 2u);
+    EXPECT_EQ(next_pow2(3), 4u);
+    EXPECT_EQ(next_pow2(1000), 1024u);
+}
+
+TEST(FftTest, DeltaHasFlatSpectrum) {
+    std::vector<std::complex<double>> a(8, {0, 0});
+    a[0] = {1, 0};
+    fft(a);
+    for (const auto& v : a) EXPECT_NEAR(std::abs(v), 1.0, 1e-12);
+}
+
+TEST(FftTest, RoundTrip) {
+    std::vector<std::complex<double>> a(64);
+    for (size_t i = 0; i < a.size(); ++i)
+        a[i] = {std::sin(0.3 * static_cast<double>(i)), std::cos(0.11 * static_cast<double>(i))};
+    auto b = a;
+    fft(b);
+    ifft(b);
+    for (size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(std::abs(a[i] - b[i]), 0.0, 1e-10);
+}
+
+TEST(FftTest, ToneLandsInCorrectBin) {
+    const size_t n = 256;
+    const double fs = 256.0;
+    auto x = tone(n, fs, 32.0, 1.0);
+    auto spec = fft_real(x);
+    // Bin 32 should hold amplitude n/2.
+    EXPECT_NEAR(std::abs(spec[32]), n / 2.0, 1e-9);
+    EXPECT_NEAR(std::abs(spec[31]), 0.0, 1e-9);
+}
+
+TEST(FftTest, RejectsNonPow2) {
+    std::vector<std::complex<double>> a(10);
+    EXPECT_THROW(fft(a), snim::Error);
+}
+
+TEST(FftTest, Linearity) {
+    std::vector<std::complex<double>> a(16), b(16), sum(16);
+    for (size_t i = 0; i < 16; ++i) {
+        a[i] = {double(i), 0.0};
+        b[i] = {0.0, double(i % 3)};
+        sum[i] = a[i] + b[i];
+    }
+    fft(a);
+    fft(b);
+    fft(sum);
+    for (size_t i = 0; i < 16; ++i) EXPECT_NEAR(std::abs(sum[i] - a[i] - b[i]), 0.0, 1e-10);
+}
+
+TEST(WindowTest, HannEndsAtZero) {
+    auto w = make_window(WindowKind::Hann, 64);
+    EXPECT_NEAR(w[0], 0.0, 1e-12);
+    EXPECT_NEAR(w[63], 0.0, 1e-12);
+    EXPECT_NEAR(w[31], 1.0, 0.01);
+}
+
+TEST(WindowTest, RectProperties) {
+    auto w = make_window(WindowKind::Rect, 100);
+    EXPECT_DOUBLE_EQ(window_sum(w), 100.0);
+    EXPECT_NEAR(window_enbw(w), 1.0, 1e-12);
+}
+
+TEST(WindowTest, EnbwOrdering) {
+    // Wider-mainlobe windows have larger ENBW.
+    const size_t n = 512;
+    const double rect = window_enbw(make_window(WindowKind::Rect, n));
+    const double hann = window_enbw(make_window(WindowKind::Hann, n));
+    const double bh = window_enbw(make_window(WindowKind::BlackmanHarris4, n));
+    EXPECT_LT(rect, hann);
+    EXPECT_LT(hann, bh);
+    EXPECT_NEAR(hann, 1.5, 0.02);
+    EXPECT_NEAR(bh, 2.0, 0.05);
+}
+
+TEST(WindowTest, Names) {
+    EXPECT_EQ(to_string(WindowKind::Hann), "hann");
+    EXPECT_EQ(to_string(WindowKind::BlackmanHarris4), "blackman-harris4");
+    EXPECT_GE(mainlobe_halfwidth_bins(WindowKind::BlackmanHarris4), 4.0);
+}
+
+TEST(GoertzelTest, MatchesFftBin) {
+    const size_t n = 128;
+    std::vector<double> x(n);
+    for (size_t i = 0; i < n; ++i)
+        x[i] = std::sin(kTwoPi * 10.0 * static_cast<double>(i) / n) +
+               0.3 * std::cos(kTwoPi * 23.0 * static_cast<double>(i) / n);
+    auto spec = fft_real(x);
+    const auto g10 = goertzel(x, 10.0 / n);
+    const auto g23 = goertzel(x, 23.0 / n);
+    EXPECT_NEAR(std::abs(g10 - spec[10]), 0.0, 1e-9);
+    EXPECT_NEAR(std::abs(g23 - spec[23]), 0.0, 1e-9);
+}
+
+TEST(GoertzelTest, ToneAmplitudeExactBin) {
+    const size_t n = 4096;
+    const double fs = 1e9;
+    const double f = fs * 100.0 / n; // exact bin
+    auto x = tone(n, fs, f, 0.25);
+    const auto w = make_window(WindowKind::BlackmanHarris4, n);
+    EXPECT_NEAR(tone_amplitude(x, fs, f, w), 0.25, 1e-6);
+}
+
+TEST(GoertzelTest, ToneAmplitudeOffBin) {
+    // Non-bin-aligned tone: windowed Goertzel still reads the amplitude
+    // to within a small scalloping error.
+    const size_t n = 8192;
+    const double fs = 1e9;
+    const double f = 13.777e6;
+    auto x = tone(n, fs, f, 0.1, 0.7);
+    const auto w = make_window(WindowKind::BlackmanHarris4, n);
+    EXPECT_NEAR(tone_amplitude(x, fs, f, w), 0.1, 0.002);
+}
+
+TEST(GoertzelTest, SmallToneNextToCarrier) {
+    // A -60 dBc spur 16 bins from a full-scale carrier must be readable
+    // through the Blackman-Harris sidelobes.
+    const size_t n = 65536;
+    const double fs = 1e9;
+    const double fc = 200e6;
+    const double df = 16.0 * fs / n;
+    auto x = tone(n, fs, fc, 1.0);
+    auto s = tone(n, fs, fc + df, 1e-3, 1.3);
+    for (size_t i = 0; i < n; ++i) x[i] += s[i];
+    const auto w = make_window(WindowKind::BlackmanHarris4, n);
+    const double a = tone_amplitude(x, fs, fc + df, w);
+    EXPECT_NEAR(a, 1e-3, 0.1e-3);
+}
+
+TEST(GoertzelTest, RefineFindsTrueFrequency) {
+    const size_t n = 16384;
+    const double fs = 1e9;
+    const double f = 123.4567e6;
+    auto x = tone(n, fs, f, 0.8);
+    const auto w = make_window(WindowKind::BlackmanHarris4, n);
+    const double fr = refine_tone_frequency(x, fs, 123e6, 1e6, w);
+    EXPECT_NEAR(fr, f, 2e3);
+}
+
+TEST(SpectrumTest, SinglePeakDetected) {
+    const size_t n = 2048;
+    const double fs = 100e6;
+    auto x = tone(n, fs, 10e6, 0.5);
+    auto s = amplitude_spectrum(x, fs);
+    auto peaks = find_peaks(s, 0.05);
+    ASSERT_GE(peaks.size(), 1u);
+    EXPECT_NEAR(peaks[0].freq, 10e6, 2.0 * fs / n);
+    EXPECT_NEAR(peaks[0].amp, 0.5, 0.02);
+}
+
+TEST(SpectrumTest, TwoTonesSortedByAmplitude) {
+    const size_t n = 4096;
+    const double fs = 100e6;
+    auto x = tone(n, fs, 10e6, 0.2);
+    auto y = tone(n, fs, 25e6, 0.6);
+    for (size_t i = 0; i < n; ++i) x[i] += y[i];
+    auto s = amplitude_spectrum(x, fs);
+    auto peaks = find_peaks(s, 0.05, 4);
+    ASSERT_GE(peaks.size(), 2u);
+    EXPECT_NEAR(peaks[0].freq, 25e6, 2.0 * fs / n);
+    EXPECT_NEAR(peaks[1].freq, 10e6, 2.0 * fs / n);
+}
+
+TEST(SpectrumTest, PeakDbm) {
+    Peak p{1e6, 0.1778}; // ~ -5 dBm into 50 ohm
+    EXPECT_NEAR(peak_dbm(p), -5.0, 0.05);
+}
+
+class WindowSweep : public ::testing::TestWithParam<WindowKind> {};
+
+TEST_P(WindowSweep, AmplitudeRecoveryWithinTolerance) {
+    const size_t n = 4096;
+    const double fs = 1e9;
+    const double f = fs * 300.0 / n;
+    auto x = tone(n, fs, f, 0.42);
+    const auto w = make_window(GetParam(), n);
+    EXPECT_NEAR(tone_amplitude(x, fs, f, w), 0.42, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWindows, WindowSweep,
+                         ::testing::Values(WindowKind::Rect, WindowKind::Hann,
+                                           WindowKind::Hamming,
+                                           WindowKind::BlackmanHarris4));
+
+} // namespace
+} // namespace snim::dsp

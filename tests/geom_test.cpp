@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include "geom/grid_index.hpp"
+#include "geom/polygon.hpp"
+#include "geom/rect.hpp"
+#include "geom/transform.hpp"
+#include "util/error.hpp"
+
+namespace snim::geom {
+namespace {
+
+TEST(RectTest, NormalisesCorners) {
+    Rect r(5, 7, 1, 2);
+    EXPECT_DOUBLE_EQ(r.x0, 1);
+    EXPECT_DOUBLE_EQ(r.y0, 2);
+    EXPECT_DOUBLE_EQ(r.x1, 5);
+    EXPECT_DOUBLE_EQ(r.y1, 7);
+    EXPECT_DOUBLE_EQ(r.width(), 4);
+    EXPECT_DOUBLE_EQ(r.height(), 5);
+    EXPECT_DOUBLE_EQ(r.area(), 20);
+    EXPECT_DOUBLE_EQ(r.perimeter(), 18);
+}
+
+TEST(RectTest, CenteredFactory) {
+    Rect r = Rect::centered(10, 20, 4, 6);
+    EXPECT_DOUBLE_EQ(r.x0, 8);
+    EXPECT_DOUBLE_EQ(r.y1, 23);
+    EXPECT_DOUBLE_EQ(r.center().x, 10);
+    EXPECT_DOUBLE_EQ(r.center().y, 20);
+}
+
+TEST(RectTest, OverlapAndTouch) {
+    Rect a(0, 0, 2, 2), b(2, 0, 4, 2), c(3, 3, 5, 5);
+    EXPECT_TRUE(a.touches(b));   // share an edge
+    EXPECT_FALSE(a.overlaps(b)); // open-interval: no interior overlap
+    EXPECT_FALSE(a.touches(c));
+    Rect d(1, 1, 3, 3);
+    EXPECT_TRUE(a.overlaps(d));
+}
+
+TEST(RectTest, IntersectionAndUnion) {
+    Rect a(0, 0, 4, 4), b(2, 2, 6, 6);
+    Rect i = a.intersection(b);
+    EXPECT_DOUBLE_EQ(i.area(), 4.0);
+    Rect u = a.bounding_union(b);
+    EXPECT_DOUBLE_EQ(u.area(), 36.0);
+    Rect disjoint(10, 10, 11, 11);
+    EXPECT_TRUE(a.intersection(disjoint).empty());
+}
+
+TEST(RectTest, ContainsAndTranslate) {
+    Rect a(0, 0, 4, 4);
+    EXPECT_TRUE(a.contains(Point{2, 2}));
+    EXPECT_TRUE(a.contains(Rect(1, 1, 3, 3)));
+    EXPECT_FALSE(a.contains(Rect(1, 1, 5, 3)));
+    Rect t = a.translated(10, -1);
+    EXPECT_DOUBLE_EQ(t.x0, 10);
+    EXPECT_DOUBLE_EQ(t.y1, 3);
+    Rect inf = a.inflated(1);
+    EXPECT_DOUBLE_EQ(inf.area(), 36.0);
+}
+
+TEST(RectTest, UnionAreaDeduplicates) {
+    // Two identical rects count once; partial overlap counts the union.
+    EXPECT_DOUBLE_EQ(union_area({Rect(0, 0, 2, 2), Rect(0, 0, 2, 2)}), 4.0);
+    EXPECT_DOUBLE_EQ(union_area({Rect(0, 0, 2, 2), Rect(1, 0, 3, 2)}), 6.0);
+    EXPECT_DOUBLE_EQ(union_area({}), 0.0);
+    EXPECT_DOUBLE_EQ(union_area({Rect(0, 0, 1, 1), Rect(5, 5, 6, 6)}), 2.0);
+}
+
+TEST(RectTest, Distance) {
+    Rect a(0, 0, 1, 1), b(3, 0, 4, 1), c(3, 4, 4, 5);
+    EXPECT_DOUBLE_EQ(rect_distance(a, b), 2.0);
+    EXPECT_DOUBLE_EQ(rect_distance(a, c), std::hypot(2.0, 3.0));
+    EXPECT_DOUBLE_EQ(rect_distance(a, a), 0.0);
+}
+
+TEST(RegionTest, AreaAndContains) {
+    Region reg;
+    reg.add(Rect(0, 0, 2, 2));
+    reg.add(Rect(1, 1, 3, 3));
+    EXPECT_DOUBLE_EQ(reg.area(), 7.0);
+    EXPECT_TRUE(reg.contains(Point{2.5, 2.5}));
+    EXPECT_FALSE(reg.contains(Point{2.5, 0.5}));
+    EXPECT_DOUBLE_EQ(reg.bbox().area(), 9.0);
+}
+
+TEST(RegionTest, ClipAndTranslate) {
+    Region reg(std::vector<Rect>{Rect(0, 0, 4, 4)});
+    Region c = reg.clipped(Rect(2, 2, 10, 10));
+    EXPECT_DOUBLE_EQ(c.area(), 4.0);
+    Region t = reg.translated(1, 1);
+    EXPECT_TRUE(t.contains(Point{4.5, 4.5}));
+}
+
+TEST(RingTest, GeometryIsCorrect) {
+    auto ring = make_ring(Rect(0, 0, 10, 10), 1.0);
+    ASSERT_EQ(ring.size(), 4u);
+    // Total ring area = outer - inner = 100 - 64 = 36.
+    EXPECT_DOUBLE_EQ(union_area(ring), 36.0);
+    EXPECT_THROW(make_ring(Rect(0, 0, 1, 1), 0.6), Error);
+}
+
+TEST(SerpentineTest, LegsAndStubsConnect) {
+    auto sp = make_serpentine(Point{0, 0}, 20.0, 1.0, 4.0, 3);
+    // 3 legs + 2 stubs.
+    ASSERT_EQ(sp.size(), 5u);
+    // Every stub must touch two legs.
+    int touch_pairs = 0;
+    for (size_t i = 0; i < sp.size(); ++i)
+        for (size_t j = i + 1; j < sp.size(); ++j)
+            if (sp[i].touches(sp[j])) ++touch_pairs;
+    EXPECT_GE(touch_pairs, 4);
+}
+
+TEST(TransformTest, OrientPoints) {
+    Transform r90{0, 0, Orient::R90};
+    Point p = r90.apply(Point{1, 0});
+    EXPECT_DOUBLE_EQ(p.x, 0);
+    EXPECT_DOUBLE_EQ(p.y, 1);
+    Transform mx{0, 0, Orient::MX};
+    Point q = mx.apply(Point{2, 3});
+    EXPECT_DOUBLE_EQ(q.y, -3);
+}
+
+TEST(TransformTest, TranslateAfterRotate) {
+    Transform t{10, 5, Orient::R180};
+    Rect r = t.apply(Rect(0, 0, 2, 1));
+    EXPECT_DOUBLE_EQ(r.x0, 8);
+    EXPECT_DOUBLE_EQ(r.y0, 4);
+    EXPECT_DOUBLE_EQ(r.x1, 10);
+    EXPECT_DOUBLE_EQ(r.y1, 5);
+}
+
+TEST(TransformTest, ComposeMatchesSequentialApplication) {
+    const Transform outer{3, -2, Orient::R90};
+    const Transform inner{1, 4, Orient::MX};
+    const Transform combined = outer.compose(inner);
+    for (const Point p : {Point{0, 0}, Point{1, 0}, Point{2.5, -1.5}}) {
+        const Point seq = outer.apply(inner.apply(p));
+        const Point one = combined.apply(p);
+        EXPECT_NEAR(seq.x, one.x, 1e-12);
+        EXPECT_NEAR(seq.y, one.y, 1e-12);
+    }
+}
+
+TEST(GridIndexTest, FindsOverlapCandidates) {
+    GridIndex idx(5.0);
+    idx.insert(0, Rect(0, 0, 3, 3));
+    idx.insert(1, Rect(20, 20, 23, 23));
+    idx.insert(2, Rect(2, 2, 6, 6));
+    auto c = idx.candidates(Rect(1, 1, 4, 4));
+    EXPECT_NE(std::find(c.begin(), c.end(), 0u), c.end());
+    EXPECT_NE(std::find(c.begin(), c.end(), 2u), c.end());
+    EXPECT_EQ(std::find(c.begin(), c.end(), 1u), c.end());
+    EXPECT_EQ(idx.size(), 3u);
+}
+
+TEST(GridIndexTest, LargeRectSpansManyBins) {
+    GridIndex idx(1.0);
+    idx.insert(7, Rect(0, 0, 10, 0.5));
+    auto c = idx.candidates(Rect(9.2, 0.1, 9.4, 0.2));
+    ASSERT_EQ(c.size(), 1u);
+    EXPECT_EQ(c[0], 7u);
+}
+
+TEST(GridIndexTest, NegativeCoordinates) {
+    GridIndex idx(2.0);
+    idx.insert(1, Rect(-5, -5, -3, -3));
+    auto c = idx.candidates(Rect(-4, -4, -3.5, -3.5));
+    ASSERT_EQ(c.size(), 1u);
+}
+
+} // namespace
+} // namespace snim::geom

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/passives.hpp"
+#include "circuit/sources.hpp"
+#include "geom/polygon.hpp"
+#include "interconnect/extractor.hpp"
+#include "interconnect/fracture.hpp"
+#include "layout/connectivity.hpp"
+#include "sim/op.hpp"
+#include "tech/generic180.hpp"
+#include "util/error.hpp"
+
+namespace snim::interconnect {
+namespace {
+
+namespace L = snim::tech::layers;
+
+TEST(FractureTest, SingleAttachSingleNode) {
+    auto f = fracture_shape(geom::Rect(0, 0, 10, 1), {{{5, 0.5}, 0}});
+    EXPECT_EQ(f.positions.size(), 1u);
+    EXPECT_TRUE(f.segments.empty());
+    EXPECT_EQ(f.attach_node[0], 0);
+}
+
+TEST(FractureTest, TwoAttachesOneSegment) {
+    auto f = fracture_shape(geom::Rect(0, 0, 10, 1), {{{1, 0.5}, 0}, {{9, 0.5}, 1}});
+    ASSERT_EQ(f.positions.size(), 2u);
+    ASSERT_EQ(f.segments.size(), 1u);
+    EXPECT_NEAR(f.segments[0].length, 8.0, 1e-12);
+    EXPECT_NEAR(f.segments[0].width, 1.0, 1e-12);
+    EXPECT_TRUE(f.horizontal);
+}
+
+TEST(FractureTest, VerticalShape) {
+    auto f = fracture_shape(geom::Rect(0, 0, 1, 20), {{{0.5, 2}, 0}, {{0.5, 18}, 1}});
+    EXPECT_FALSE(f.horizontal);
+    ASSERT_EQ(f.segments.size(), 1u);
+    EXPECT_NEAR(f.segments[0].length, 16.0, 1e-12);
+}
+
+TEST(FractureTest, NearbyAttachesMerge) {
+    auto f = fracture_shape(geom::Rect(0, 0, 10, 1),
+                            {{{2, 0.5}, 0}, {{2.01, 0.5}, 1}, {{8, 0.5}, 2}});
+    EXPECT_EQ(f.positions.size(), 2u);
+    EXPECT_EQ(f.attach_node[0], f.attach_node[1]);
+}
+
+TEST(FractureTest, AttachOutsideClamped) {
+    auto f = fracture_shape(geom::Rect(0, 0, 10, 1), {{{-5, 0.5}, 0}, {{15, 0.5}, 1}});
+    ASSERT_EQ(f.segments.size(), 1u);
+    EXPECT_NEAR(f.segments[0].length, 10.0, 1e-12);
+}
+
+// Straight metal1 wire, 100 um x 1 um: 100 squares * 0.078 ohm/sq = 7.8 ohm.
+TEST(ExtractorTest, StraightWireResistance) {
+    auto t = tech::generic180();
+    std::vector<layout::Shape> shapes{{L::kMetal[0], geom::Rect(0, 0, 100, 1)}};
+    auto nets = layout::extract_connectivity(shapes, {}, t);
+    std::vector<WirePin> pins{
+        {"a", L::kMetal[0], {0.5, 0.5}},
+        {"b", L::kMetal[0], {99.5, 0.5}},
+    };
+    auto model = extract_interconnect(shapes, nets, t, pins);
+    // Solve: 1 A into a, out of b.
+    circuit::Netlist& nl = model.netlist;
+    nl.add<circuit::ISource>("drive", nl.existing_node("b"), nl.existing_node("a"),
+                             circuit::Waveform::dc(1.0));
+    nl.add<circuit::Resistor>("ref", nl.existing_node("b"), circuit::kGround, 1e-3);
+    auto x = sim::operating_point(nl);
+    const double r = circuit::volt(x, nl.existing_node("a")) -
+                     circuit::volt(x, nl.existing_node("b"));
+    EXPECT_NEAR(r, 0.078 * 99.0, 0.05 * r); // pins sit 0.5um from the ends
+}
+
+TEST(ExtractorTest, WidthHalvesResistance) {
+    auto t = tech::generic180();
+    auto run = [&](double width) {
+        std::vector<layout::Shape> shapes{{L::kMetal[0], geom::Rect(0, 0, 100, width)}};
+        auto nets = layout::extract_connectivity(shapes, {}, t);
+        std::vector<WirePin> pins{
+            {"a", L::kMetal[0], {0.0, width / 2}},
+            {"b", L::kMetal[0], {100.0, width / 2}},
+        };
+        auto model = extract_interconnect(shapes, nets, t, pins);
+        const auto* st = model.stats_for("net0");
+        return st ? st->resistance_squares : -1.0;
+    };
+    const double sq1 = run(1.0);
+    const double sq2 = run(2.0);
+    EXPECT_NEAR(sq1 / sq2, 2.0, 1e-6);
+}
+
+TEST(ExtractorTest, ViaAddsResistance) {
+    auto t = tech::generic180();
+    std::vector<layout::Shape> shapes{
+        {L::kMetal[0], geom::Rect(0, 0, 20, 1)},
+        {L::kMetal[1], geom::Rect(18, -10, 19, 1)},
+        {L::kVia[0], geom::Rect(18.2, 0.2, 18.8, 0.8)},
+    };
+    auto nets = layout::extract_connectivity(shapes, {}, t);
+    EXPECT_EQ(nets.net_count, 1u);
+    std::vector<WirePin> pins{
+        {"a", L::kMetal[0], {0.5, 0.5}},
+        {"b", L::kMetal[1], {18.5, -9.5}},
+    };
+    auto model = extract_interconnect(shapes, nets, t, pins);
+    bool has_via = false;
+    for (const auto& d : model.netlist.devices())
+        if (d->name().rfind("via#", 0) == 0) has_via = true;
+    EXPECT_TRUE(has_via);
+}
+
+TEST(ExtractorTest, CapacitanceGoesToNamedSubstrateNode) {
+    auto t = tech::generic180();
+    std::vector<layout::Shape> shapes{{L::kMetal[0], geom::Rect(0, 0, 200, 2)}};
+    auto nets = layout::extract_connectivity(
+        shapes, {{"vgnd", L::kMetal[0], {100, 1}}}, t);
+    std::vector<WirePin> pins{
+        {"a", L::kMetal[0], {0.5, 1}},
+        {"b", L::kMetal[0], {199.5, 1}},
+    };
+    ExtractOptions opt;
+    opt.substrate_node = [](const geom::Rect&, const std::string&) {
+        return std::string("subsurf");
+    };
+    auto model = extract_interconnect(shapes, nets, t, pins, opt);
+    EXPECT_TRUE(model.netlist.has_node("subsurf"));
+    const auto* st = model.stats_for("vgnd");
+    ASSERT_NE(st, nullptr);
+    // 200x2 um wire: area cap 400*0.031 aF + fringe ~2*200*0.035 aF ~ 26 fF.
+    EXPECT_NEAR(st->capacitance_total, 26e-15, 8e-15);
+}
+
+TEST(ExtractorTest, IdealInterconnectAblation) {
+    // With extract_resistance=false every segment is a milliohm short --
+    // the "classical flow" the paper improves upon.
+    auto t = tech::generic180();
+    std::vector<layout::Shape> shapes{{L::kMetal[0], geom::Rect(0, 0, 100, 1)}};
+    auto nets = layout::extract_connectivity(shapes, {}, t);
+    std::vector<WirePin> pins{
+        {"a", L::kMetal[0], {0.5, 0.5}},
+        {"b", L::kMetal[0], {99.5, 0.5}},
+    };
+    ExtractOptions opt;
+    opt.extract_resistance = false;
+    auto model = extract_interconnect(shapes, nets, t, pins, opt);
+    circuit::Netlist& nl = model.netlist;
+    nl.add<circuit::ISource>("drive", nl.existing_node("b"), nl.existing_node("a"),
+                             circuit::Waveform::dc(1.0));
+    nl.add<circuit::Resistor>("ref", nl.existing_node("b"), circuit::kGround, 1e-3);
+    auto x = sim::operating_point(nl);
+    const double r = circuit::volt(x, nl.existing_node("a")) -
+                     circuit::volt(x, nl.existing_node("b"));
+    EXPECT_LT(r, 0.01);
+}
+
+TEST(ExtractorTest, PinOffWireThrows) {
+    auto t = tech::generic180();
+    std::vector<layout::Shape> shapes{{L::kMetal[0], geom::Rect(0, 0, 10, 1)}};
+    auto nets = layout::extract_connectivity(shapes, {}, t);
+    std::vector<WirePin> pins{{"a", L::kMetal[0], {50, 50}}};
+    EXPECT_THROW(extract_interconnect(shapes, nets, t, pins), Error);
+}
+
+TEST(ExtractorTest, SerpentineEndToEnd) {
+    // A serpentine strap: total squares must match the sum of leg lengths.
+    auto t = tech::generic180();
+    auto rects = geom::make_serpentine({0, 0}, 50.0, 1.0, 5.0, 4);
+    std::vector<layout::Shape> shapes;
+    for (const auto& r : rects) shapes.push_back({L::kMetal[0], r});
+    auto nets = layout::extract_connectivity(shapes, {}, t);
+    EXPECT_EQ(nets.net_count, 1u);
+    std::vector<WirePin> pins{
+        {"start", L::kMetal[0], {0.2, 0.5}},
+        {"end", L::kMetal[0], {49.8, 15.5}},
+    };
+    auto model = extract_interconnect(shapes, nets, t, pins);
+    circuit::Netlist& nl = model.netlist;
+    nl.add<circuit::ISource>("drive", nl.existing_node("end"), nl.existing_node("start"),
+                             circuit::Waveform::dc(1.0));
+    nl.add<circuit::Resistor>("ref", nl.existing_node("end"), circuit::kGround, 1e-3);
+    auto x = sim::operating_point(nl);
+    const double r = circuit::volt(x, nl.existing_node("start")) -
+                     circuit::volt(x, nl.existing_node("end"));
+    // ~4 legs x 50 squares = 200 squares * 0.078 = 15.6 ohm (stubs add a bit,
+    // corner sharing removes a bit).
+    EXPECT_GT(r, 10.0);
+    EXPECT_LT(r, 22.0);
+}
+
+} // namespace
+} // namespace snim::interconnect

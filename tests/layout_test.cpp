@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "layout/connectivity.hpp"
+#include "layout/io.hpp"
+#include "layout/layout.hpp"
+#include "tech/generic180.hpp"
+#include "util/error.hpp"
+
+namespace snim::layout {
+namespace {
+
+namespace L = snim::tech::layers;
+
+TEST(LayoutTest, CellShapeAndLabelStorage) {
+    Layout lay("top");
+    lay.top().add_rect(L::kMetal[0], geom::Rect(0, 0, 10, 1));
+    lay.top().add_label("vdd", L::kMetal[0], {5, 0.5});
+    EXPECT_EQ(lay.top().shapes().size(), 1u);
+    EXPECT_EQ(lay.top().labels().size(), 1u);
+    EXPECT_THROW(lay.top().add_rect("", geom::Rect(0, 0, 1, 1)), Error);
+    EXPECT_THROW(lay.top().add_rect(L::kMetal[0], geom::Rect(0, 0, 0, 0)), Error);
+}
+
+TEST(LayoutTest, FlattenAppliesTransforms) {
+    Layout lay("top");
+    Cell& sub = lay.cell("unit");
+    sub.add_rect(L::kMetal[0], geom::Rect(0, 0, 2, 1));
+    geom::Transform t1{10, 0, geom::Orient::R0};
+    geom::Transform t2{0, 5, geom::Orient::R90};
+    lay.top().add_instance("unit", t1);
+    lay.top().add_instance("unit", t2);
+    auto shapes = lay.flatten_shapes();
+    ASSERT_EQ(shapes.size(), 2u);
+    EXPECT_EQ(shapes[0].rect, geom::Rect(10, 0, 12, 1));
+    EXPECT_EQ(shapes[1].rect, geom::Rect(-1, 5, 0, 7));
+}
+
+TEST(LayoutTest, NestedInstances) {
+    Layout lay("top");
+    Cell& leaf = lay.cell("leaf");
+    leaf.add_rect(L::kMetal[0], geom::Rect(0, 0, 1, 1));
+    Cell& mid = lay.cell("mid");
+    mid.add_instance("leaf", {100, 0, geom::Orient::R0});
+    lay.top().add_instance("mid", {0, 50, geom::Orient::R0});
+    auto shapes = lay.flatten_shapes();
+    ASSERT_EQ(shapes.size(), 1u);
+    EXPECT_EQ(shapes[0].rect, geom::Rect(100, 50, 101, 51));
+}
+
+TEST(LayoutTest, MissingCellThrows) {
+    Layout lay("top");
+    lay.top().add_instance("ghost", {});
+    EXPECT_THROW(lay.flatten_shapes(), Error);
+}
+
+TEST(LayoutTest, BboxAndHistogram) {
+    Layout lay("top");
+    lay.top().add_rect(L::kMetal[0], geom::Rect(0, 0, 5, 5));
+    lay.top().add_rect(L::kMetal[1], geom::Rect(-3, 2, 0, 4));
+    auto bb = lay.bbox();
+    EXPECT_EQ(bb, geom::Rect(-3, 0, 5, 5));
+    auto hist = lay.layer_histogram();
+    EXPECT_EQ(hist.size(), 2u);
+}
+
+TEST(LayoutIoTest, RoundTrip) {
+    Layout lay("chip");
+    Cell& unit = lay.cell("unit");
+    unit.add_rect(L::kMetal[0], geom::Rect(0, 0, 4.25, 1.5));
+    unit.add_label("out", L::kMetal[0], {1, 0.75});
+    lay.top().add_instance("unit", {12.5, -3, geom::Orient::MX});
+    lay.top().add_rect(L::kPoly, geom::Rect(1, 1, 2, 2));
+
+    const std::string text = write_layout(lay);
+    Layout back = parse_layout(text);
+    EXPECT_EQ(back.top_name(), "chip");
+    auto shapes = back.flatten_shapes();
+    ASSERT_EQ(shapes.size(), 2u);
+    auto labels = back.flatten_labels();
+    ASSERT_EQ(labels.size(), 1u);
+    EXPECT_EQ(labels[0].text, "out");
+    // Transform survived.
+    auto orig = lay.flatten_shapes();
+    for (size_t i = 0; i < shapes.size(); ++i) EXPECT_EQ(shapes[i].rect, orig[i].rect);
+}
+
+TEST(LayoutIoTest, ParseErrors) {
+    EXPECT_THROW(parse_layout("cell x\n"), Error);
+    EXPECT_THROW(parse_layout("layout t\nrect m1 0 0 1 1\n"), Error); // outside cell
+    EXPECT_THROW(parse_layout("layout t\ncell t\nbogus\n"), Error);
+    EXPECT_THROW(parse_layout(""), Error);
+}
+
+TEST(ConnectivityTest, TouchingShapesMerge) {
+    auto t = tech::generic180();
+    std::vector<Shape> shapes{
+        {L::kMetal[0], geom::Rect(0, 0, 10, 1)},
+        {L::kMetal[0], geom::Rect(10, 0, 20, 1)},  // touches the first
+        {L::kMetal[0], geom::Rect(0, 10, 5, 11)},  // separate
+    };
+    auto nets = extract_connectivity(shapes, {}, t);
+    EXPECT_EQ(nets.net_count, 2u);
+    EXPECT_EQ(nets.shape_net[0], nets.shape_net[1]);
+    EXPECT_NE(nets.shape_net[0], nets.shape_net[2]);
+}
+
+TEST(ConnectivityTest, ViaConnectsLayers) {
+    auto t = tech::generic180();
+    std::vector<Shape> shapes{
+        {L::kMetal[0], geom::Rect(0, 0, 10, 1)},
+        {L::kMetal[1], geom::Rect(8, -5, 9, 5)},
+        {L::kVia[0], geom::Rect(8.2, 0.2, 8.8, 0.8)},
+    };
+    auto nets = extract_connectivity(shapes, {}, t);
+    EXPECT_EQ(nets.net_count, 1u);
+    EXPECT_EQ(nets.shape_net[0], nets.shape_net[1]);
+}
+
+TEST(ConnectivityTest, WithoutViaLayersStaySeparate) {
+    auto t = tech::generic180();
+    std::vector<Shape> shapes{
+        {L::kMetal[0], geom::Rect(0, 0, 10, 1)},
+        {L::kMetal[1], geom::Rect(0, 0, 10, 1)}, // overlapping, different layer
+    };
+    auto nets = extract_connectivity(shapes, {}, t);
+    EXPECT_EQ(nets.net_count, 2u);
+}
+
+TEST(ConnectivityTest, LabelsNameNets) {
+    auto t = tech::generic180();
+    std::vector<Shape> shapes{
+        {L::kMetal[0], geom::Rect(0, 0, 10, 1)},
+        {L::kMetal[0], geom::Rect(0, 5, 10, 6)},
+    };
+    std::vector<Label> labels{
+        {"vgnd", L::kMetal[0], {1, 0.5}},
+        {"vdd", L::kMetal[0], {1, 5.5}},
+    };
+    auto nets = extract_connectivity(shapes, labels, t);
+    ASSERT_EQ(nets.net_count, 2u);
+    EXPECT_GE(nets.find_net("vgnd"), 0);
+    EXPECT_GE(nets.find_net("vdd"), 0);
+    EXPECT_NE(nets.find_net("vgnd"), nets.find_net("vdd"));
+    EXPECT_EQ(nets.find_net("missing"), -1);
+}
+
+TEST(ConnectivityTest, ConflictingLabelsThrow) {
+    auto t = tech::generic180();
+    std::vector<Shape> shapes{{L::kMetal[0], geom::Rect(0, 0, 10, 1)}};
+    std::vector<Label> labels{
+        {"a", L::kMetal[0], {1, 0.5}},
+        {"b", L::kMetal[0], {2, 0.5}},
+    };
+    EXPECT_THROW(extract_connectivity(shapes, labels, t), Error);
+}
+
+TEST(ConnectivityTest, NonConductingLayersIgnored) {
+    auto t = tech::generic180();
+    std::vector<Shape> shapes{
+        {L::kNWell, geom::Rect(0, 0, 10, 10)},
+        {L::kMetal[0], geom::Rect(0, 0, 10, 1)},
+    };
+    auto nets = extract_connectivity(shapes, {}, t);
+    EXPECT_EQ(nets.net_count, 1u);
+    EXPECT_EQ(nets.shape_net[0], -1);
+    EXPECT_GE(nets.shape_net[1], 0);
+}
+
+} // namespace
+} // namespace snim::layout

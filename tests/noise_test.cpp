@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/mosfet.hpp"
+#include "circuit/netlist.hpp"
+#include "circuit/passives.hpp"
+#include "circuit/sources.hpp"
+#include "sim/noise.hpp"
+#include "sim/op.hpp"
+#include "tech/generic180.hpp"
+#include "util/units.hpp"
+
+namespace snim::sim {
+namespace {
+
+using namespace snim::circuit;
+constexpr double kFourKT = 4.0 * units::kBoltzmann * 300.0;
+
+TEST(NoiseTest, SingleResistorJohnsonNoise) {
+    // A grounded resistor's open-circuit noise PSD is 4kTR.
+    Netlist nl;
+    nl.add<Resistor>("r1", nl.node("out"), kGround, 10e3);
+    auto xop = operating_point(nl);
+    auto res = noise_analysis(nl, "out", {1e6, 1e9}, xop);
+    for (double psd : res.total_psd) EXPECT_NEAR(psd, kFourKT * 10e3, 1e-20);
+    ASSERT_FALSE(res.contributors.empty());
+    EXPECT_EQ(res.contributors[0].device, "r1");
+}
+
+TEST(NoiseTest, ParallelResistorsCombine) {
+    // Two parallel resistors: 4kT(R1 || R2) regardless of the split.
+    Netlist nl;
+    nl.add<Resistor>("r1", nl.node("out"), kGround, 2e3);
+    nl.add<Resistor>("r2", nl.node("out"), kGround, 3e3);
+    auto xop = operating_point(nl);
+    auto res = noise_analysis(nl, "out", {1e6}, xop);
+    EXPECT_NEAR(res.total_psd[0], kFourKT * 1.2e3, 1e-20);
+}
+
+TEST(NoiseTest, RcFilterShapesTheNoise) {
+    // R with C to ground: PSD rolls off as 1/(1+(f/fp)^2); the integral to
+    // infinity is kT/C, independent of R.
+    Netlist nl;
+    nl.add<Resistor>("r1", nl.node("out"), kGround, 1e3);
+    nl.add<Capacitor>("c1", nl.node("out"), kGround, 1e-12);
+    auto xop = operating_point(nl);
+    const double fp = 1.0 / (units::kTwoPi * 1e3 * 1e-12);
+    auto res = noise_analysis(nl, "out", {fp / 100, fp, 100 * fp}, xop);
+    EXPECT_NEAR(res.total_psd[0], kFourKT * 1e3, 0.01 * kFourKT * 1e3);
+    EXPECT_NEAR(res.total_psd[1], 0.5 * kFourKT * 1e3, 0.01 * kFourKT * 1e3);
+    EXPECT_LT(res.total_psd[2], 1e-3 * kFourKT * 1e3);
+}
+
+TEST(NoiseTest, KtOverCIntegral) {
+    Netlist nl;
+    nl.add<Resistor>("r1", nl.node("out"), kGround, 50.0);
+    nl.add<Capacitor>("c1", nl.node("out"), kGround, 1e-12);
+    auto xop = operating_point(nl);
+    // Dense log sweep far past the pole.
+    std::vector<double> freqs;
+    for (double f = 1e6; f < 1e13; f *= 1.15) freqs.push_back(f);
+    auto res = noise_analysis(nl, "out", freqs, xop);
+    const double vrms = res.total_rms(1e6, 1e13);
+    const double ktc = std::sqrt(units::kBoltzmann * 300.0 / 1e-12);
+    EXPECT_NEAR(vrms, ktc, 0.05 * ktc);
+}
+
+TEST(NoiseTest, InductorSeriesResistanceContributes) {
+    // Tank at resonance: the series-R noise appears amplified by Q^2.
+    Netlist nl;
+    nl.add<Inductor>("l1", nl.node("out"), kGround, 10e-9, 2.0);
+    nl.add<Capacitor>("c1", nl.node("out"), kGround, 1e-12);
+    auto xop = operating_point(nl);
+    const double f0 = 1.0 / (units::kTwoPi * std::sqrt(10e-9 * 1e-12));
+    auto res = noise_analysis(nl, "out", {f0 / 10, f0}, xop);
+    EXPECT_GT(res.total_psd[1], 30.0 * res.total_psd[0]);
+    ASSERT_FALSE(res.contributors.empty());
+    EXPECT_EQ(res.contributors[0].device, "l1");
+}
+
+TEST(NoiseTest, MosfetAmplifiesItsOwnNoise) {
+    auto t = tech::generic180();
+    Netlist nl;
+    nl.add<VSource>("vdd", nl.node("vdd"), kGround, Waveform::dc(1.8));
+    nl.add<VSource>("vg", nl.node("g"), kGround, Waveform::dc(0.8));
+    nl.add<Resistor>("rd", nl.node("vdd"), nl.node("d"), 500.0);
+    nl.add<Mosfet>("m1", nl.node("d"), nl.node("g"), kGround, kGround,
+                   t.mos_model("nch"), MosGeometry{.w = 20, .l = 0.18});
+    auto xop = operating_point(nl);
+    auto* m = nl.find_as<Mosfet>("m1");
+    const auto ss = m->small_signal(xop);
+    auto res = noise_analysis(nl, "d", {1e5}, xop);
+    // Expected: (4kT gamma gm + 4kT/Rd) * Rout^2 with Rout = Rd || 1/gds.
+    const double rout = 1.0 / (1.0 / 500.0 + ss.gds);
+    const double expect =
+        (kFourKT * (2.0 / 3.0) * ss.gm + kFourKT / 500.0) * rout * rout;
+    EXPECT_NEAR(res.total_psd[0], expect, 0.02 * expect);
+    // The transistor dominates over the resistor here.
+    EXPECT_EQ(res.contributors[0].device, "m1");
+}
+
+TEST(NoiseTest, DisabledDevicesAreSilent) {
+    Netlist nl;
+    nl.add<Resistor>("r1", nl.node("out"), kGround, 1e3);
+    auto& r2 = nl.add<Resistor>("r2", nl.node("out"), kGround, 1e3);
+    auto xop = operating_point(nl);
+    r2.set_disabled(true);
+    auto res = noise_analysis(nl, "out", {1e6}, xop);
+    r2.set_disabled(false);
+    EXPECT_NEAR(res.total_psd[0], kFourKT * 1e3, 1e-20);
+}
+
+TEST(NoiseTest, RejectsGroundOutput) {
+    Netlist nl;
+    nl.add<Resistor>("r1", nl.node("a"), kGround, 1e3);
+    auto xop = operating_point(nl);
+    EXPECT_THROW(noise_analysis(nl, "0", {1e6}, xop), Error);
+}
+
+} // namespace
+} // namespace snim::sim

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/passives.hpp"
+#include "circuit/sources.hpp"
+#include "package/package.hpp"
+#include "sim/ac.hpp"
+#include "sim/op.hpp"
+#include "util/units.hpp"
+
+namespace snim::package {
+namespace {
+
+using namespace snim::circuit;
+
+TEST(PackageTest, InstantiateCreatesDevices) {
+    PackageModel pkg;
+    pkg.wires.push_back({"pad_gnd", "0", 1e-9, 0.2, 100e-15, "0"});
+    Netlist nl;
+    pkg.instantiate(nl);
+    EXPECT_TRUE(nl.has_node("pad_gnd"));
+    EXPECT_EQ(nl.device_count(), 2u); // L + pad cap
+    auto* l = nl.find_as<Inductor>("pkg:l0");
+    ASSERT_NE(l, nullptr);
+    EXPECT_DOUBLE_EQ(l->inductance(), 1e-9);
+    EXPECT_DOUBLE_EQ(l->series_res(), 0.2);
+}
+
+TEST(PackageTest, DefaultRfPackage) {
+    auto pkg = default_rf_package({"vdd_pad", "gnd_pad", "out_pad"});
+    EXPECT_EQ(pkg.wires.size(), 3u);
+    Netlist nl;
+    pkg.instantiate(nl);
+    EXPECT_EQ(nl.device_count(), 6u);
+}
+
+TEST(PackageTest, BondwireImpedanceRisesWithFrequency) {
+    PackageModel pkg;
+    pkg.wires.push_back({"pad", "0", 1e-9, 0.1, 0.0, "0"});
+    Netlist nl;
+    pkg.instantiate(nl);
+    nl.add<ISource>("drive", kGround, nl.existing_node("pad"), Waveform::dc(0.0),
+                    AcSpec{1.0, 0.0});
+    auto xop = sim::operating_point(nl);
+    auto ac = sim::ac_sweep(nl, {1e6, 1e9}, xop);
+    const NodeId pad = nl.existing_node("pad");
+    const double z_low = std::abs(ac.at(0, pad));
+    const double z_high = std::abs(ac.at(1, pad));
+    EXPECT_LT(z_low, 1.0);
+    // |Z| at 1 GHz ~ 2 pi * 1e9 * 1e-9 = 6.3 ohm.
+    EXPECT_NEAR(z_high, units::kTwoPi, 0.3);
+}
+
+TEST(PackageTest, GroundBounceSeparatesReferences) {
+    // On-chip ground behind a bondwire bounces when current is injected,
+    // while the board ground stays clean by construction.
+    PackageModel pkg;
+    pkg.wires.push_back({"chip_gnd", "0", 1.2e-9, 0.15, 0.0, "0"});
+    Netlist nl;
+    pkg.instantiate(nl);
+    nl.add<ISource>("noise", kGround, nl.existing_node("chip_gnd"), Waveform::dc(0.0),
+                    AcSpec{1e-3, 0.0});
+    auto xop = sim::operating_point(nl);
+    auto ac = sim::ac_sweep(nl, {10e6}, xop);
+    const double bounce = std::abs(ac.at(0, nl.existing_node("chip_gnd")));
+    // 1 mA through |Z| = R + j w L: ~ 1mA * |0.15 + j0.075| ohm.
+    EXPECT_GT(bounce, 1e-4 * 0.5);
+    EXPECT_LT(bounce, 1e-3);
+}
+
+} // namespace
+} // namespace snim::package

@@ -1,0 +1,167 @@
+// Cross-module property tests: randomized invariants that complement the
+// per-module unit tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/netlist.hpp"
+#include "circuit/passives.hpp"
+#include "circuit/sources.hpp"
+#include "circuit/spice_parser.hpp"
+#include "circuit/spice_writer.hpp"
+#include "dsp/fft.hpp"
+#include "geom/rect.hpp"
+#include "numeric/vecops.hpp"
+#include "sim/ac.hpp"
+#include "sim/op.hpp"
+#include "sim/transfer.hpp"
+#include "sim/transient.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+namespace snim {
+namespace {
+
+TEST(PropertyTest, FftParseval) {
+    Rng rng(99);
+    for (int trial = 0; trial < 5; ++trial) {
+        const size_t n = 1u << (8 + trial);
+        std::vector<double> x(n);
+        for (auto& v : x) v = rng.uniform(-1, 1);
+        double time_energy = 0.0;
+        for (double v : x) time_energy += v * v;
+        auto spec = dsp::fft_real(x);
+        double freq_energy = 0.0;
+        for (const auto& c : spec) freq_energy += std::norm(c);
+        freq_energy /= static_cast<double>(n);
+        EXPECT_NEAR(freq_energy, time_energy, 1e-9 * time_energy);
+    }
+}
+
+TEST(PropertyTest, RectIntersectionIsCommutativeAndContained) {
+    Rng rng(5);
+    for (int trial = 0; trial < 200; ++trial) {
+        geom::Rect a(rng.uniform(-10, 10), rng.uniform(-10, 10), rng.uniform(-10, 10),
+                     rng.uniform(-10, 10));
+        geom::Rect b(rng.uniform(-10, 10), rng.uniform(-10, 10), rng.uniform(-10, 10),
+                     rng.uniform(-10, 10));
+        const auto i1 = a.intersection(b);
+        const auto i2 = b.intersection(a);
+        EXPECT_EQ(i1.empty(), i2.empty());
+        if (!i1.empty()) {
+            EXPECT_TRUE(a.contains(i1));
+            EXPECT_TRUE(b.contains(i1));
+            EXPECT_NEAR(i1.area(), i2.area(), 1e-12);
+            // Union area identity.
+            EXPECT_NEAR(geom::union_area({a, b}), a.area() + b.area() - i1.area(),
+                        1e-9);
+        }
+    }
+}
+
+TEST(PropertyTest, SpiceRoundTripPreservesRandomLadders) {
+    Rng rng(21);
+    for (int trial = 0; trial < 10; ++trial) {
+        // Random RC ladder netlist text.
+        std::string deck = "random ladder\nVin n0 0 dc 1 ac 1\n";
+        const int stages = rng.uniform_int(2, 8);
+        std::vector<double> rvals, cvals;
+        for (int i = 0; i < stages; ++i) {
+            rvals.push_back(std::round(rng.uniform(10, 5000)));
+            cvals.push_back(std::round(rng.uniform(1, 999)) * 1e-15);
+            deck += format("R%d n%d n%d %g\n", i, i, i + 1, rvals.back());
+            deck += format("C%d n%d 0 %gf\n", i, i + 1, cvals.back() * 1e15);
+        }
+        auto first = circuit::parse_spice(deck);
+        auto dumped = circuit::write_spice(first.netlist, first.title);
+        auto second = circuit::parse_spice(dumped);
+        ASSERT_EQ(second.netlist.device_count(), first.netlist.device_count());
+        for (int i = 0; i < stages; ++i) {
+            auto* r = second.netlist.find_as<circuit::Resistor>(format("r%d", i));
+            auto* c = second.netlist.find_as<circuit::Capacitor>(format("c%d", i));
+            ASSERT_NE(r, nullptr);
+            ASSERT_NE(c, nullptr);
+            EXPECT_NEAR(r->resistance(), rvals[static_cast<size_t>(i)],
+                        1e-4 * rvals[static_cast<size_t>(i)]);
+            EXPECT_NEAR(c->capacitance(), cvals[static_cast<size_t>(i)],
+                        1e-4 * cvals[static_cast<size_t>(i)]);
+        }
+    }
+}
+
+TEST(PropertyTest, ReciprocityOfResistiveNetworks) {
+    // For a reciprocal (RLC) network, the transfer impedance from an
+    // injection at node a to node b equals the one from b to a.
+    Rng rng(31);
+    for (int trial = 0; trial < 5; ++trial) {
+        circuit::Netlist nl;
+        const int n = 8;
+        for (int i = 0; i < n; ++i)
+            nl.add<circuit::Resistor>(format("rg%d", i), nl.node(format("n%d", i)),
+                                      circuit::kGround,
+                                      std::round(rng.uniform(100, 2000)));
+        for (int k = 0; k < 14; ++k) {
+            int a = rng.uniform_int(0, n - 1);
+            int b = rng.uniform_int(0, n - 1);
+            if (a == b) continue;
+            nl.add<circuit::Resistor>(format("rr%d", k), nl.node(format("n%d", a)),
+                                      nl.node(format("n%d", b)),
+                                      std::round(rng.uniform(50, 5000)));
+        }
+        nl.add<circuit::Capacitor>("cx", nl.node("n1"), nl.node("n5"), 1e-12);
+
+        auto run = [&](const char* from, const char* to) {
+            nl.add<circuit::ISource>("probe", circuit::kGround, nl.node(from),
+                                     circuit::Waveform::dc(0.0),
+                                     circuit::AcSpec{1.0, 0.0});
+            auto xop = sim::operating_point(nl);
+            auto ac = sim::ac_sweep(nl, {37e6}, xop);
+            auto z = ac.at(0, nl.existing_node(to));
+            nl.remove("probe");
+            return z;
+        };
+        const auto z_ab = run("n0", "n6");
+        const auto z_ba = run("n6", "n0");
+        EXPECT_NEAR(std::abs(z_ab - z_ba), 0.0, 1e-9 * std::abs(z_ab) + 1e-12);
+    }
+}
+
+TEST(PropertyTest, AcAndTransientAgreeOnLinearFilter) {
+    // Drive a 2-pole RC with a sine and compare the settled transient
+    // amplitude to |H| from AC -- the two analyses must be consistent.
+    circuit::Netlist nl;
+    nl.add<circuit::VSource>("vin", nl.node("in"), circuit::kGround,
+                             circuit::Waveform::sin(0.0, 0.5, 20e6),
+                             circuit::AcSpec{1.0, 0.0});
+    nl.add<circuit::Resistor>("r1", nl.node("in"), nl.node("m"), 1000.0);
+    nl.add<circuit::Capacitor>("c1", nl.node("m"), circuit::kGround, 5e-12);
+    nl.add<circuit::Resistor>("r2", nl.node("m"), nl.node("out"), 2000.0);
+    nl.add<circuit::Capacitor>("c2", nl.node("out"), circuit::kGround, 3e-12);
+
+    auto xop = sim::operating_point(nl);
+    auto ac = sim::ac_sweep(nl, {20e6}, xop);
+    const double h = std::abs(ac.at(0, nl.existing_node("out")));
+
+    sim::TranOptions topt;
+    topt.tstop = 600e-9;
+    topt.dt = 0.2e-9;
+    topt.record_start = 300e-9; // several time constants of settling
+    auto res = sim::transient(nl, {"out"}, topt);
+    double vmax = 0.0;
+    for (double v : res.wave("out")) vmax = std::max(vmax, std::fabs(v));
+    EXPECT_NEAR(vmax, 0.5 * h, 0.02 * 0.5 * h);
+}
+
+TEST(PropertyTest, EngFormatRoundTripsThroughParser) {
+    Rng rng(77);
+    for (int trial = 0; trial < 300; ++trial) {
+        const double mag = std::pow(10.0, rng.uniform(-14.5, 11.5));
+        const double v = (rng.uniform() < 0.5 ? -1 : 1) * mag;
+        const double back = parse_spice_number(eng_format(v, 9));
+        EXPECT_NEAR(back, v, 1e-6 * std::fabs(v)) << "v=" << v;
+    }
+}
+
+} // namespace
+} // namespace snim

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mor/elimination.hpp"
+#include "mor/macromodel.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace snim::mor {
+namespace {
+
+RcNetwork random_grounded_network(size_t n, int chords, uint64_t seed) {
+    Rng rng(seed);
+    RcNetwork net;
+    net.node_count = n;
+    for (size_t i = 0; i < n; ++i)
+        net.add_g(static_cast<int>(i), static_cast<int>((i + 1) % n),
+                  0.3 + rng.uniform(0, 2));
+    for (int k = 0; k < chords; ++k) {
+        int a = rng.uniform_int(0, static_cast<int>(n) - 1);
+        int b = rng.uniform_int(0, static_cast<int>(n) - 1);
+        if (a != b) net.add_g(a, b, rng.uniform(0.05, 1.0));
+    }
+    net.add_g(2, -1, 0.8);
+    net.add_g(static_cast<int>(n) - 3, -1, 1.2);
+    return net;
+}
+
+std::vector<std::vector<double>> port_matrix(const RcNetwork& reduced, size_t np) {
+    std::vector<int> ports(np);
+    for (size_t i = 0; i < np; ++i) ports[i] = static_cast<int>(i);
+    return dense_port_conductance(reduced, ports);
+}
+
+TEST(ReduceBySolveTest, MatchesEliminationOnRandomNetworks) {
+    for (uint64_t seed : {1u, 7u, 19u}) {
+        auto net = random_grounded_network(60, 90, seed);
+        const std::vector<int> ports{0, 13, 27, 41, 55};
+        auto by_elim = eliminate_internal(net, ports);
+        auto by_solve = reduce_by_solve(net, ports);
+        auto ge = port_matrix(by_elim, ports.size());
+        auto gs = port_matrix(by_solve, ports.size());
+        for (size_t i = 0; i < ports.size(); ++i)
+            for (size_t j = 0; j < ports.size(); ++j)
+                EXPECT_NEAR(gs[i][j], ge[i][j], 1e-7 * std::fabs(ge[i][i]) + 1e-10)
+                    << "seed=" << seed << " (" << i << "," << j << ")";
+    }
+}
+
+TEST(ReduceBySolveTest, SeriesChain) {
+    RcNetwork net;
+    net.node_count = 4;
+    net.add_g(0, 1, 2.0);
+    net.add_g(1, 2, 2.0);
+    net.add_g(2, 3, 2.0);
+    auto red = reduce_by_solve(net, {0, 3});
+    ASSERT_EQ(red.node_count, 2u);
+    double g = 0.0;
+    for (const auto& e : red.conductances)
+        if (e.b >= 0) g += e.value;
+    EXPECT_NEAR(g, 2.0 / 3.0, 1e-9);
+}
+
+TEST(ReduceBySolveTest, PortMatrixIsSymmetricAndDiagonallyDominant) {
+    auto net = random_grounded_network(80, 160, 3);
+    const std::vector<int> ports{0, 10, 20, 30, 40, 50, 60, 70};
+    auto red = reduce_by_solve(net, ports);
+    // Realized netlist has only positive conductances by construction.
+    for (const auto& e : red.conductances) EXPECT_GT(e.value, 0.0);
+    auto g = port_matrix(red, ports.size());
+    for (size_t i = 0; i < ports.size(); ++i)
+        for (size_t j = i + 1; j < ports.size(); ++j)
+            EXPECT_NEAR(g[i][j], g[j][i], 1e-9);
+}
+
+TEST(ReduceBySolveTest, CapacitanceConservedForGroundedInternals) {
+    RcNetwork net;
+    net.node_count = 4;
+    net.add_g(0, 1, 1.0);
+    net.add_g(1, 2, 1.0);
+    net.add_g(2, 3, 1.0);
+    net.add_c(1, -1, 10e-15);
+    net.add_c(2, -1, 20e-15);
+    net.add_c(0, -1, 1e-15);
+    auto red = reduce_by_solve(net, {0, 3});
+    EXPECT_NEAR(total_capacitance(red), 31e-15, 1e-19);
+}
+
+TEST(ReduceBySolveTest, PortAttachedCapKeepsSeriesTopology) {
+    // Port 1 couples capacitively to internal node 2, which connects
+    // resistively to port 0: the reduced model must contain a port-port
+    // capacitance, NOT a cap from port 1 to ground.
+    RcNetwork net;
+    net.node_count = 3;
+    net.add_g(0, 2, 1.0);
+    net.add_c(1, 2, 50e-15);
+    auto red = reduce_by_solve(net, {0, 1});
+    double c01 = 0.0, c1g = 0.0;
+    for (const auto& e : red.capacitances) {
+        if (e.b == -1 && e.a == 1) c1g += e.value;
+        if ((e.a == 0 && e.b == 1) || (e.a == 1 && e.b == 0)) c01 += e.value;
+    }
+    EXPECT_NEAR(c01, 50e-15, 1e-19);
+    EXPECT_NEAR(c1g, 0.0, 1e-19);
+}
+
+TEST(ReduceBySolveTest, UngroundedNetworkHasNoGroundLegs) {
+    RcNetwork net;
+    net.node_count = 3;
+    net.add_g(0, 1, 1.0);
+    net.add_g(1, 2, 1.0);
+    auto red = reduce_by_solve(net, {0, 2});
+    for (const auto& e : red.conductances) EXPECT_GE(e.b, 0);
+}
+
+TEST(ReduceBySolveTest, LargeMeshIsFast) {
+    // 40x40 resistive grid with 6 ports reduces in well under a second.
+    const int n = 40;
+    RcNetwork net;
+    net.node_count = static_cast<size_t>(n * n);
+    auto id = [n](int x, int y) { return y * n + x; };
+    for (int y = 0; y < n; ++y)
+        for (int x = 0; x < n; ++x) {
+            if (x + 1 < n) net.add_g(id(x, y), id(x + 1, y), 1.0);
+            if (y + 1 < n) net.add_g(id(x, y), id(x, y + 1), 1.0);
+        }
+    const std::vector<int> ports{id(0, 0), id(39, 0),  id(0, 39),
+                                 id(39, 39), id(20, 20), id(10, 30)};
+    auto red = reduce_by_solve(net, ports);
+    EXPECT_EQ(red.node_count, 6u);
+    // Sanity: adjacent corners see less resistance than opposite corners.
+    auto g = dense_port_conductance(red, {0, 1, 2, 3, 4, 5});
+    EXPECT_GT(-g[0][1], 0.0);
+}
+
+struct SolveCase {
+    size_t n;
+    size_t ports;
+};
+
+class ReduceSweep : public ::testing::TestWithParam<SolveCase> {};
+
+TEST_P(ReduceSweep, AgreesWithDenseSchur) {
+    const auto param = GetParam();
+    auto net = random_grounded_network(param.n, static_cast<int>(2 * param.n), 77);
+    std::vector<int> ports;
+    for (size_t i = 0; i < param.ports; ++i)
+        ports.push_back(static_cast<int>(i * param.n / param.ports));
+    const auto gref = dense_port_conductance(net, ports);
+    auto red = reduce_by_solve(net, ports);
+    auto gred = port_matrix(red, ports.size());
+    for (size_t i = 0; i < ports.size(); ++i)
+        for (size_t j = 0; j < ports.size(); ++j)
+            EXPECT_NEAR(gred[i][j], gref[i][j], 1e-6 * std::fabs(gref[i][i]) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ReduceSweep,
+                         ::testing::Values(SolveCase{20, 3}, SolveCase{50, 5},
+                                           SolveCase{120, 8}, SolveCase{250, 12}));
+
+} // namespace
+} // namespace snim::mor

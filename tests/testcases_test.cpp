@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "circuit/mosfet.hpp"
+#include "circuit/sources.hpp"
+#include "layout/connectivity.hpp"
+#include "layout/io.hpp"
+#include "sim/ac.hpp"
+#include "sim/op.hpp"
+#include "testcases/nmos_structure.hpp"
+#include "testcases/vco.hpp"
+#include "util/units.hpp"
+
+namespace snim::testcases {
+namespace {
+
+TEST(NmosStructureTest, LayoutIsConsistent) {
+    auto s = build_nmos_structure();
+    const auto shapes = s.layout.flatten_shapes();
+    const auto labels = s.layout.flatten_labels();
+    EXPECT_GT(shapes.size(), 20u);
+    auto nets = layout::extract_connectivity(shapes, labels, s.tech);
+    // The named nets exist.
+    EXPECT_GE(nets.find_net("vgnd"), 0);
+    EXPECT_GE(nets.find_net("subinj"), 0);
+    // Round-trips through the text format.
+    auto text = layout::write_layout(s.layout);
+    auto back = layout::parse_layout(text);
+    EXPECT_EQ(back.flatten_shapes().size(), shapes.size());
+}
+
+TEST(NmosStructureTest, SchematicHasExpectedDevices) {
+    auto s = build_nmos_structure();
+    EXPECT_NE(s.inputs.schematic.find(NmosStructure::kMosfet), nullptr);
+    EXPECT_NE(s.inputs.schematic.find(NmosStructure::kNoiseSource), nullptr);
+    EXPECT_NE(s.inputs.schematic.find(NmosStructure::kGateSource), nullptr);
+    EXPECT_EQ(s.inputs.package.wires.size(), 2u); // gnd + Kelvin source
+    EXPECT_FALSE(s.inputs.pins.empty());
+}
+
+TEST(NmosStructureTest, WireWidthControlsResistance) {
+    NmosStructureOptions narrow;
+    narrow.ground_wire_width = 0.8;
+    NmosStructureOptions wide;
+    wide.ground_wire_width = 1.6;
+    core::FlowOptions fo;
+    fo.substrate.mesh.fine_pitch = 8.0;
+    auto m1 = build_model(build_nmos_structure(narrow), fo);
+    auto m2 = build_model(build_nmos_structure(wide), fo);
+    const auto* s1 = m1.wire_stats_for("vgnd");
+    const auto* s2 = m2.wire_stats_for("vgnd");
+    ASSERT_NE(s1, nullptr);
+    ASSERT_NE(s2, nullptr);
+    EXPECT_NEAR(s1->resistance_squares / s2->resistance_squares, 2.0, 0.35);
+}
+
+TEST(VcoTest, LayoutAndEntries) {
+    auto v = build_vco();
+    const auto shapes = v.layout.flatten_shapes();
+    EXPECT_GT(shapes.size(), 30u);
+    auto nets = layout::extract_connectivity(shapes, v.layout.flatten_labels(), v.tech);
+    EXPECT_GE(nets.find_net("vgnd"), 0);
+    EXPECT_GE(nets.find_net("outp"), 0);
+    EXPECT_GE(nets.find_net("outn"), 0);
+    EXPECT_GE(nets.find_net("vtune"), 0);
+
+    const auto entries = vco_noise_entries();
+    ASSERT_EQ(entries.size(), 5u);
+    EXPECT_EQ(entries[0].label, "ground interconnect");
+    EXPECT_FALSE(entries[0].short_prefixes.empty());
+}
+
+TEST(VcoTest, DcEquilibriumIsBalanced) {
+    auto v = build_vco();
+    auto model = build_model(std::move(v), vco_flow_options());
+    auto xop = sim::operating_point(model.netlist);
+    const double vp = circuit::volt(xop, model.netlist.existing_node("outp"));
+    const double vn = circuit::volt(xop, model.netlist.existing_node("outn"));
+    // Symmetric cross-coupled pair: both outputs near mid-rail.
+    EXPECT_NEAR(vp, vn, 1e-3);
+    EXPECT_GT(vp, 0.5);
+    EXPECT_LT(vp, 1.4);
+    // Core current in the right ballpark (paper: 5 mA).
+    auto* vdd = model.netlist.find_as<circuit::VSource>("vddsrc");
+    const double icore = vdd->current(xop);
+    EXPECT_GT(icore, 1.5e-3);
+    EXPECT_LT(icore, 10e-3);
+}
+
+TEST(VcoTest, TankResonanceNearThreeGigahertz) {
+    // Small-signal resonance of the stitched tank (the oscillation
+    // frequency without running a transient): drive the tank differentially
+    // and sweep.
+    auto v = build_vco();
+    auto model = build_model(std::move(v), vco_flow_options());
+    auto& nl = model.netlist;
+    nl.add<circuit::ISource>("probe", nl.existing_node("outn"),
+                             nl.existing_node("outp"), circuit::Waveform::dc(0.0),
+                             circuit::AcSpec{1e-3, 0.0});
+    auto xop = sim::operating_point(nl);
+    double best_f = 0.0, best_v = 0.0;
+    for (double f = 2.2e9; f <= 3.8e9; f += 0.05e9) {
+        auto ac = sim::ac_sweep(nl, {f}, xop);
+        const double vdiff = std::abs(ac.at(0, nl.existing_node("outp")) -
+                                      ac.at(0, nl.existing_node("outn")));
+        if (vdiff > best_v) {
+            best_v = vdiff;
+            best_f = f;
+        }
+    }
+    EXPECT_GT(best_f, 2.5e9);
+    EXPECT_LT(best_f, 3.5e9);
+}
+
+TEST(VcoTest, StrapWidthOptionChangesGroundWiring) {
+    VcoOptions narrow;
+    narrow.ground_strap_width = 1.0;
+    VcoOptions wide;
+    wide.ground_strap_width = 2.0;
+    auto m1 = build_model(build_vco(narrow), vco_flow_options());
+    auto m2 = build_model(build_vco(wide), vco_flow_options());
+    const auto* s1 = m1.wire_stats_for("vgnd");
+    const auto* s2 = m2.wire_stats_for("vgnd");
+    ASSERT_NE(s1, nullptr);
+    ASSERT_NE(s2, nullptr);
+    EXPECT_GT(s1->resistance_squares, 1.4 * s2->resistance_squares);
+}
+
+TEST(VcoTest, OscOptionsAreDifferential) {
+    const auto osc = vco_osc_options();
+    EXPECT_EQ(osc.probe_p, std::string(VcoTestcase::kOutP));
+    EXPECT_EQ(osc.probe_n, std::string(VcoTestcase::kOutN));
+    EXPECT_GT(osc.settle, 0.0);
+}
+
+} // namespace
+} // namespace snim::testcases

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace snim {
+namespace {
+
+TEST(ErrorTest, FormatProducesMessage) {
+    EXPECT_EQ(format("x=%d y=%s", 3, "abc"), "x=3 y=abc");
+}
+
+TEST(ErrorTest, RaiseThrowsSnimError) {
+    EXPECT_THROW(raise("bad %d", 42), Error);
+    try {
+        raise("bad %d", 42);
+    } catch (const Error& e) {
+        EXPECT_STREQ(e.what(), "bad 42");
+    }
+}
+
+TEST(ErrorTest, AssertMacroThrowsWithContext) {
+    EXPECT_THROW(SNIM_ASSERT(1 == 2, "reason %d", 7), Error);
+}
+
+TEST(StringsTest, SplitDropsEmptyFields) {
+    auto v = split("  a \t b\tc  ");
+    ASSERT_EQ(v.size(), 3u);
+    EXPECT_EQ(v[0], "a");
+    EXPECT_EQ(v[1], "b");
+    EXPECT_EQ(v[2], "c");
+}
+
+TEST(StringsTest, SplitKeepKeepsEmptyFields) {
+    auto v = split_keep("a,,b,", ',');
+    ASSERT_EQ(v.size(), 4u);
+    EXPECT_EQ(v[1], "");
+    EXPECT_EQ(v[3], "");
+}
+
+TEST(StringsTest, TrimAndCase) {
+    EXPECT_EQ(trim("  hi \n"), "hi");
+    EXPECT_EQ(to_lower("AbC"), "abc");
+    EXPECT_EQ(to_upper("AbC"), "ABC");
+    EXPECT_TRUE(equals_nocase("VDD", "vdd"));
+    EXPECT_TRUE(starts_with_nocase("Rground1", "rg"));
+    EXPECT_FALSE(starts_with_nocase("R", "rg"));
+}
+
+TEST(StringsTest, ParseSpiceNumberPlain) {
+    EXPECT_DOUBLE_EQ(parse_spice_number("1.5"), 1.5);
+    EXPECT_DOUBLE_EQ(parse_spice_number("-3e2"), -300.0);
+}
+
+TEST(StringsTest, ParseSpiceNumberSuffixes) {
+    EXPECT_DOUBLE_EQ(parse_spice_number("2k"), 2000.0);
+    EXPECT_DOUBLE_EQ(parse_spice_number("3meg"), 3e6);
+    EXPECT_DOUBLE_EQ(parse_spice_number("5m"), 5e-3);
+    EXPECT_DOUBLE_EQ(parse_spice_number("120f"), 120e-15);
+    EXPECT_DOUBLE_EQ(parse_spice_number("2.2p"), 2.2e-12);
+    EXPECT_DOUBLE_EQ(parse_spice_number("1g"), 1e9);
+    EXPECT_DOUBLE_EQ(parse_spice_number("4u"), 4e-6);
+    EXPECT_DOUBLE_EQ(parse_spice_number("7n"), 7e-9);
+    EXPECT_DOUBLE_EQ(parse_spice_number("9t"), 9e12);
+}
+
+TEST(StringsTest, ParseSpiceNumberUnitLetters) {
+    EXPECT_DOUBLE_EQ(parse_spice_number("2.2pF"), 2.2e-12);
+    EXPECT_DOUBLE_EQ(parse_spice_number("50ohm"), 50.0);
+    EXPECT_DOUBLE_EQ(parse_spice_number("3GHz"), 3e9);
+}
+
+TEST(StringsTest, ParseSpiceNumberRejectsGarbage) {
+    EXPECT_THROW(parse_spice_number("abc"), Error);
+    EXPECT_THROW(parse_spice_number(""), Error);
+    EXPECT_THROW(parse_spice_number("1.2.3!"), Error);
+    EXPECT_FALSE(is_spice_number("xyz"));
+    EXPECT_TRUE(is_spice_number("1k"));
+}
+
+TEST(StringsTest, EngFormat) {
+    EXPECT_EQ(eng_format(0.0), "0");
+    EXPECT_EQ(eng_format(2200.0), "2.2k");
+    EXPECT_EQ(eng_format(1e-12), "1p");
+    EXPECT_EQ(eng_format(-4.7e-9), "-4.7n");
+}
+
+TEST(UnitsTest, DbRoundTrip) {
+    using namespace units;
+    EXPECT_NEAR(db20(from_db20(-45.0)), -45.0, 1e-12);
+    EXPECT_NEAR(db10(from_db10(13.0)), 13.0, 1e-12);
+}
+
+TEST(UnitsTest, DbmAmplitudeRoundTrip) {
+    using namespace units;
+    // -5 dBm into 50 ohm is about 178 mV amplitude (the paper's noise drive).
+    const double amp = amplitude_from_dbm(-5.0);
+    EXPECT_NEAR(amp, 0.1778, 5e-4);
+    EXPECT_NEAR(dbm_from_amplitude(amp), -5.0, 1e-12);
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, UniformInRange) {
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = r.uniform(2.0, 3.0);
+        EXPECT_GE(u, 2.0);
+        EXPECT_LT(u, 3.0);
+    }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+    Rng r(9);
+    bool seen[5] = {false, false, false, false, false};
+    for (int i = 0; i < 500; ++i) seen[r.uniform_int(0, 4)] = true;
+    for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(RngTest, NormalMoments) {
+    Rng r(42);
+    double sum = 0, sum2 = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double x = r.normal();
+        sum += x;
+        sum2 += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(TableTest, RendersHeadersAndRows) {
+    Table t({"f", "spur"});
+    t.add_row({"1M", "-30"});
+    t.add_row_values({2e6, -36.1}, 3);
+    const std::string s = t.to_string();
+    EXPECT_NE(s.find("| f"), std::string::npos);
+    EXPECT_NE(s.find("-30"), std::string::npos);
+    EXPECT_NE(s.find("2e+06"), std::string::npos);
+    EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TableTest, RejectsWrongWidth) {
+    Table t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(AsciiPlotTest, RendersMarkers) {
+    AsciiPlot p("title", "f", "dB");
+    p.set_log_x(true);
+    p.add({"s1", {1e6, 1e7}, {-30, -50}, '*'});
+    const std::string s = p.to_string();
+    EXPECT_NE(s.find('*'), std::string::npos);
+    EXPECT_NE(s.find("title"), std::string::npos);
+}
+
+TEST(CsvTest, RoundTripContent) {
+    CsvWriter w({"x", "y"});
+    w.add_row({1.0, 2.5});
+    w.add_row(std::vector<std::string>{"a", "b"});
+    const std::string s = w.to_string();
+    EXPECT_EQ(s, "x,y\n1,2.5\na,b\n");
+}
+
+TEST(CsvTest, RejectsWrongWidth) {
+    CsvWriter w({"x", "y"});
+    EXPECT_THROW(w.add_row(std::vector<double>{1.0}), Error);
+}
+
+} // namespace
+} // namespace snim
