@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_substrate.dir/ablation_substrate.cpp.o"
+  "CMakeFiles/ablation_substrate.dir/ablation_substrate.cpp.o.d"
+  "ablation_substrate"
+  "ablation_substrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_substrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

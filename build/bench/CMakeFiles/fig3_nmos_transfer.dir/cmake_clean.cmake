@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_nmos_transfer.dir/fig3_nmos_transfer.cpp.o"
+  "CMakeFiles/fig3_nmos_transfer.dir/fig3_nmos_transfer.cpp.o.d"
+  "fig3_nmos_transfer"
+  "fig3_nmos_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_nmos_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_spectrum.dir/fig7_spectrum.cpp.o"
+  "CMakeFiles/fig7_spectrum.dir/fig7_spectrum.cpp.o.d"
+  "fig7_spectrum"
+  "fig7_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_spur_vs_freq.dir/fig8_spur_vs_freq.cpp.o"
+  "CMakeFiles/fig8_spur_vs_freq.dir/fig8_spur_vs_freq.cpp.o.d"
+  "fig8_spur_vs_freq"
+  "fig8_spur_vs_freq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_spur_vs_freq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_contributions.dir/fig9_contributions.cpp.o"
+  "CMakeFiles/fig9_contributions.dir/fig9_contributions.cpp.o.d"
+  "fig9_contributions"
+  "fig9_contributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_contributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

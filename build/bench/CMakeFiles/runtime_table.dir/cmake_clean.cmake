@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_table.dir/runtime_table.cpp.o"
+  "CMakeFiles/runtime_table.dir/runtime_table.cpp.o.d"
+  "runtime_table"
+  "runtime_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

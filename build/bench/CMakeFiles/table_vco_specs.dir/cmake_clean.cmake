@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_vco_specs.dir/table_vco_specs.cpp.o"
+  "CMakeFiles/table_vco_specs.dir/table_vco_specs.cpp.o.d"
+  "table_vco_specs"
+  "table_vco_specs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_vco_specs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

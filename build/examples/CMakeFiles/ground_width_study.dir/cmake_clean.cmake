@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ground_width_study.dir/ground_width_study.cpp.o"
+  "CMakeFiles/ground_width_study.dir/ground_width_study.cpp.o.d"
+  "ground_width_study"
+  "ground_width_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ground_width_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmos_backgate_probe.dir/nmos_backgate_probe.cpp.o"
+  "CMakeFiles/nmos_backgate_probe.dir/nmos_backgate_probe.cpp.o.d"
+  "nmos_backgate_probe"
+  "nmos_backgate_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmos_backgate_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

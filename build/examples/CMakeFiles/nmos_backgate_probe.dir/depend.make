@@ -1,0 +1,2 @@
+# Empty dependencies file for nmos_backgate_probe.
+# This may be replaced when dependencies are built.

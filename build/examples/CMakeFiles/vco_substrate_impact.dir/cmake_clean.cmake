@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vco_substrate_impact.dir/vco_substrate_impact.cpp.o"
+  "CMakeFiles/vco_substrate_impact.dir/vco_substrate_impact.cpp.o.d"
+  "vco_substrate_impact"
+  "vco_substrate_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vco_substrate_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/controlled.cpp" "src/CMakeFiles/snim_circuit.dir/circuit/controlled.cpp.o" "gcc" "src/CMakeFiles/snim_circuit.dir/circuit/controlled.cpp.o.d"
+  "/root/repo/src/circuit/device.cpp" "src/CMakeFiles/snim_circuit.dir/circuit/device.cpp.o" "gcc" "src/CMakeFiles/snim_circuit.dir/circuit/device.cpp.o.d"
+  "/root/repo/src/circuit/diode.cpp" "src/CMakeFiles/snim_circuit.dir/circuit/diode.cpp.o" "gcc" "src/CMakeFiles/snim_circuit.dir/circuit/diode.cpp.o.d"
+  "/root/repo/src/circuit/mosfet.cpp" "src/CMakeFiles/snim_circuit.dir/circuit/mosfet.cpp.o" "gcc" "src/CMakeFiles/snim_circuit.dir/circuit/mosfet.cpp.o.d"
+  "/root/repo/src/circuit/netlist.cpp" "src/CMakeFiles/snim_circuit.dir/circuit/netlist.cpp.o" "gcc" "src/CMakeFiles/snim_circuit.dir/circuit/netlist.cpp.o.d"
+  "/root/repo/src/circuit/passives.cpp" "src/CMakeFiles/snim_circuit.dir/circuit/passives.cpp.o" "gcc" "src/CMakeFiles/snim_circuit.dir/circuit/passives.cpp.o.d"
+  "/root/repo/src/circuit/sources.cpp" "src/CMakeFiles/snim_circuit.dir/circuit/sources.cpp.o" "gcc" "src/CMakeFiles/snim_circuit.dir/circuit/sources.cpp.o.d"
+  "/root/repo/src/circuit/spice_parser.cpp" "src/CMakeFiles/snim_circuit.dir/circuit/spice_parser.cpp.o" "gcc" "src/CMakeFiles/snim_circuit.dir/circuit/spice_parser.cpp.o.d"
+  "/root/repo/src/circuit/spice_writer.cpp" "src/CMakeFiles/snim_circuit.dir/circuit/spice_writer.cpp.o" "gcc" "src/CMakeFiles/snim_circuit.dir/circuit/spice_writer.cpp.o.d"
+  "/root/repo/src/circuit/varactor.cpp" "src/CMakeFiles/snim_circuit.dir/circuit/varactor.cpp.o" "gcc" "src/CMakeFiles/snim_circuit.dir/circuit/varactor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/snim_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snim_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

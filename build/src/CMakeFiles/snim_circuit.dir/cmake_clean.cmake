@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snim_circuit.dir/circuit/controlled.cpp.o"
+  "CMakeFiles/snim_circuit.dir/circuit/controlled.cpp.o.d"
+  "CMakeFiles/snim_circuit.dir/circuit/device.cpp.o"
+  "CMakeFiles/snim_circuit.dir/circuit/device.cpp.o.d"
+  "CMakeFiles/snim_circuit.dir/circuit/diode.cpp.o"
+  "CMakeFiles/snim_circuit.dir/circuit/diode.cpp.o.d"
+  "CMakeFiles/snim_circuit.dir/circuit/mosfet.cpp.o"
+  "CMakeFiles/snim_circuit.dir/circuit/mosfet.cpp.o.d"
+  "CMakeFiles/snim_circuit.dir/circuit/netlist.cpp.o"
+  "CMakeFiles/snim_circuit.dir/circuit/netlist.cpp.o.d"
+  "CMakeFiles/snim_circuit.dir/circuit/passives.cpp.o"
+  "CMakeFiles/snim_circuit.dir/circuit/passives.cpp.o.d"
+  "CMakeFiles/snim_circuit.dir/circuit/sources.cpp.o"
+  "CMakeFiles/snim_circuit.dir/circuit/sources.cpp.o.d"
+  "CMakeFiles/snim_circuit.dir/circuit/spice_parser.cpp.o"
+  "CMakeFiles/snim_circuit.dir/circuit/spice_parser.cpp.o.d"
+  "CMakeFiles/snim_circuit.dir/circuit/spice_writer.cpp.o"
+  "CMakeFiles/snim_circuit.dir/circuit/spice_writer.cpp.o.d"
+  "CMakeFiles/snim_circuit.dir/circuit/varactor.cpp.o"
+  "CMakeFiles/snim_circuit.dir/circuit/varactor.cpp.o.d"
+  "libsnim_circuit.a"
+  "libsnim_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snim_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snim_core.dir/core/classify.cpp.o"
+  "CMakeFiles/snim_core.dir/core/classify.cpp.o.d"
+  "CMakeFiles/snim_core.dir/core/contribution.cpp.o"
+  "CMakeFiles/snim_core.dir/core/contribution.cpp.o.d"
+  "CMakeFiles/snim_core.dir/core/impact_flow.cpp.o"
+  "CMakeFiles/snim_core.dir/core/impact_flow.cpp.o.d"
+  "CMakeFiles/snim_core.dir/core/impact_model.cpp.o"
+  "CMakeFiles/snim_core.dir/core/impact_model.cpp.o.d"
+  "CMakeFiles/snim_core.dir/core/report.cpp.o"
+  "CMakeFiles/snim_core.dir/core/report.cpp.o.d"
+  "libsnim_core.a"
+  "libsnim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

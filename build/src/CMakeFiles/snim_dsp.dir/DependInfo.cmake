@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/fft.cpp" "src/CMakeFiles/snim_dsp.dir/dsp/fft.cpp.o" "gcc" "src/CMakeFiles/snim_dsp.dir/dsp/fft.cpp.o.d"
+  "/root/repo/src/dsp/goertzel.cpp" "src/CMakeFiles/snim_dsp.dir/dsp/goertzel.cpp.o" "gcc" "src/CMakeFiles/snim_dsp.dir/dsp/goertzel.cpp.o.d"
+  "/root/repo/src/dsp/spectrum.cpp" "src/CMakeFiles/snim_dsp.dir/dsp/spectrum.cpp.o" "gcc" "src/CMakeFiles/snim_dsp.dir/dsp/spectrum.cpp.o.d"
+  "/root/repo/src/dsp/window.cpp" "src/CMakeFiles/snim_dsp.dir/dsp/window.cpp.o" "gcc" "src/CMakeFiles/snim_dsp.dir/dsp/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/snim_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

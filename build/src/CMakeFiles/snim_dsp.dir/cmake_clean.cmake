@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snim_dsp.dir/dsp/fft.cpp.o"
+  "CMakeFiles/snim_dsp.dir/dsp/fft.cpp.o.d"
+  "CMakeFiles/snim_dsp.dir/dsp/goertzel.cpp.o"
+  "CMakeFiles/snim_dsp.dir/dsp/goertzel.cpp.o.d"
+  "CMakeFiles/snim_dsp.dir/dsp/spectrum.cpp.o"
+  "CMakeFiles/snim_dsp.dir/dsp/spectrum.cpp.o.d"
+  "CMakeFiles/snim_dsp.dir/dsp/window.cpp.o"
+  "CMakeFiles/snim_dsp.dir/dsp/window.cpp.o.d"
+  "libsnim_dsp.a"
+  "libsnim_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snim_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/grid_index.cpp" "src/CMakeFiles/snim_geom.dir/geom/grid_index.cpp.o" "gcc" "src/CMakeFiles/snim_geom.dir/geom/grid_index.cpp.o.d"
+  "/root/repo/src/geom/polygon.cpp" "src/CMakeFiles/snim_geom.dir/geom/polygon.cpp.o" "gcc" "src/CMakeFiles/snim_geom.dir/geom/polygon.cpp.o.d"
+  "/root/repo/src/geom/rect.cpp" "src/CMakeFiles/snim_geom.dir/geom/rect.cpp.o" "gcc" "src/CMakeFiles/snim_geom.dir/geom/rect.cpp.o.d"
+  "/root/repo/src/geom/transform.cpp" "src/CMakeFiles/snim_geom.dir/geom/transform.cpp.o" "gcc" "src/CMakeFiles/snim_geom.dir/geom/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/snim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snim_geom.dir/geom/grid_index.cpp.o"
+  "CMakeFiles/snim_geom.dir/geom/grid_index.cpp.o.d"
+  "CMakeFiles/snim_geom.dir/geom/polygon.cpp.o"
+  "CMakeFiles/snim_geom.dir/geom/polygon.cpp.o.d"
+  "CMakeFiles/snim_geom.dir/geom/rect.cpp.o"
+  "CMakeFiles/snim_geom.dir/geom/rect.cpp.o.d"
+  "CMakeFiles/snim_geom.dir/geom/transform.cpp.o"
+  "CMakeFiles/snim_geom.dir/geom/transform.cpp.o.d"
+  "libsnim_geom.a"
+  "libsnim_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snim_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

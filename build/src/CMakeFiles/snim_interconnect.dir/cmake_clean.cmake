@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snim_interconnect.dir/interconnect/extractor.cpp.o"
+  "CMakeFiles/snim_interconnect.dir/interconnect/extractor.cpp.o.d"
+  "CMakeFiles/snim_interconnect.dir/interconnect/fracture.cpp.o"
+  "CMakeFiles/snim_interconnect.dir/interconnect/fracture.cpp.o.d"
+  "libsnim_interconnect.a"
+  "libsnim_interconnect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snim_interconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snim_layout.dir/layout/connectivity.cpp.o"
+  "CMakeFiles/snim_layout.dir/layout/connectivity.cpp.o.d"
+  "CMakeFiles/snim_layout.dir/layout/io.cpp.o"
+  "CMakeFiles/snim_layout.dir/layout/io.cpp.o.d"
+  "CMakeFiles/snim_layout.dir/layout/layout.cpp.o"
+  "CMakeFiles/snim_layout.dir/layout/layout.cpp.o.d"
+  "libsnim_layout.a"
+  "libsnim_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snim_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mor/elimination.cpp" "src/CMakeFiles/snim_mor.dir/mor/elimination.cpp.o" "gcc" "src/CMakeFiles/snim_mor.dir/mor/elimination.cpp.o.d"
+  "/root/repo/src/mor/macromodel.cpp" "src/CMakeFiles/snim_mor.dir/mor/macromodel.cpp.o" "gcc" "src/CMakeFiles/snim_mor.dir/mor/macromodel.cpp.o.d"
+  "/root/repo/src/mor/reduce_solve.cpp" "src/CMakeFiles/snim_mor.dir/mor/reduce_solve.cpp.o" "gcc" "src/CMakeFiles/snim_mor.dir/mor/reduce_solve.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/snim_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snim_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snim_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

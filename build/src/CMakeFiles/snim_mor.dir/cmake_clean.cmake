@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snim_mor.dir/mor/elimination.cpp.o"
+  "CMakeFiles/snim_mor.dir/mor/elimination.cpp.o.d"
+  "CMakeFiles/snim_mor.dir/mor/macromodel.cpp.o"
+  "CMakeFiles/snim_mor.dir/mor/macromodel.cpp.o.d"
+  "CMakeFiles/snim_mor.dir/mor/reduce_solve.cpp.o"
+  "CMakeFiles/snim_mor.dir/mor/reduce_solve.cpp.o.d"
+  "libsnim_mor.a"
+  "libsnim_mor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snim_mor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numeric/dense.cpp" "src/CMakeFiles/snim_numeric.dir/numeric/dense.cpp.o" "gcc" "src/CMakeFiles/snim_numeric.dir/numeric/dense.cpp.o.d"
+  "/root/repo/src/numeric/sparse.cpp" "src/CMakeFiles/snim_numeric.dir/numeric/sparse.cpp.o" "gcc" "src/CMakeFiles/snim_numeric.dir/numeric/sparse.cpp.o.d"
+  "/root/repo/src/numeric/sparse_lu.cpp" "src/CMakeFiles/snim_numeric.dir/numeric/sparse_lu.cpp.o" "gcc" "src/CMakeFiles/snim_numeric.dir/numeric/sparse_lu.cpp.o.d"
+  "/root/repo/src/numeric/vecops.cpp" "src/CMakeFiles/snim_numeric.dir/numeric/vecops.cpp.o" "gcc" "src/CMakeFiles/snim_numeric.dir/numeric/vecops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/snim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

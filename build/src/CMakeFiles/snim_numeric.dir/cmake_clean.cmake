@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snim_numeric.dir/numeric/dense.cpp.o"
+  "CMakeFiles/snim_numeric.dir/numeric/dense.cpp.o.d"
+  "CMakeFiles/snim_numeric.dir/numeric/sparse.cpp.o"
+  "CMakeFiles/snim_numeric.dir/numeric/sparse.cpp.o.d"
+  "CMakeFiles/snim_numeric.dir/numeric/sparse_lu.cpp.o"
+  "CMakeFiles/snim_numeric.dir/numeric/sparse_lu.cpp.o.d"
+  "CMakeFiles/snim_numeric.dir/numeric/vecops.cpp.o"
+  "CMakeFiles/snim_numeric.dir/numeric/vecops.cpp.o.d"
+  "libsnim_numeric.a"
+  "libsnim_numeric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snim_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snim_package.dir/package/package.cpp.o"
+  "CMakeFiles/snim_package.dir/package/package.cpp.o.d"
+  "libsnim_package.a"
+  "libsnim_package.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snim_package.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

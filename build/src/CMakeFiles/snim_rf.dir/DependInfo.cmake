@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rf/oscillator.cpp" "src/CMakeFiles/snim_rf.dir/rf/oscillator.cpp.o" "gcc" "src/CMakeFiles/snim_rf.dir/rf/oscillator.cpp.o.d"
+  "/root/repo/src/rf/phase_noise.cpp" "src/CMakeFiles/snim_rf.dir/rf/phase_noise.cpp.o" "gcc" "src/CMakeFiles/snim_rf.dir/rf/phase_noise.cpp.o.d"
+  "/root/repo/src/rf/sensitivity.cpp" "src/CMakeFiles/snim_rf.dir/rf/sensitivity.cpp.o" "gcc" "src/CMakeFiles/snim_rf.dir/rf/sensitivity.cpp.o.d"
+  "/root/repo/src/rf/spur.cpp" "src/CMakeFiles/snim_rf.dir/rf/spur.cpp.o" "gcc" "src/CMakeFiles/snim_rf.dir/rf/spur.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/snim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snim_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snim_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snim_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snim_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

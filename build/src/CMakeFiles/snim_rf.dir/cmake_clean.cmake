@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snim_rf.dir/rf/oscillator.cpp.o"
+  "CMakeFiles/snim_rf.dir/rf/oscillator.cpp.o.d"
+  "CMakeFiles/snim_rf.dir/rf/phase_noise.cpp.o"
+  "CMakeFiles/snim_rf.dir/rf/phase_noise.cpp.o.d"
+  "CMakeFiles/snim_rf.dir/rf/sensitivity.cpp.o"
+  "CMakeFiles/snim_rf.dir/rf/sensitivity.cpp.o.d"
+  "CMakeFiles/snim_rf.dir/rf/spur.cpp.o"
+  "CMakeFiles/snim_rf.dir/rf/spur.cpp.o.d"
+  "libsnim_rf.a"
+  "libsnim_rf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snim_rf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsnim_rf.a"
+)

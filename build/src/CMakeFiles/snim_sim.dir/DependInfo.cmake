@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/ac.cpp" "src/CMakeFiles/snim_sim.dir/sim/ac.cpp.o" "gcc" "src/CMakeFiles/snim_sim.dir/sim/ac.cpp.o.d"
+  "/root/repo/src/sim/dc_sweep.cpp" "src/CMakeFiles/snim_sim.dir/sim/dc_sweep.cpp.o" "gcc" "src/CMakeFiles/snim_sim.dir/sim/dc_sweep.cpp.o.d"
+  "/root/repo/src/sim/mna.cpp" "src/CMakeFiles/snim_sim.dir/sim/mna.cpp.o" "gcc" "src/CMakeFiles/snim_sim.dir/sim/mna.cpp.o.d"
+  "/root/repo/src/sim/noise.cpp" "src/CMakeFiles/snim_sim.dir/sim/noise.cpp.o" "gcc" "src/CMakeFiles/snim_sim.dir/sim/noise.cpp.o.d"
+  "/root/repo/src/sim/op.cpp" "src/CMakeFiles/snim_sim.dir/sim/op.cpp.o" "gcc" "src/CMakeFiles/snim_sim.dir/sim/op.cpp.o.d"
+  "/root/repo/src/sim/transfer.cpp" "src/CMakeFiles/snim_sim.dir/sim/transfer.cpp.o" "gcc" "src/CMakeFiles/snim_sim.dir/sim/transfer.cpp.o.d"
+  "/root/repo/src/sim/transient.cpp" "src/CMakeFiles/snim_sim.dir/sim/transient.cpp.o" "gcc" "src/CMakeFiles/snim_sim.dir/sim/transient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/snim_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snim_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snim_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

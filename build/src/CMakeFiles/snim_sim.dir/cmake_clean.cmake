@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snim_sim.dir/sim/ac.cpp.o"
+  "CMakeFiles/snim_sim.dir/sim/ac.cpp.o.d"
+  "CMakeFiles/snim_sim.dir/sim/dc_sweep.cpp.o"
+  "CMakeFiles/snim_sim.dir/sim/dc_sweep.cpp.o.d"
+  "CMakeFiles/snim_sim.dir/sim/mna.cpp.o"
+  "CMakeFiles/snim_sim.dir/sim/mna.cpp.o.d"
+  "CMakeFiles/snim_sim.dir/sim/noise.cpp.o"
+  "CMakeFiles/snim_sim.dir/sim/noise.cpp.o.d"
+  "CMakeFiles/snim_sim.dir/sim/op.cpp.o"
+  "CMakeFiles/snim_sim.dir/sim/op.cpp.o.d"
+  "CMakeFiles/snim_sim.dir/sim/transfer.cpp.o"
+  "CMakeFiles/snim_sim.dir/sim/transfer.cpp.o.d"
+  "CMakeFiles/snim_sim.dir/sim/transient.cpp.o"
+  "CMakeFiles/snim_sim.dir/sim/transient.cpp.o.d"
+  "libsnim_sim.a"
+  "libsnim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

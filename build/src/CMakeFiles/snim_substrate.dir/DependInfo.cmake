@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/substrate/analytic.cpp" "src/CMakeFiles/snim_substrate.dir/substrate/analytic.cpp.o" "gcc" "src/CMakeFiles/snim_substrate.dir/substrate/analytic.cpp.o.d"
+  "/root/repo/src/substrate/extractor.cpp" "src/CMakeFiles/snim_substrate.dir/substrate/extractor.cpp.o" "gcc" "src/CMakeFiles/snim_substrate.dir/substrate/extractor.cpp.o.d"
+  "/root/repo/src/substrate/mesh.cpp" "src/CMakeFiles/snim_substrate.dir/substrate/mesh.cpp.o" "gcc" "src/CMakeFiles/snim_substrate.dir/substrate/mesh.cpp.o.d"
+  "/root/repo/src/substrate/ports.cpp" "src/CMakeFiles/snim_substrate.dir/substrate/ports.cpp.o" "gcc" "src/CMakeFiles/snim_substrate.dir/substrate/ports.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/snim_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snim_mor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snim_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snim_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snim_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snim_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snim_substrate.dir/substrate/analytic.cpp.o"
+  "CMakeFiles/snim_substrate.dir/substrate/analytic.cpp.o.d"
+  "CMakeFiles/snim_substrate.dir/substrate/extractor.cpp.o"
+  "CMakeFiles/snim_substrate.dir/substrate/extractor.cpp.o.d"
+  "CMakeFiles/snim_substrate.dir/substrate/mesh.cpp.o"
+  "CMakeFiles/snim_substrate.dir/substrate/mesh.cpp.o.d"
+  "CMakeFiles/snim_substrate.dir/substrate/ports.cpp.o"
+  "CMakeFiles/snim_substrate.dir/substrate/ports.cpp.o.d"
+  "libsnim_substrate.a"
+  "libsnim_substrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snim_substrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

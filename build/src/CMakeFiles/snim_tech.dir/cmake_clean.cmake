@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snim_tech.dir/tech/doping.cpp.o"
+  "CMakeFiles/snim_tech.dir/tech/doping.cpp.o.d"
+  "CMakeFiles/snim_tech.dir/tech/generic180.cpp.o"
+  "CMakeFiles/snim_tech.dir/tech/generic180.cpp.o.d"
+  "CMakeFiles/snim_tech.dir/tech/technology.cpp.o"
+  "CMakeFiles/snim_tech.dir/tech/technology.cpp.o.d"
+  "libsnim_tech.a"
+  "libsnim_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snim_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

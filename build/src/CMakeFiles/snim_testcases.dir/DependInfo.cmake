@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/testcases/nmos_structure.cpp" "src/CMakeFiles/snim_testcases.dir/testcases/nmos_structure.cpp.o" "gcc" "src/CMakeFiles/snim_testcases.dir/testcases/nmos_structure.cpp.o.d"
+  "/root/repo/src/testcases/vco.cpp" "src/CMakeFiles/snim_testcases.dir/testcases/vco.cpp.o" "gcc" "src/CMakeFiles/snim_testcases.dir/testcases/vco.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/snim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snim_interconnect.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snim_substrate.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snim_mor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snim_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snim_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snim_package.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snim_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snim_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snim_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snim_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snim_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snim_testcases.dir/testcases/nmos_structure.cpp.o"
+  "CMakeFiles/snim_testcases.dir/testcases/nmos_structure.cpp.o.d"
+  "CMakeFiles/snim_testcases.dir/testcases/vco.cpp.o"
+  "CMakeFiles/snim_testcases.dir/testcases/vco.cpp.o.d"
+  "libsnim_testcases.a"
+  "libsnim_testcases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snim_testcases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

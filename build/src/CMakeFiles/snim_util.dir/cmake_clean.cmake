@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snim_util.dir/util/csv.cpp.o"
+  "CMakeFiles/snim_util.dir/util/csv.cpp.o.d"
+  "CMakeFiles/snim_util.dir/util/error.cpp.o"
+  "CMakeFiles/snim_util.dir/util/error.cpp.o.d"
+  "CMakeFiles/snim_util.dir/util/log.cpp.o"
+  "CMakeFiles/snim_util.dir/util/log.cpp.o.d"
+  "CMakeFiles/snim_util.dir/util/rng.cpp.o"
+  "CMakeFiles/snim_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/snim_util.dir/util/strings.cpp.o"
+  "CMakeFiles/snim_util.dir/util/strings.cpp.o.d"
+  "CMakeFiles/snim_util.dir/util/table.cpp.o"
+  "CMakeFiles/snim_util.dir/util/table.cpp.o.d"
+  "CMakeFiles/snim_util.dir/util/units.cpp.o"
+  "CMakeFiles/snim_util.dir/util/units.cpp.o.d"
+  "libsnim_util.a"
+  "libsnim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

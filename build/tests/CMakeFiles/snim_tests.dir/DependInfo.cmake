@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/circuit_test.cpp" "tests/CMakeFiles/snim_tests.dir/circuit_test.cpp.o" "gcc" "tests/CMakeFiles/snim_tests.dir/circuit_test.cpp.o.d"
+  "/root/repo/tests/core_test.cpp" "tests/CMakeFiles/snim_tests.dir/core_test.cpp.o" "gcc" "tests/CMakeFiles/snim_tests.dir/core_test.cpp.o.d"
+  "/root/repo/tests/dsp_test.cpp" "tests/CMakeFiles/snim_tests.dir/dsp_test.cpp.o" "gcc" "tests/CMakeFiles/snim_tests.dir/dsp_test.cpp.o.d"
+  "/root/repo/tests/geom_test.cpp" "tests/CMakeFiles/snim_tests.dir/geom_test.cpp.o" "gcc" "tests/CMakeFiles/snim_tests.dir/geom_test.cpp.o.d"
+  "/root/repo/tests/interconnect_test.cpp" "tests/CMakeFiles/snim_tests.dir/interconnect_test.cpp.o" "gcc" "tests/CMakeFiles/snim_tests.dir/interconnect_test.cpp.o.d"
+  "/root/repo/tests/layout_test.cpp" "tests/CMakeFiles/snim_tests.dir/layout_test.cpp.o" "gcc" "tests/CMakeFiles/snim_tests.dir/layout_test.cpp.o.d"
+  "/root/repo/tests/mor_test.cpp" "tests/CMakeFiles/snim_tests.dir/mor_test.cpp.o" "gcc" "tests/CMakeFiles/snim_tests.dir/mor_test.cpp.o.d"
+  "/root/repo/tests/noise_test.cpp" "tests/CMakeFiles/snim_tests.dir/noise_test.cpp.o" "gcc" "tests/CMakeFiles/snim_tests.dir/noise_test.cpp.o.d"
+  "/root/repo/tests/numeric_test.cpp" "tests/CMakeFiles/snim_tests.dir/numeric_test.cpp.o" "gcc" "tests/CMakeFiles/snim_tests.dir/numeric_test.cpp.o.d"
+  "/root/repo/tests/package_test.cpp" "tests/CMakeFiles/snim_tests.dir/package_test.cpp.o" "gcc" "tests/CMakeFiles/snim_tests.dir/package_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/snim_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/snim_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/reduce_solve_test.cpp" "tests/CMakeFiles/snim_tests.dir/reduce_solve_test.cpp.o" "gcc" "tests/CMakeFiles/snim_tests.dir/reduce_solve_test.cpp.o.d"
+  "/root/repo/tests/rf_test.cpp" "tests/CMakeFiles/snim_tests.dir/rf_test.cpp.o" "gcc" "tests/CMakeFiles/snim_tests.dir/rf_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/snim_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/snim_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/substrate_test.cpp" "tests/CMakeFiles/snim_tests.dir/substrate_test.cpp.o" "gcc" "tests/CMakeFiles/snim_tests.dir/substrate_test.cpp.o.d"
+  "/root/repo/tests/tech_test.cpp" "tests/CMakeFiles/snim_tests.dir/tech_test.cpp.o" "gcc" "tests/CMakeFiles/snim_tests.dir/tech_test.cpp.o.d"
+  "/root/repo/tests/testcases_test.cpp" "tests/CMakeFiles/snim_tests.dir/testcases_test.cpp.o" "gcc" "tests/CMakeFiles/snim_tests.dir/testcases_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/snim_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/snim_tests.dir/util_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/snim_testcases.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snim_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snim_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snim_interconnect.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snim_substrate.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snim_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snim_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snim_mor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snim_package.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snim_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snim_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snim_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
