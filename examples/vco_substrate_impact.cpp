@@ -6,6 +6,8 @@
 #include <cstdio>
 
 #include "core/contribution.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "testcases/vco.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
@@ -57,5 +59,22 @@ int main() {
            meas.left_dbc(), meas.right_dbc(), meas.freq_dev);
     printf("  agreement : left %+.1f dB, right %+.1f dB\n",
            pred.left_dbc() - meas.left_dbc(), pred.right_dbc() - meas.right_dbc());
+
+    // With SNIM_OBS=1/text/json (or FlowOptions/TranOptions .observe) the
+    // registry has the full phase tree and solver counters of everything
+    // above; the JSON report is additionally written atexit for SNIM_OBS=json.
+    if (obs::enabled()) {
+        printf("\n== where the time went (obs registry) ==\n");
+        printf("  extraction  : %.2f s substrate + %.2f s interconnect\n",
+               obs::phase_seconds("flow/substrate_extract"),
+               obs::phase_seconds("flow/interconnect_extract"));
+        printf("  transient   : %.2f s over %llu steps, %llu Newton iterations\n",
+               obs::phase_seconds("sim/transient"),
+               static_cast<unsigned long long>(obs::counter_value("sim/transient/steps")),
+               static_cast<unsigned long long>(obs::phase_calls("sim/transient/newton")));
+        printf("  sparse LU   : %llu factorizations, %.2f s\n",
+               static_cast<unsigned long long>(obs::phase_calls("numeric/lu_factor")),
+               obs::phase_seconds("numeric/lu_factor"));
+    }
     return 0;
 }

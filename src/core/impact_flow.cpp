@@ -4,6 +4,7 @@
 
 #include "layout/connectivity.hpp"
 #include "mor/macromodel.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
@@ -19,6 +20,8 @@ const interconnect::NetStats* ImpactModel::wire_stats_for(const std::string& net
 ImpactModel build_impact_model(FlowInputs inputs, const FlowOptions& opt) {
     SNIM_ASSERT(inputs.layout != nullptr && inputs.tech != nullptr,
                 "flow needs layout and technology");
+    if (opt.observe) obs::set_enabled(true);
+    obs::ScopedTimer obs_flow("flow/build_impact_model");
     const layout::Layout& lay = *inputs.layout;
     const tech::Technology& tech = *inputs.tech;
 
@@ -62,6 +65,9 @@ ImpactModel build_impact_model(FlowInputs inputs, const FlowOptions& opt) {
     }
 
     // --- substrate extraction ----------------------------------------------
+    // The extractors record their own flow/substrate_extract and
+    // flow/interconnect_extract phases; the *_seconds fields mirror those
+    // registry entries for API compatibility.
     ImpactModel out;
     out.substrate = substrate::extract_substrate(area, tech.substrate(), ports,
                                                  opt.substrate);
@@ -89,11 +95,21 @@ ImpactModel build_impact_model(FlowInputs inputs, const FlowOptions& opt) {
     // Substrate macromodel first (creates the port-named nodes), then the
     // wiring (shares tap ports / surface patches by name), then the
     // schematic (shares pin nodes), then the package.
-    mor::instantiate(out.substrate.reduced, out.netlist, out.substrate.port_names,
-                     "sub:");
-    out.netlist.absorb(std::move(ic.netlist), "", {});
-    out.netlist.absorb(std::move(inputs.schematic), "", {});
-    inputs.package.instantiate(out.netlist);
+    {
+        obs::ScopedTimer obs_stitch("flow/stitch");
+        mor::instantiate(out.substrate.reduced, out.netlist, out.substrate.port_names,
+                         "sub:");
+        out.netlist.absorb(std::move(ic.netlist), "", {});
+        out.netlist.absorb(std::move(inputs.schematic), "", {});
+        inputs.package.instantiate(out.netlist);
+    }
+    if (obs::enabled()) {
+        obs::count("flow/builds");
+        obs::record_value("flow/model_devices",
+                          static_cast<double>(out.netlist.device_count()));
+        obs::record_value("flow/model_nodes",
+                          static_cast<double>(out.netlist.node_count()));
+    }
 
     log_info("impact model: %zu devices, %zu nodes (mesh %zu -> %zu ports)",
              out.netlist.device_count(), out.netlist.node_count(), out.mesh_nodes,

@@ -26,6 +26,11 @@ struct FlowOptions {
     int surface_patches = 3;
     /// Automatically derive resistive tap ports from layout subtap shapes.
     bool auto_tap_ports = true;
+    /// Turn on the obs registry for this flow (equivalent to SNIM_OBS=1):
+    /// per-stage phases (flow/substrate_extract, flow/interconnect_extract,
+    /// flow/stitch) and extraction counters are recorded and can be read
+    /// back via obs::phase_stats / obs::report_json.
+    bool observe = false;
 };
 
 struct FlowInputs {

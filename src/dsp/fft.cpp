@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/units.hpp"
 
@@ -19,6 +20,8 @@ namespace {
 void fft_core(std::vector<std::complex<double>>& a, bool inverse) {
     const size_t n = a.size();
     SNIM_ASSERT(n > 0 && (n & (n - 1)) == 0, "FFT size %zu not a power of two", n);
+    obs::ScopedTimer obs_timer("dsp/fft");
+    if (obs::enabled()) obs::record_value("dsp/fft_size", static_cast<double>(n));
 
     // Bit-reversal permutation.
     for (size_t i = 1, j = 0; i < n; ++i) {

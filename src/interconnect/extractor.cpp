@@ -1,12 +1,12 @@
 #include "interconnect/extractor.hpp"
 
-#include <chrono>
 #include <map>
 #include <unordered_map>
 
 #include "circuit/passives.hpp"
 #include "geom/grid_index.hpp"
 #include "interconnect/fracture.hpp"
+#include "obs/trace.hpp"
 #include "substrate/ports.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -48,7 +48,8 @@ InterconnectModel extract_interconnect(const std::vector<layout::Shape>& shapes,
                                        const std::vector<WirePin>& pins,
                                        const ExtractOptions& opt) {
     SNIM_ASSERT(shapes.size() == nets.shape_net.size(), "shapes/nets size mismatch");
-    const auto t0 = std::chrono::steady_clock::now();
+    // Always times: extract_seconds is a public result field.
+    obs::ScopedTimer obs_timer("flow/interconnect_extract", obs::Timing::Always);
 
     InterconnectModel out;
     circuit::Netlist& nl = out.netlist;
@@ -298,8 +299,13 @@ InterconnectModel extract_interconnect(const std::vector<layout::Shape>& shapes,
     }
 
     for (auto& [net, st] : stats) out.stats.push_back(std::move(st));
-    out.extract_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    out.extract_seconds = obs_timer.stop();
+    if (obs::enabled()) {
+        obs::count("interconnect/devices", nl.device_count());
+        obs::count("interconnect/nets", out.stats.size());
+        for (const auto& st : out.stats)
+            obs::count("interconnect/segments", static_cast<uint64_t>(st.segment_count));
+    }
     log_info("interconnect: %zu devices, %zu nets in %.2fs", nl.device_count(),
              out.stats.size(), out.extract_seconds);
     return out;

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "numeric/dense.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace snim::mor {
@@ -61,8 +62,11 @@ struct PairHash {
 
 RcNetwork eliminate_internal(const RcNetwork& net, const std::vector<int>& ports,
                              double drop_tol) {
+    obs::ScopedTimer obs_timer("mor/eliminate_internal");
     const size_t n = net.node_count;
     SNIM_ASSERT(!ports.empty(), "need at least one port");
+    if (obs::enabled() && n >= ports.size())
+        obs::count("mor/nodes_eliminated", n - ports.size());
 
     Work w;
     w.adj.resize(n);

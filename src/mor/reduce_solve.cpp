@@ -2,6 +2,7 @@
 #include <unordered_map>
 
 #include "mor/elimination.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -55,7 +56,10 @@ bool pcg(const Csr& a, const std::vector<double>& b, std::vector<double>& x,
             r[i] -= alpha * ap[i];
             rnorm += r[i] * r[i];
         }
-        if (std::sqrt(rnorm) <= tol * bnorm) return true;
+        if (std::sqrt(rnorm) <= tol * bnorm) {
+            if (obs::enabled()) obs::record_value("mor/cg_iters", it + 1);
+            return true;
+        }
         double rz_new = 0.0;
         for (size_t i = 0; i < n; ++i) {
             z[i] = r[i] / a.diag[i];
@@ -72,6 +76,7 @@ bool pcg(const Csr& a, const std::vector<double>& b, std::vector<double>& x,
 
 RcNetwork reduce_by_solve(const RcNetwork& net, const std::vector<int>& ports,
                           double cg_tol, int max_iter) {
+    obs::ScopedTimer obs_timer("mor/reduce_by_solve");
     const size_t n = net.node_count;
     const size_t np = ports.size();
     SNIM_ASSERT(np >= 1, "need at least one port");
@@ -159,6 +164,7 @@ RcNetwork reduce_by_solve(const RcNetwork& net, const std::vector<int>& ports,
             w[j] = {};
             continue;
         }
+        obs::count("mor/cg_solves");
         if (!pcg(a, rhs, w[j], cg_tol, max_iter))
             raise("substrate reduction: CG failed to converge for port %zu", j);
     }

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/trace.hpp"
+
 namespace snim {
 
 namespace {
@@ -15,6 +17,7 @@ template <class T>
 DenseLU<T>::DenseLU(DenseMatrix<T> a) : lu_(std::move(a)) {
     SNIM_ASSERT(lu_.rows() == lu_.cols(), "LU needs a square matrix, got %zux%zu",
                 lu_.rows(), lu_.cols());
+    obs::ScopedTimer obs_timer("numeric/dense_lu_factor");
     const size_t n = lu_.rows();
     perm_.resize(n);
     for (size_t i = 0; i < n; ++i) perm_[i] = i;

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/trace.hpp"
+
 namespace snim {
 
 namespace {
@@ -16,6 +18,8 @@ double mag(const T& v) {
 template <class T>
 SparseLU<T>::SparseLU(const SparseCSC<T>& a, double pivot_tol) : n_(a.size()) {
     SNIM_ASSERT(pivot_tol >= 0.0 && pivot_tol <= 1.0, "pivot_tol out of range");
+    obs::ScopedTimer obs_timer("numeric/lu_factor");
+    size_t pivot_swaps = 0;
     l_.resize(n_);
     u_.resize(n_);
     pinv_.assign(n_, -1);
@@ -99,6 +103,7 @@ SparseLU<T>::SparseLU(const SparseCSC<T>& a, double pivot_tol) : n_(a.size()) {
         // Prefer the diagonal when acceptable (only if row k is in the pattern).
         if (pinv_[kk] < 0 && mark[kk] == k && mag(x[kk]) >= pivot_tol * best) ipiv = k;
 
+        if (ipiv != k) ++pivot_swaps;
         const T pivot = x[static_cast<size_t>(ipiv)];
 
         // --- gather U(:,k) (pivoted rows) and L(:,k) (remaining rows) ---
@@ -126,11 +131,18 @@ SparseLU<T>::SparseLU(const SparseCSC<T>& a, double pivot_tol) : n_(a.size()) {
     // Remap L row indices into pivot coordinates so solves are triangular.
     for (auto& col : l_)
         for (auto& e : col) e.row = pinv_[static_cast<size_t>(e.row)];
+
+    if (obs::enabled()) {
+        obs::count("numeric/lu_pivot_swaps", pivot_swaps);
+        obs::record_value("numeric/lu_fill_nnz", static_cast<double>(nnz()));
+        obs::record_value("numeric/lu_dim", static_cast<double>(n_));
+    }
 }
 
 template <class T>
 std::vector<T> SparseLU<T>::solve(const std::vector<T>& b) const {
     SNIM_ASSERT(b.size() == n_, "rhs size %zu != %zu", b.size(), n_);
+    obs::ScopedTimer obs_timer("numeric/lu_solve");
     std::vector<T> x(n_);
     for (size_t i = 0; i < n_; ++i) x[static_cast<size_t>(pinv_[i])] = b[i];
     // L y = Pb (unit lower, diagonal first in each column).
@@ -157,6 +169,7 @@ std::vector<T> SparseLU<T>::solve(const std::vector<T>& b) const {
 template <class T>
 std::vector<T> SparseLU<T>::solve_transpose(const std::vector<T>& b) const {
     SNIM_ASSERT(b.size() == n_, "rhs size %zu != %zu", b.size(), n_);
+    obs::ScopedTimer obs_timer("numeric/lu_solve");
     // A^T = (P^T L U)^T = U^T L^T P, so solve U^T y = b, L^T z = y, x = P^T z.
     std::vector<T> x = b;
     // U^T y = b: forward substitution over columns of U used as rows.

@@ -1,0 +1,277 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace snim::obs {
+
+std::string json_quote(std::string_view s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20)
+                    out += format("\\u%04x", c);
+                else
+                    out.push_back(c);
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+const Json& Json::at(const std::string& key) const {
+    SNIM_ASSERT(is_object(), "json: at('%s') on a non-object", key.c_str());
+    const auto& obj = as_object();
+    auto it = obj.find(key);
+    if (it == obj.end()) raise("json: missing key '%s'", key.c_str());
+    return it->second;
+}
+
+bool Json::contains(const std::string& key) const {
+    return is_object() && as_object().count(key) > 0;
+}
+
+namespace {
+
+void dump_value(const Json& j, std::string& out, int indent, int depth) {
+    const std::string pad = indent < 0 ? "" : std::string(static_cast<size_t>(indent) *
+                                                          static_cast<size_t>(depth + 1), ' ');
+    const std::string close_pad =
+        indent < 0 ? "" : std::string(static_cast<size_t>(indent) *
+                                      static_cast<size_t>(depth), ' ');
+    const char* nl = indent < 0 ? "" : "\n";
+    if (j.is_null()) {
+        out += "null";
+    } else if (j.is_bool()) {
+        out += j.as_bool() ? "true" : "false";
+    } else if (j.is_number()) {
+        const double v = j.as_number();
+        if (!std::isfinite(v)) {
+            out += "null"; // JSON has no inf/nan
+        } else if (v == std::floor(v) && std::fabs(v) < 1e15) {
+            out += format("%.0f", v);
+        } else {
+            out += format("%.17g", v);
+        }
+    } else if (j.is_string()) {
+        out += json_quote(j.as_string());
+    } else if (j.is_array()) {
+        const auto& arr = j.as_array();
+        if (arr.empty()) {
+            out += "[]";
+            return;
+        }
+        out += "[";
+        out += nl;
+        for (size_t i = 0; i < arr.size(); ++i) {
+            out += pad;
+            dump_value(arr[i], out, indent, depth + 1);
+            if (i + 1 < arr.size()) out += ",";
+            out += nl;
+        }
+        out += close_pad;
+        out += "]";
+    } else {
+        const auto& obj = j.as_object();
+        if (obj.empty()) {
+            out += "{}";
+            return;
+        }
+        out += "{";
+        out += nl;
+        size_t i = 0;
+        for (const auto& [key, val] : obj) {
+            out += pad;
+            out += json_quote(key);
+            out += indent < 0 ? ":" : ": ";
+            dump_value(val, out, indent, depth + 1);
+            if (++i < obj.size()) out += ",";
+            out += nl;
+        }
+        out += close_pad;
+        out += "}";
+    }
+}
+
+class Parser {
+public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    Json run() {
+        Json v = value();
+        skip_ws();
+        if (pos_ != text_.size()) fail("trailing content");
+        return v;
+    }
+
+private:
+    std::string_view text_;
+    size_t pos_ = 0;
+
+    [[noreturn]] void fail(const char* what) const {
+        raise("json parse error at byte %zu: %s", pos_, what);
+    }
+
+    char peek() const {
+        if (pos_ >= text_.size()) raise("json parse error: unexpected end of input");
+        return text_[pos_];
+    }
+
+    void skip_ws() {
+        while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool consume(char c) {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    void expect(char c) {
+        if (!consume(c)) fail(format("expected '%c'", c).c_str());
+    }
+
+    void expect_word(std::string_view w) {
+        if (text_.substr(pos_, w.size()) != w) fail("bad literal");
+        pos_ += w.size();
+    }
+
+    Json value() {
+        skip_ws();
+        const char c = peek();
+        switch (c) {
+            case '{': return object();
+            case '[': return array();
+            case '"': return Json(string());
+            case 't': expect_word("true"); return Json(true);
+            case 'f': expect_word("false"); return Json(false);
+            case 'n': expect_word("null"); return Json(nullptr);
+            default: return number();
+        }
+    }
+
+    Json object() {
+        expect('{');
+        JsonObject out;
+        skip_ws();
+        if (consume('}')) return Json(std::move(out));
+        while (true) {
+            skip_ws();
+            std::string key = string();
+            skip_ws();
+            expect(':');
+            out.emplace(std::move(key), value());
+            skip_ws();
+            if (consume(',')) continue;
+            expect('}');
+            return Json(std::move(out));
+        }
+    }
+
+    Json array() {
+        expect('[');
+        JsonArray out;
+        skip_ws();
+        if (consume(']')) return Json(std::move(out));
+        while (true) {
+            out.push_back(value());
+            skip_ws();
+            if (consume(',')) continue;
+            expect(']');
+            return Json(std::move(out));
+        }
+    }
+
+    std::string string() {
+        expect('"');
+        std::string out;
+        while (true) {
+            const char c = peek();
+            ++pos_;
+            if (c == '"') return out;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            const char esc = peek();
+            ++pos_;
+            switch (esc) {
+                case '"': out.push_back('"'); break;
+                case '\\': out.push_back('\\'); break;
+                case '/': out.push_back('/'); break;
+                case 'b': out.push_back('\b'); break;
+                case 'f': out.push_back('\f'); break;
+                case 'n': out.push_back('\n'); break;
+                case 'r': out.push_back('\r'); break;
+                case 't': out.push_back('\t'); break;
+                case 'u': {
+                    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+                    unsigned code = 0;
+                    for (int k = 0; k < 4; ++k) {
+                        const char h = text_[pos_++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+                        else fail("bad \\u escape");
+                    }
+                    // Reports only ever emit \u00xx; encode as UTF-8.
+                    if (code < 0x80) {
+                        out.push_back(static_cast<char>(code));
+                    } else if (code < 0x800) {
+                        out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+                        out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+                    } else {
+                        out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+                        out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+                        out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+                    }
+                    break;
+                }
+                default: fail("bad escape");
+            }
+        }
+    }
+
+    Json number() {
+        const size_t start = pos_;
+        if (consume('-')) {}
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+                text_[pos_] == '+' || text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start) fail("expected a value");
+        const std::string tok(text_.substr(start, pos_ - start));
+        char* end = nullptr;
+        const double v = std::strtod(tok.c_str(), &end);
+        if (end != tok.c_str() + tok.size()) fail("bad number");
+        return Json(v);
+    }
+};
+
+} // namespace
+
+std::string Json::dump(int indent) const {
+    std::string out;
+    dump_value(*this, out, indent, 0);
+    return out;
+}
+
+Json Json::parse(std::string_view text) { return Parser(text).run(); }
+
+} // namespace snim::obs

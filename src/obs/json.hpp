@@ -1,0 +1,69 @@
+// Minimal JSON reader/writer for the obs run reports.
+//
+// Scope is deliberately tiny: enough to emit machine-readable reports and
+// to parse them back (round-trip checks in tests, downstream tooling that
+// diffs two runs).  UTF-8 passthrough, no comments, doubles only.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace snim::obs {
+
+class Json;
+using JsonArray = std::vector<Json>;
+using JsonObject = std::map<std::string, Json>;
+
+class Json {
+public:
+    Json() : value_(nullptr) {}
+    Json(std::nullptr_t) : value_(nullptr) {}
+    Json(bool b) : value_(b) {}
+    Json(double d) : value_(d) {}
+    Json(int i) : value_(static_cast<double>(i)) {}
+    Json(uint64_t u) : value_(static_cast<double>(u)) {}
+    Json(const char* s) : value_(std::string(s)) {}
+    Json(std::string s) : value_(std::move(s)) {}
+    Json(JsonArray a) : value_(std::move(a)) {}
+    Json(JsonObject o) : value_(std::move(o)) {}
+
+    bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+    bool is_bool() const { return std::holds_alternative<bool>(value_); }
+    bool is_number() const { return std::holds_alternative<double>(value_); }
+    bool is_string() const { return std::holds_alternative<std::string>(value_); }
+    bool is_array() const { return std::holds_alternative<JsonArray>(value_); }
+    bool is_object() const { return std::holds_alternative<JsonObject>(value_); }
+
+    bool as_bool() const { return std::get<bool>(value_); }
+    double as_number() const { return std::get<double>(value_); }
+    const std::string& as_string() const { return std::get<std::string>(value_); }
+    const JsonArray& as_array() const { return std::get<JsonArray>(value_); }
+    const JsonObject& as_object() const { return std::get<JsonObject>(value_); }
+    JsonArray& as_array() { return std::get<JsonArray>(value_); }
+    JsonObject& as_object() { return std::get<JsonObject>(value_); }
+
+    /// Object member access; throws snim::Error when absent or not an object.
+    const Json& at(const std::string& key) const;
+    /// True when this is an object containing `key`.
+    bool contains(const std::string& key) const;
+
+    /// Serialises; indent < 0 gives a single line.
+    std::string dump(int indent = 2) const;
+
+    /// Parses a complete JSON document; throws snim::Error with the byte
+    /// offset on malformed input.
+    static Json parse(std::string_view text);
+
+private:
+    std::variant<std::nullptr_t, bool, double, std::string, JsonArray, JsonObject> value_;
+};
+
+/// Escapes a string for embedding in JSON output (adds the quotes).
+std::string json_quote(std::string_view s);
+
+} // namespace snim::obs

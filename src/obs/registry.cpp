@@ -1,0 +1,243 @@
+#include "obs/registry.hpp"
+
+#if SNIM_OBS_ENABLED
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "obs/report.hpp"
+
+namespace snim::obs {
+
+namespace {
+
+/// Histogram: exact count/sum/min/max plus a bounded reservoir sample for
+/// quantiles, so a million-step transient cannot exhaust memory.  The
+/// reservoir uses a deterministic per-histogram LCG, keeping reports
+/// reproducible run to run.
+struct Histogram {
+    static constexpr size_t kReservoir = 4096;
+
+    uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::vector<double> sample;
+    uint64_t lcg = 0x9e3779b97f4a7c15ull;
+
+    void add(double v) {
+        if (count == 0) {
+            min = max = v;
+        } else {
+            min = std::min(min, v);
+            max = std::max(max, v);
+        }
+        ++count;
+        sum += v;
+        if (sample.size() < kReservoir) {
+            sample.push_back(v);
+        } else {
+            lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+            const uint64_t slot = (lcg >> 11) % count;
+            if (slot < kReservoir) sample[static_cast<size_t>(slot)] = v;
+        }
+    }
+
+    ValueStats stats() const {
+        ValueStats s;
+        s.count = count;
+        s.sum = sum;
+        s.min = min;
+        s.max = max;
+        s.mean = count ? sum / static_cast<double>(count) : 0.0;
+        if (!sample.empty()) {
+            std::vector<double> sorted = sample;
+            std::sort(sorted.begin(), sorted.end());
+            auto quantile = [&](double q) {
+                const double pos = q * static_cast<double>(sorted.size() - 1);
+                const size_t lo = static_cast<size_t>(pos);
+                const size_t hi = std::min(lo + 1, sorted.size() - 1);
+                const double frac = pos - static_cast<double>(lo);
+                return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+            };
+            s.p50 = quantile(0.50);
+            s.p95 = quantile(0.95);
+        }
+        return s;
+    }
+};
+
+struct Registry {
+    std::mutex mu;
+    // std::map keeps snapshots name-sorted for free; registries hold tens
+    // of entries, so the log-n lookup is irrelevant next to the lock.
+    std::map<std::string, uint64_t, std::less<>> counters;
+    std::map<std::string, Histogram, std::less<>> values;
+    std::map<std::string, PhaseStats, std::less<>> phases;
+    ReportMode mode = ReportMode::None;
+};
+
+std::atomic<bool> g_enabled{false};
+
+Registry& registry() {
+    // Leaked on purpose: the atexit report writer and late ScopedTimer
+    // destructors must never race static destruction.
+    static Registry* r = [] {
+        Registry* reg = new Registry;
+        if (const char* env = std::getenv("SNIM_OBS")) {
+            const std::string v = env;
+            if (v == "json") {
+                reg->mode = ReportMode::Json;
+            } else if (v == "1" || v == "on" || v == "text") {
+                reg->mode = ReportMode::Text;
+            }
+            if (reg->mode != ReportMode::None) {
+                g_enabled.store(true, std::memory_order_relaxed);
+                std::atexit(&write_env_report);
+            }
+        }
+        return reg;
+    }();
+    return *r;
+}
+
+} // namespace
+
+bool enabled() {
+    // Touch the registry once so SNIM_OBS is honoured even if no one called
+    // set_enabled(); after that it is a single relaxed load.
+    static const bool init = (registry(), true);
+    (void)init;
+    return g_enabled.load(std::memory_order_relaxed);
+}
+
+void set_enabled(bool on) {
+    registry();
+    g_enabled.store(on, std::memory_order_relaxed);
+}
+
+ReportMode report_mode() {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    return r.mode;
+}
+
+void count(std::string_view name, uint64_t delta) {
+    if (!enabled()) return;
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.counters.find(name);
+    if (it == r.counters.end())
+        r.counters.emplace(std::string(name), delta);
+    else
+        it->second += delta;
+}
+
+void record_value(std::string_view name, double value) {
+    if (!enabled()) return;
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.values.find(name);
+    if (it == r.values.end()) it = r.values.emplace(std::string(name), Histogram{}).first;
+    it->second.add(value);
+}
+
+void record_phase(std::string_view name, double seconds) {
+    if (!enabled()) return;
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.phases.find(name);
+    if (it == r.phases.end()) it = r.phases.emplace(std::string(name), PhaseStats{}).first;
+    ++it->second.calls;
+    it->second.seconds += seconds;
+}
+
+uint64_t counter_value(std::string_view name) {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.counters.find(name);
+    return it == r.counters.end() ? 0 : it->second;
+}
+
+std::optional<ValueStats> value_stats(std::string_view name) {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.values.find(name);
+    if (it == r.values.end()) return std::nullopt;
+    return it->second.stats();
+}
+
+PhaseStats phase_stats(std::string_view name) {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.phases.find(name);
+    return it == r.phases.end() ? PhaseStats{} : it->second;
+}
+
+double phase_seconds(std::string_view name) { return phase_stats(name).seconds; }
+uint64_t phase_calls(std::string_view name) { return phase_stats(name).calls; }
+
+std::vector<std::pair<std::string, uint64_t>> counters_snapshot() {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    return {r.counters.begin(), r.counters.end()};
+}
+
+std::vector<std::pair<std::string, ValueStats>> values_snapshot() {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    std::vector<std::pair<std::string, ValueStats>> out;
+    out.reserve(r.values.size());
+    for (const auto& [name, hist] : r.values) out.emplace_back(name, hist.stats());
+    return out;
+}
+
+std::vector<std::pair<std::string, PhaseStats>> phases_snapshot() {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    return {r.phases.begin(), r.phases.end()};
+}
+
+PhaseNode phase_tree() {
+    PhaseNode root;
+    for (const auto& [path, stats] : phases_snapshot()) {
+        PhaseNode* node = &root;
+        size_t begin = 0;
+        while (begin <= path.size()) {
+            const size_t slash = path.find('/', begin);
+            const std::string seg =
+                path.substr(begin, slash == std::string::npos ? std::string::npos
+                                                              : slash - begin);
+            auto it = std::find_if(node->children.begin(), node->children.end(),
+                                   [&](const PhaseNode& c) { return c.name == seg; });
+            if (it == node->children.end()) {
+                PhaseNode child;
+                child.name = seg;
+                child.path = node->path.empty() ? seg : node->path + "/" + seg;
+                node->children.push_back(std::move(child));
+                it = std::prev(node->children.end());
+            }
+            node = &*it;
+            if (slash == std::string::npos) break;
+            begin = slash + 1;
+        }
+        node->calls = stats.calls;
+        node->seconds = stats.seconds;
+    }
+    return root;
+}
+
+void reset() {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.counters.clear();
+    r.values.clear();
+    r.phases.clear();
+}
+
+} // namespace snim::obs
+
+#endif // SNIM_OBS_ENABLED

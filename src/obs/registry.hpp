@@ -1,0 +1,132 @@
+// Observability registry: named monotonic counters, value histograms and
+// hierarchical phase accumulators shared by the whole library.
+//
+// Design goals, in order:
+//   1. Near-zero overhead when disabled: every recording entry point loads
+//      one relaxed atomic and returns.  Hot paths (sparse LU, transient
+//      stepping) can therefore stay instrumented unconditionally.
+//   2. Thread-safe: all mutation goes through one registry mutex; the
+//      enabled flag is atomic.  Extraction and simulation are currently
+//      single-threaded but the ROADMAP points at sharded/batched flows.
+//   3. Compile-out: configure with -DSNIM_ENABLE_OBS=OFF and the whole
+//      subsystem collapses to inline no-ops (see the #else branch below),
+//      proving no functional dependency on the instrumentation.
+//
+// Phase names use '/'-separated paths ("sim/transient/newton"); the path
+// segments define the phase tree reported by obs/report.  Counter and
+// histogram names use the same convention for grouping only.
+//
+// Enabling: obs::set_enabled(true), or the SNIM_OBS environment variable
+// (read once, on first registry use):
+//   SNIM_OBS=0 / off / (unset)  -> disabled
+//   SNIM_OBS=1 / on / text      -> enabled, text report to stderr at exit
+//   SNIM_OBS=json               -> enabled, JSON report written at exit to
+//                                  SNIM_OBS_FILE (default snim_obs_report.json)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef SNIM_OBS_ENABLED
+#define SNIM_OBS_ENABLED 1
+#endif
+
+namespace snim::obs {
+
+/// Where the end-of-process report goes when driven by SNIM_OBS.
+enum class ReportMode { None, Text, Json };
+
+/// Aggregate statistics of one value histogram.
+struct ValueStats {
+    uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+};
+
+/// One phase accumulator: inclusive wall time and number of enter/exit pairs.
+struct PhaseStats {
+    uint64_t calls = 0;
+    double seconds = 0.0;
+};
+
+/// Node of the phase tree derived from '/'-separated phase names.  A node
+/// with calls == 0 is structural only (an interior path segment that was
+/// never timed itself).
+struct PhaseNode {
+    std::string name;                // last path segment
+    std::string path;                // full '/'-joined path
+    uint64_t calls = 0;
+    double seconds = 0.0;            // inclusive wall time of this phase
+    std::vector<PhaseNode> children; // sorted by name
+};
+
+#if SNIM_OBS_ENABLED
+
+/// True when the registry records; checked by every entry point.
+bool enabled();
+void set_enabled(bool on);
+
+/// Report destination requested via SNIM_OBS (None when disabled or unset).
+ReportMode report_mode();
+
+/// Adds `delta` to the named monotonic counter.
+void count(std::string_view name, uint64_t delta = 1);
+
+/// Records one sample of the named value histogram.
+void record_value(std::string_view name, double value);
+
+/// Accumulates one completed phase interval (normally via ScopedTimer).
+void record_phase(std::string_view name, double seconds);
+
+/// Current value of a counter; 0 when absent.
+uint64_t counter_value(std::string_view name);
+
+/// Stats of a histogram; nullopt when absent.
+std::optional<ValueStats> value_stats(std::string_view name);
+
+/// Accumulated stats of a phase; zero-initialised when absent.
+PhaseStats phase_stats(std::string_view name);
+double phase_seconds(std::string_view name);
+uint64_t phase_calls(std::string_view name);
+
+/// Snapshots, sorted by name, for reporting.
+std::vector<std::pair<std::string, uint64_t>> counters_snapshot();
+std::vector<std::pair<std::string, ValueStats>> values_snapshot();
+std::vector<std::pair<std::string, PhaseStats>> phases_snapshot();
+
+/// The phase tree implied by the '/'-separated phase names.  The root is a
+/// structural node with empty name holding the top-level phases.
+PhaseNode phase_tree();
+
+/// Clears every counter, histogram and phase (the enabled flag is kept).
+void reset();
+
+#else // SNIM_OBS_ENABLED — compiled out: inline no-ops.
+
+inline bool enabled() { return false; }
+inline void set_enabled(bool) {}
+inline ReportMode report_mode() { return ReportMode::None; }
+inline void count(std::string_view, uint64_t = 1) {}
+inline void record_value(std::string_view, double) {}
+inline void record_phase(std::string_view, double) {}
+inline uint64_t counter_value(std::string_view) { return 0; }
+inline std::optional<ValueStats> value_stats(std::string_view) { return {}; }
+inline PhaseStats phase_stats(std::string_view) { return {}; }
+inline double phase_seconds(std::string_view) { return 0.0; }
+inline uint64_t phase_calls(std::string_view) { return 0; }
+inline std::vector<std::pair<std::string, uint64_t>> counters_snapshot() { return {}; }
+inline std::vector<std::pair<std::string, ValueStats>> values_snapshot() { return {}; }
+inline std::vector<std::pair<std::string, PhaseStats>> phases_snapshot() { return {}; }
+inline PhaseNode phase_tree() { return {}; }
+inline void reset() {}
+
+#endif // SNIM_OBS_ENABLED
+
+} // namespace snim::obs

@@ -1,0 +1,152 @@
+#include "obs/report.hpp"
+
+#if SNIM_OBS_ENABLED
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+namespace snim::obs {
+
+namespace {
+
+Json phase_node_json(const PhaseNode& node) {
+    JsonObject out;
+    out.emplace("name", node.name);
+    out.emplace("path", node.path);
+    out.emplace("calls", node.calls);
+    out.emplace("seconds", node.seconds);
+    if (!node.children.empty()) {
+        JsonArray kids;
+        kids.reserve(node.children.size());
+        for (const auto& c : node.children) kids.push_back(phase_node_json(c));
+        out.emplace("children", std::move(kids));
+    }
+    return Json(std::move(out));
+}
+
+void phase_rows(const PhaseNode& node, int depth, Table& t) {
+    if (depth >= 0) { // skip the structural root
+        const std::string label = std::string(static_cast<size_t>(2 * depth), ' ') +
+                                  (node.name.empty() ? "(root)" : node.name);
+        t.add_row({label, node.calls ? format("%llu", static_cast<unsigned long long>(node.calls)) : "-",
+                   node.calls ? format("%.4f", node.seconds) : "-",
+                   node.calls && node.seconds > 0.0
+                       ? format("%.3g", node.seconds / static_cast<double>(node.calls))
+                       : "-"});
+    }
+    for (const auto& c : node.children) phase_rows(c, depth + 1, t);
+}
+
+} // namespace
+
+Json report_json() {
+    JsonObject root;
+
+    // Phase tree plus a flat map for easy lookup by full path.
+    const PhaseNode tree = phase_tree();
+    JsonArray top;
+    for (const auto& c : tree.children) top.push_back(phase_node_json(c));
+    root.emplace("phases", std::move(top));
+
+    JsonObject flat;
+    for (const auto& [name, stats] : phases_snapshot()) {
+        JsonObject p;
+        p.emplace("calls", stats.calls);
+        p.emplace("seconds", stats.seconds);
+        flat.emplace(name, std::move(p));
+    }
+    root.emplace("phases_flat", std::move(flat));
+
+    JsonObject counters;
+    for (const auto& [name, v] : counters_snapshot()) counters.emplace(name, v);
+    root.emplace("counters", std::move(counters));
+
+    JsonObject values;
+    for (const auto& [name, s] : values_snapshot()) {
+        JsonObject v;
+        v.emplace("count", s.count);
+        v.emplace("sum", s.sum);
+        v.emplace("min", s.min);
+        v.emplace("max", s.max);
+        v.emplace("mean", s.mean);
+        v.emplace("p50", s.p50);
+        v.emplace("p95", s.p95);
+        values.emplace(name, std::move(v));
+    }
+    root.emplace("values", std::move(values));
+
+    JsonObject log;
+    log.emplace("warnings", log_emit_count(LogLevel::Warn));
+    log.emplace("infos", log_emit_count(LogLevel::Info));
+    root.emplace("log", std::move(log));
+
+    return Json(std::move(root));
+}
+
+std::string report_text() {
+    std::string out = "== observability report ==\n";
+
+    const PhaseNode tree = phase_tree();
+    if (!tree.children.empty()) {
+        Table phases({"phase", "calls", "seconds", "s/call"});
+        phase_rows(tree, -1, phases);
+        out += phases.to_string();
+    }
+
+    const auto counters = counters_snapshot();
+    if (!counters.empty()) {
+        Table t({"counter", "value"});
+        for (const auto& [name, v] : counters)
+            t.add_row({name, format("%llu", static_cast<unsigned long long>(v))});
+        out += t.to_string();
+    }
+
+    const auto values = values_snapshot();
+    if (!values.empty()) {
+        Table t({"value", "count", "mean", "min", "p50", "p95", "max"});
+        for (const auto& [name, s] : values)
+            t.add_row({name, format("%llu", static_cast<unsigned long long>(s.count)),
+                       format("%.4g", s.mean), format("%.4g", s.min),
+                       format("%.4g", s.p50), format("%.4g", s.p95),
+                       format("%.4g", s.max)});
+        out += t.to_string();
+    }
+
+    const size_t warns = log_emit_count(LogLevel::Warn);
+    if (warns > 0) out += format("log warnings: %zu\n", warns);
+    return out;
+}
+
+void write_env_report() {
+    switch (report_mode()) {
+        case ReportMode::None:
+            return;
+        case ReportMode::Text:
+            std::fputs(report_text().c_str(), stderr);
+            return;
+        case ReportMode::Json: {
+            const char* env = std::getenv("SNIM_OBS_FILE");
+            const std::string path = env && *env ? env : "snim_obs_report.json";
+            FILE* f = std::fopen(path.c_str(), "w");
+            if (!f) {
+                std::fprintf(stderr, "[snim obs] cannot write report to '%s'\n",
+                             path.c_str());
+                return;
+            }
+            const std::string doc = report_json().dump(2);
+            std::fwrite(doc.data(), 1, doc.size(), f);
+            std::fputc('\n', f);
+            std::fclose(f);
+            std::fprintf(stderr, "[snim obs] run report written to %s\n", path.c_str());
+            return;
+        }
+    }
+}
+
+} // namespace snim::obs
+
+#endif // SNIM_OBS_ENABLED

@@ -1,0 +1,96 @@
+// RAII phase tracers feeding the obs registry.
+//
+// ScopedTimer measures the inclusive wall time of one phase; nested timers
+// with '/'-separated names ("sim/transient", "sim/transient/newton") form
+// the phase tree rendered by obs/report.  Two timing policies:
+//
+//   Timing::WhenEnabled (default) — the constructor loads the enabled flag
+//     once; when observability is off no clock is read and the destructor
+//     is a branch on a bool.  Use this on hot paths (per-factor, per-step).
+//   Timing::Always — the clock is always read so elapsed()/stop() return
+//     real durations even when recording is off; recording still only
+//     happens when enabled.  Use this for coarse once-per-run phases whose
+//     duration feeds a public result field (extraction seconds).
+#pragma once
+
+#include <chrono>
+
+#include "obs/registry.hpp"
+
+namespace snim::obs {
+
+enum class Timing { WhenEnabled, Always };
+
+#if SNIM_OBS_ENABLED
+
+class ScopedTimer {
+public:
+    explicit ScopedTimer(std::string_view phase, Timing timing = Timing::WhenEnabled)
+        : phase_(phase), record_(enabled()), timing_(record_ || timing == Timing::Always) {
+        if (timing_) start_ = Clock::now();
+    }
+
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+    ~ScopedTimer() { stop(); }
+
+    /// Seconds since construction (0 under Timing::WhenEnabled + disabled).
+    double elapsed() const {
+        if (!timing_) return 0.0;
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    /// Ends the phase early and returns its duration; idempotent.
+    double stop() {
+        if (stopped_) return last_;
+        stopped_ = true;
+        last_ = elapsed();
+        if (record_) record_phase(phase_, last_);
+        return last_;
+    }
+
+private:
+    using Clock = std::chrono::steady_clock;
+
+    std::string_view phase_;
+    Clock::time_point start_;
+    bool record_;
+    bool timing_;
+    bool stopped_ = false;
+    double last_ = 0.0;
+};
+
+#else // SNIM_OBS_ENABLED — compiled out.
+
+class ScopedTimer {
+public:
+    explicit ScopedTimer(std::string_view, Timing timing = Timing::WhenEnabled)
+        : timing_(timing == Timing::Always) {
+        if (timing_) start_ = Clock::now();
+    }
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+    double elapsed() const {
+        if (!timing_) return 0.0;
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+    double stop() {
+        if (stopped_) return last_;
+        stopped_ = true;
+        last_ = elapsed();
+        return last_;
+    }
+
+private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+    bool timing_;
+    bool stopped_ = false;
+    double last_ = 0.0;
+};
+
+#endif // SNIM_OBS_ENABLED
+
+} // namespace snim::obs

@@ -1,6 +1,7 @@
 #include "sim/ac.hpp"
 
 #include "numeric/sparse_lu.hpp"
+#include "obs/trace.hpp"
 #include "sim/mna.hpp"
 #include "util/units.hpp"
 
@@ -15,6 +16,8 @@ std::complex<double> AcResult::at(size_t k, circuit::NodeId node) const {
 
 AcResult ac_sweep(circuit::Netlist& netlist, const std::vector<double>& freqs,
                   const std::vector<double>& xop, const AcOptions& opt) {
+    obs::ScopedTimer obs_run("sim/ac");
+    obs::count("sim/ac/points", freqs.size());
     netlist.finalize();
     const size_t n = netlist.unknown_count();
     SNIM_ASSERT(xop.size() == n, "operating point size mismatch");

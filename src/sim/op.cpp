@@ -5,6 +5,7 @@
 
 #include "numeric/sparse_lu.hpp"
 #include "numeric/vecops.hpp"
+#include "obs/trace.hpp"
 #include "sim/mna.hpp"
 #include "util/log.hpp"
 
@@ -22,6 +23,7 @@ bool newton_dc(circuit::Netlist& netlist, std::vector<double>& x, double gmin,
 
     circuit::RealStamper s(n);
     for (int it = 0; it < opt.max_iter; ++it) {
+        obs::ScopedTimer obs_newton("sim/op/newton");
         s.clear();
         assemble_dc(netlist, s, x, gmin);
         std::vector<double> xn;
@@ -63,6 +65,7 @@ bool newton_dc(circuit::Netlist& netlist, std::vector<double>& x, double gmin,
 } // namespace
 
 std::vector<double> operating_point(circuit::Netlist& netlist, const OpOptions& opt) {
+    obs::ScopedTimer obs_run("sim/op");
     netlist.finalize();
     const size_t n = netlist.unknown_count();
     std::vector<double> x = opt.initial;
@@ -76,6 +79,7 @@ std::vector<double> operating_point(circuit::Netlist& netlist, const OpOptions& 
         std::vector<double> xg(n, 0.0);
         bool ok = true;
         for (double g = 1e-2; g >= opt.gmin; g *= 0.1) {
+            obs::count("sim/op/gmin_steps");
             if (!newton_dc(netlist, xg, g, opt)) {
                 ok = false;
                 break;

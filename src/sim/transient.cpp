@@ -5,6 +5,7 @@
 
 #include "numeric/sparse_lu.hpp"
 #include "numeric/vecops.hpp"
+#include "obs/trace.hpp"
 #include "sim/mna.hpp"
 #include "sim/op.hpp"
 #include "util/log.hpp"
@@ -22,6 +23,8 @@ TranResult transient(circuit::Netlist& netlist, const std::vector<std::string>& 
     SNIM_ASSERT(opt.tstop > 0 && opt.dt > 0, "transient needs tstop and dt");
     SNIM_ASSERT(opt.order == 1 || opt.order == 2, "order must be 1 or 2");
     SNIM_ASSERT(opt.record_stride >= 1, "record_stride must be >= 1");
+    if (opt.observe) obs::set_enabled(true);
+    obs::ScopedTimer obs_run("sim/transient");
     netlist.finalize();
     const size_t n = netlist.unknown_count();
 
@@ -66,9 +69,14 @@ TranResult transient(circuit::Netlist& netlist, const std::vector<std::string>& 
         tp.time = static_cast<double>(step) * opt.dt;
         tp.order = (step <= opt.be_startup_steps) ? 1 : opt.order;
 
+        obs::ScopedTimer obs_step("sim/transient/step");
+
         // Newton iteration, starting from the previous accepted solution.
         bool converged = false;
+        int newton_iters = 0;
         for (int it = 0; it < opt.max_newton; ++it) {
+            obs::ScopedTimer obs_newton("sim/transient/newton");
+            newton_iters = it + 1;
             s.clear();
             assemble_tran(netlist, s, xit, tp, opt.gmin);
             std::vector<double> xn;
@@ -100,6 +108,11 @@ TranResult transient(circuit::Netlist& netlist, const std::vector<std::string>& 
                 converged = true;
                 break;
             }
+        }
+        if (obs::enabled()) {
+            obs::count("sim/transient/steps");
+            obs::record_value("sim/transient/newton_per_step", newton_iters);
+            if (!converged) obs::count("sim/transient/convergence_failures");
         }
         if (!converged)
             raise("transient Newton did not converge at t=%.4g (dt=%.3g)", tp.time,

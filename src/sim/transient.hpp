@@ -33,6 +33,10 @@ struct TranOptions {
     /// Accumulate the time-average of the FULL unknown vector over the
     /// recorded window (quasi-DC levels during oscillation).
     bool accumulate_average = false;
+    /// Turn on the obs registry for this run (equivalent to SNIM_OBS=1):
+    /// per-step phases, Newton counters and solver statistics are recorded
+    /// and can be read back via obs::phase_stats / obs::report_json.
+    bool observe = false;
 };
 
 struct TranResult {

@@ -1,7 +1,6 @@
 #include "substrate/extractor.hpp"
 
-#include <chrono>
-
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
@@ -19,12 +18,18 @@ SubstrateModel extract_substrate(const geom::Rect& area,
                                  const std::vector<PortSpec>& ports,
                                  const ExtractOptions& opt) {
     SNIM_ASSERT(!ports.empty(), "substrate extraction needs at least one port");
-    const auto t0 = std::chrono::steady_clock::now();
+    // Always times (not just when obs is on): extract_seconds is a public
+    // result field that predates the registry and stays populated.
+    obs::ScopedTimer obs_timer("flow/substrate_extract", obs::Timing::Always);
 
     Mesh mesh(area, profile, opt.mesh);
 
     SubstrateModel out;
     out.mesh_node_count = mesh.node_count();
+    if (obs::enabled()) {
+        obs::record_value("substrate/mesh_nodes", static_cast<double>(mesh.node_count()));
+        obs::count("substrate/ports", ports.size());
+    }
 
     std::vector<int> port_nodes;
     for (const auto& spec : ports) {
@@ -89,8 +94,7 @@ SubstrateModel extract_substrate(const geom::Rect& area,
     // Schur reduction via CG solves: exact to solver tolerance and immune
     // to the fill-in explosion of node elimination on 3-D meshes.
     out.reduced = mor::reduce_by_solve(mesh.network(), port_nodes);
-    out.extract_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    out.extract_seconds = obs_timer.stop();
     log_info("substrate: %zu mesh nodes -> %zu ports in %.2fs", out.mesh_node_count,
              out.port_names.size(), out.extract_seconds);
     return out;

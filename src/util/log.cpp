@@ -1,26 +1,65 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
+#include <vector>
 
 namespace snim {
 
-static LogLevel g_level = LogLevel::Warn;
+namespace {
+
+LogLevel g_level = LogLevel::Warn;
+LogSink g_sink; // empty -> default stderr sink
+std::atomic<size_t> g_emitted[4] = {};
+
+const char* tag_of(LogLevel level) {
+    switch (level) {
+        case LogLevel::Debug: return "debug";
+        case LogLevel::Info: return "info";
+        case LogLevel::Warn: return "warn";
+        case LogLevel::Quiet: break;
+    }
+    return "?";
+}
+
+void emit(LogLevel level, const char* fmt, va_list ap) {
+    g_emitted[static_cast<size_t>(level)].fetch_add(1, std::memory_order_relaxed);
+    if (!g_sink) {
+        std::fprintf(stderr, "[snim %s] ", tag_of(level));
+        std::vfprintf(stderr, fmt, ap);
+        std::fputc('\n', stderr);
+        return;
+    }
+    va_list ap2;
+    va_copy(ap2, ap);
+    const int need = std::vsnprintf(nullptr, 0, fmt, ap2);
+    va_end(ap2);
+    std::vector<char> buf(static_cast<size_t>(need < 0 ? 0 : need) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap);
+    g_sink(level, std::string_view(buf.data(), static_cast<size_t>(need < 0 ? 0 : need)));
+}
+
+} // namespace
 
 void set_log_level(LogLevel level) { g_level = level; }
 LogLevel log_level() { return g_level; }
 
-static void emit(const char* tag, const char* fmt, va_list ap) {
-    std::fprintf(stderr, "[snim %s] ", tag);
-    std::vfprintf(stderr, fmt, ap);
-    std::fputc('\n', stderr);
+LogSink set_log_sink(LogSink sink) {
+    LogSink prev = std::move(g_sink);
+    g_sink = std::move(sink);
+    return prev;
+}
+
+size_t log_emit_count(LogLevel level) {
+    return g_emitted[static_cast<size_t>(level)].load(std::memory_order_relaxed);
 }
 
 void log_debug(const char* fmt, ...) {
     if (g_level > LogLevel::Debug) return;
     va_list ap;
     va_start(ap, fmt);
-    emit("debug", fmt, ap);
+    emit(LogLevel::Debug, fmt, ap);
     va_end(ap);
 }
 
@@ -28,7 +67,7 @@ void log_info(const char* fmt, ...) {
     if (g_level > LogLevel::Info) return;
     va_list ap;
     va_start(ap, fmt);
-    emit("info", fmt, ap);
+    emit(LogLevel::Info, fmt, ap);
     va_end(ap);
 }
 
@@ -36,7 +75,7 @@ void log_warn(const char* fmt, ...) {
     if (g_level > LogLevel::Warn) return;
     va_list ap;
     va_start(ap, fmt);
-    emit("warn", fmt, ap);
+    emit(LogLevel::Warn, fmt, ap);
     va_end(ap);
 }
 

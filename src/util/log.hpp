@@ -1,8 +1,15 @@
 // Minimal leveled logger.  Default level is Warn so library users and
 // benchmarks stay quiet; flows raise verbosity explicitly when asked.
+//
+// Output goes through a pluggable sink so tests and the observability
+// report can capture messages instead of losing them to stderr; the
+// printf-style call sites are unchanged.
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <string>
+#include <string_view>
 
 namespace snim {
 
@@ -10,6 +17,18 @@ enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Quiet = 3 };
 
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Receives every emitted (level-passing) message, already formatted and
+/// without a trailing newline.
+using LogSink = std::function<void(LogLevel, std::string_view)>;
+
+/// Replaces the sink; an empty function restores the default stderr sink.
+/// Returns the previous sink so scoped captures can restore it.
+LogSink set_log_sink(LogSink sink);
+
+/// Number of messages emitted at `level` since process start (messages
+/// suppressed by the level filter are not counted).
+size_t log_emit_count(LogLevel level);
 
 void log_debug(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 void log_info(const char* fmt, ...) __attribute__((format(printf, 1, 2)));

@@ -1,0 +1,293 @@
+// Tests for the observability subsystem: registry counters/histograms,
+// nested scoped phase timers, JSON report round-trip, log sink capture,
+// and the disabled mode recording nothing.
+//
+// Built as its own ctest target (label "obs") so the whole group can be
+// selected with `ctest -L obs`, and so the suite still compiles and passes
+// with -DSNIM_ENABLE_OBS=OFF (data expectations are guarded, the API must
+// remain callable).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "numeric/sparse_lu.hpp"
+#include "obs/json.hpp"
+#include "obs/registry.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+using namespace snim;
+
+namespace {
+
+class ObsTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        obs::reset();
+        obs::set_enabled(true);
+    }
+    void TearDown() override {
+        obs::set_enabled(false);
+        obs::reset();
+    }
+};
+
+const obs::PhaseNode* child_named(const obs::PhaseNode& node, const std::string& name) {
+    for (const auto& c : node.children)
+        if (c.name == name) return &c;
+    return nullptr;
+}
+
+} // namespace
+
+TEST_F(ObsTest, CountersAccumulate) {
+    obs::count("a/b");
+    obs::count("a/b", 4);
+    obs::count("other");
+#if SNIM_OBS_ENABLED
+    EXPECT_EQ(obs::counter_value("a/b"), 5u);
+    EXPECT_EQ(obs::counter_value("other"), 1u);
+#endif
+    EXPECT_EQ(obs::counter_value("missing"), 0u);
+}
+
+TEST_F(ObsTest, CountersThreadSafeUnderHammer) {
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 50000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([] {
+            for (int i = 0; i < kPerThread; ++i) {
+                obs::count("hammer/shared");
+                obs::record_value("hammer/value", static_cast<double>(i));
+            }
+        });
+    }
+    for (auto& th : threads) th.join();
+#if SNIM_OBS_ENABLED
+    EXPECT_EQ(obs::counter_value("hammer/shared"),
+              static_cast<uint64_t>(kThreads) * kPerThread);
+    const auto stats = obs::value_stats("hammer/value");
+    ASSERT_TRUE(stats.has_value());
+    EXPECT_EQ(stats->count, static_cast<uint64_t>(kThreads) * kPerThread);
+    EXPECT_DOUBLE_EQ(stats->min, 0.0);
+    EXPECT_DOUBLE_EQ(stats->max, kPerThread - 1);
+#endif
+}
+
+TEST_F(ObsTest, ValueStatsQuantiles) {
+    for (int i = 1; i <= 100; ++i) obs::record_value("v", static_cast<double>(i));
+#if SNIM_OBS_ENABLED
+    const auto s = obs::value_stats("v");
+    ASSERT_TRUE(s.has_value());
+    EXPECT_EQ(s->count, 100u);
+    EXPECT_DOUBLE_EQ(s->sum, 5050.0);
+    EXPECT_DOUBLE_EQ(s->mean, 50.5);
+    EXPECT_NEAR(s->p50, 50.5, 1.0);
+    EXPECT_NEAR(s->p95, 95.0, 1.5);
+#else
+    EXPECT_FALSE(obs::value_stats("v").has_value());
+#endif
+}
+
+TEST_F(ObsTest, NestedScopedTimersFormTree) {
+    {
+        obs::ScopedTimer flow("flow/substrate_extract");
+        { obs::ScopedTimer lu("numeric/lu_factor"); }
+        { obs::ScopedTimer lu("numeric/lu_factor"); }
+        { obs::ScopedTimer solve("numeric/lu_solve"); }
+    }
+    { obs::ScopedTimer flow("flow/stitch"); }
+
+#if SNIM_OBS_ENABLED
+    EXPECT_EQ(obs::phase_calls("flow/substrate_extract"), 1u);
+    EXPECT_EQ(obs::phase_calls("flow/stitch"), 1u);
+    EXPECT_EQ(obs::phase_calls("numeric/lu_factor"), 2u);
+    EXPECT_EQ(obs::phase_calls("numeric/lu_solve"), 1u);
+
+    // Parent inclusive time covers the nested children.
+    EXPECT_GE(obs::phase_seconds("flow/substrate_extract"),
+              obs::phase_seconds("numeric/lu_factor") +
+                  obs::phase_seconds("numeric/lu_solve"));
+
+    const obs::PhaseNode tree = obs::phase_tree();
+    const auto* flow = child_named(tree, "flow");
+    ASSERT_NE(flow, nullptr);
+    EXPECT_EQ(flow->calls, 0u); // structural interior node
+    ASSERT_NE(child_named(*flow, "substrate_extract"), nullptr);
+    ASSERT_NE(child_named(*flow, "stitch"), nullptr);
+    EXPECT_EQ(child_named(*flow, "substrate_extract")->calls, 1u);
+    EXPECT_EQ(child_named(*flow, "substrate_extract")->path, "flow/substrate_extract");
+
+    const auto* numeric = child_named(tree, "numeric");
+    ASSERT_NE(numeric, nullptr);
+    ASSERT_NE(child_named(*numeric, "lu_factor"), nullptr);
+    EXPECT_EQ(child_named(*numeric, "lu_factor")->calls, 2u);
+#endif
+}
+
+TEST_F(ObsTest, ScopedTimerStopIsIdempotent) {
+    obs::ScopedTimer t("phase/x", obs::Timing::Always);
+    const double first = t.stop();
+    EXPECT_GE(first, 0.0);
+    EXPECT_DOUBLE_EQ(t.stop(), first); // second stop reports the same time
+#if SNIM_OBS_ENABLED
+    EXPECT_EQ(obs::phase_calls("phase/x"), 1u); // destructor must not re-record
+#endif
+}
+
+TEST_F(ObsTest, AlwaysTimingMeasuresWhenDisabled) {
+    obs::set_enabled(false);
+    obs::ScopedTimer t("phase/always", obs::Timing::Always);
+    // Burn a little time so elapsed() is strictly positive.
+    volatile double sink = 0.0;
+    for (int i = 0; i < 10000; ++i) sink += static_cast<double>(i);
+    EXPECT_GT(t.stop(), 0.0);
+    EXPECT_EQ(obs::phase_calls("phase/always"), 0u); // measured but not recorded
+}
+
+TEST_F(ObsTest, DisabledModeRecordsNothing) {
+    obs::set_enabled(false);
+    obs::count("dead/counter", 7);
+    obs::record_value("dead/value", 1.0);
+    { obs::ScopedTimer t("dead/phase"); }
+    EXPECT_EQ(obs::counter_value("dead/counter"), 0u);
+    EXPECT_FALSE(obs::value_stats("dead/value").has_value());
+    EXPECT_EQ(obs::phase_calls("dead/phase"), 0u);
+    EXPECT_TRUE(obs::phase_tree().children.empty());
+}
+
+TEST_F(ObsTest, ResetClearsEverything) {
+    obs::count("c");
+    obs::record_value("v", 1.0);
+    { obs::ScopedTimer t("p"); }
+    obs::reset();
+    EXPECT_EQ(obs::counter_value("c"), 0u);
+    EXPECT_FALSE(obs::value_stats("v").has_value());
+    EXPECT_EQ(obs::phase_calls("p"), 0u);
+}
+
+TEST_F(ObsTest, JsonReportRoundTrips) {
+    obs::count("sim/transient/steps", 42);
+    obs::record_value("numeric/lu_fill_nnz", 128.0);
+    obs::record_value("numeric/lu_fill_nnz", 256.0);
+    {
+        obs::ScopedTimer outer("flow/substrate_extract");
+        obs::ScopedTimer inner("numeric/lu_factor");
+    }
+
+    const std::string doc = obs::report_json().dump(2);
+    const obs::Json parsed = obs::Json::parse(doc); // throws on malformed output
+
+#if SNIM_OBS_ENABLED
+    ASSERT_TRUE(parsed.contains("phases"));
+    ASSERT_TRUE(parsed.contains("counters"));
+    ASSERT_TRUE(parsed.contains("values"));
+    EXPECT_EQ(parsed.at("counters").at("sim/transient/steps").as_number(), 42.0);
+    EXPECT_EQ(parsed.at("phases_flat").at("numeric/lu_factor").at("calls").as_number(),
+              1.0);
+    const auto& fill = parsed.at("values").at("numeric/lu_fill_nnz");
+    EXPECT_EQ(fill.at("count").as_number(), 2.0);
+    EXPECT_EQ(fill.at("mean").as_number(), 192.0);
+
+    // Dense single-line form parses identically.
+    const obs::Json reparsed = obs::Json::parse(obs::report_json().dump(-1));
+    EXPECT_EQ(reparsed.at("counters").at("sim/transient/steps").as_number(), 42.0);
+#endif
+}
+
+TEST_F(ObsTest, TextReportListsPhasesAndCounters) {
+    obs::count("sim/transient/steps", 3);
+    { obs::ScopedTimer t("flow/substrate_extract"); }
+    const std::string text = obs::report_text();
+#if SNIM_OBS_ENABLED
+    EXPECT_NE(text.find("substrate_extract"), std::string::npos);
+    EXPECT_NE(text.find("sim/transient/steps"), std::string::npos);
+#else
+    EXPECT_TRUE(text.empty());
+#endif
+}
+
+TEST(ObsJsonTest, ParsesScalarsContainersAndEscapes) {
+    const obs::Json j = obs::Json::parse(
+        R"({"a": [1, 2.5, -3e2, true, false, null], "s": "he\"llo\nA", "o": {}})");
+    ASSERT_TRUE(j.is_object());
+    const auto& arr = j.at("a").as_array();
+    ASSERT_EQ(arr.size(), 6u);
+    EXPECT_DOUBLE_EQ(arr[0].as_number(), 1.0);
+    EXPECT_DOUBLE_EQ(arr[1].as_number(), 2.5);
+    EXPECT_DOUBLE_EQ(arr[2].as_number(), -300.0);
+    EXPECT_TRUE(arr[3].as_bool());
+    EXPECT_FALSE(arr[4].as_bool());
+    EXPECT_TRUE(arr[5].is_null());
+    EXPECT_EQ(j.at("s").as_string(), "he\"llo\nA");
+    EXPECT_TRUE(j.at("o").is_object());
+}
+
+TEST(ObsJsonTest, RejectsMalformedInput) {
+    EXPECT_THROW(obs::Json::parse("{"), Error);
+    EXPECT_THROW(obs::Json::parse("[1, ]"), Error);
+    EXPECT_THROW(obs::Json::parse("\"unterminated"), Error);
+    EXPECT_THROW(obs::Json::parse("{} trailing"), Error);
+    EXPECT_THROW(obs::Json::parse("nul"), Error);
+}
+
+TEST(ObsJsonTest, QuoteEscapesControlCharacters) {
+    EXPECT_EQ(obs::json_quote("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    const obs::Json round = obs::Json::parse(obs::json_quote(std::string("\x01\t ok")));
+    EXPECT_EQ(round.as_string(), "\x01\t ok");
+}
+
+TEST(ObsLogTest, SinkCapturesFormattedMessages) {
+    std::vector<std::pair<LogLevel, std::string>> captured;
+    LogSink prev = set_log_sink([&](LogLevel level, std::string_view msg) {
+        captured.emplace_back(level, std::string(msg));
+    });
+    const LogLevel prev_level = log_level();
+    set_log_level(LogLevel::Debug);
+
+    const size_t warns_before = log_emit_count(LogLevel::Warn);
+    log_warn("pivot %d fell back to %s", 3, "partial");
+    log_info("mesh has %d nodes", 42);
+    set_log_level(LogLevel::Quiet);
+    log_warn("suppressed");
+
+    set_log_level(prev_level);
+    set_log_sink(std::move(prev));
+
+    ASSERT_EQ(captured.size(), 2u);
+    EXPECT_EQ(captured[0].first, LogLevel::Warn);
+    EXPECT_EQ(captured[0].second, "pivot 3 fell back to partial");
+    EXPECT_EQ(captured[1].first, LogLevel::Info);
+    EXPECT_EQ(captured[1].second, "mesh has 42 nodes");
+    // Suppressed messages are neither sunk nor counted.
+    EXPECT_EQ(log_emit_count(LogLevel::Warn), warns_before + 1);
+}
+
+#if SNIM_OBS_ENABLED
+TEST(ObsIntegrationTest, SparseLuRecordsFactorAndFillIn) {
+    obs::reset();
+    obs::set_enabled(true);
+    // A small SPD-ish system exercises factor + solve.
+    Triplets<double> t(4);
+    for (size_t i = 0; i < 4; ++i) t.add(i, i, 4.0);
+    t.add(0, 1, 1.0);
+    t.add(1, 0, 1.0);
+    t.add(2, 3, 1.0);
+    t.add(3, 2, 1.0);
+    SparseLU<double> lu(t);
+    lu.solve({1.0, 2.0, 3.0, 4.0});
+    EXPECT_EQ(obs::phase_calls("numeric/lu_factor"), 1u);
+    EXPECT_EQ(obs::phase_calls("numeric/lu_solve"), 1u);
+    const auto fill = obs::value_stats("numeric/lu_fill_nnz");
+    ASSERT_TRUE(fill.has_value());
+    EXPECT_EQ(fill->count, 1u);
+    EXPECT_DOUBLE_EQ(fill->max, static_cast<double>(lu.nnz()));
+    obs::set_enabled(false);
+    obs::reset();
+}
+#endif
