@@ -1,0 +1,10 @@
+// Built-in snim_bench scenarios: the six paper-figure reproductions (with
+// accuracy metrics against the committed reference CSVs) plus the numeric
+// kernels behind the flow.  Call once before obs::match_scenarios().
+#pragma once
+
+namespace snim::bench_scenarios {
+
+void register_builtin_scenarios();
+
+} // namespace snim::bench_scenarios

@@ -1,0 +1,193 @@
+// snim_bench: unified benchmark & accuracy-telemetry driver.
+//
+//   snim_bench --list
+//   snim_bench --quick --out BENCH_pr2.json --trace pr2.trace.json
+//   snim_bench --quick --baseline BENCH_pr2.json --fail-on-regress 10
+//
+// Runs the registered scenarios (paper figures with accuracy metrics against
+// the reference CSVs, plus numeric kernels), prints per-scenario runtime
+// statistics and accuracy deltas, optionally emits the BENCH_*.json report
+// and a Chrome trace, and gates against a baseline report.  Exit status:
+// 0 gate passes, 1 a scenario regressed or missed its accuracy tolerance,
+// 2 usage error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/bench.hpp"
+#include "obs/trace_export.hpp"
+#include "scenarios.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace snim;
+
+struct Args {
+    bool list = false;
+    bool quick = false;
+    bool check_determinism = false;
+    int repeat = 0;
+    double fail_pct = 10.0;
+    uint64_t seed = obs::BenchOptions{}.seed;
+    std::string filter;
+    std::string out_path;
+    std::string trace_path;
+    std::string baseline_path;
+};
+
+void usage(std::FILE* to) {
+    std::fputs(
+        "usage: snim_bench [options]\n"
+        "  --list                 list registered scenarios and exit\n"
+        "  --filter SUBSTR[,..]   run only scenarios whose name contains one\n"
+        "                         of the comma-separated substrings\n"
+        "  --quick                trimmed sweeps, fewer repetitions, no warmup\n"
+        "  --repeat N             override the per-scenario repetition count\n"
+        "  --seed N               default-Rng seed (runs are deterministic per seed)\n"
+        "  --check-determinism    run every scenario twice and require identical\n"
+        "                         accuracy metrics\n"
+        "  --out FILE             write the BENCH_*.json report\n"
+        "  --trace FILE           write a Chrome trace (chrome://tracing, Perfetto)\n"
+        "  --baseline FILE        gate runtimes against a previous BENCH_*.json\n"
+        "  --fail-on-regress PCT  median-runtime regression threshold (default 10)\n",
+        to);
+}
+
+bool parse_args(int argc, char** argv, Args& a) {
+    auto need_value = [&](int& i, const char* flag) -> const char* {
+        if (i + 1 >= argc) raise("%s needs a value", flag);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--list") a.list = true;
+        else if (arg == "--quick") a.quick = true;
+        else if (arg == "--check-determinism") a.check_determinism = true;
+        else if (arg == "--filter") a.filter = need_value(i, "--filter");
+        else if (arg == "--repeat") a.repeat = std::atoi(need_value(i, "--repeat"));
+        else if (arg == "--seed") a.seed = std::strtoull(need_value(i, "--seed"), nullptr, 0);
+        else if (arg == "--out") a.out_path = need_value(i, "--out");
+        else if (arg == "--trace") a.trace_path = need_value(i, "--trace");
+        else if (arg == "--baseline") a.baseline_path = need_value(i, "--baseline");
+        else if (arg == "--fail-on-regress") a.fail_pct = std::atof(need_value(i, "--fail-on-regress"));
+        else if (arg == "--help" || arg == "-h") { usage(stdout); std::exit(0); }
+        else raise("unknown option '%s'", arg.c_str());
+    }
+    if (a.repeat < 0) raise("--repeat must be positive");
+    if (a.fail_pct <= 0) raise("--fail-on-regress must be a positive percentage");
+    return true;
+}
+
+obs::Json read_json_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) raise("cannot open '%s'", path.c_str());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return obs::Json::parse(buf.str());
+}
+
+void print_scenario_result(const obs::ScenarioResult& r) {
+    std::printf("  %-28s %2d rep  min %8.3fs  median %8.3fs  p95 %8.3fs\n",
+                r.name.c_str(), r.repetitions, r.runtime.min_s,
+                r.runtime.median_s, r.runtime.p95_s);
+    for (const auto& m : r.accuracy)
+        std::printf("    %-44s %6.2f dB (tol %.1f, %llu pts) %s\n",
+                    m.name.c_str(), m.delta_db, m.tolerance_db,
+                    static_cast<unsigned long long>(m.points),
+                    m.pass() ? "ok" : "FAIL");
+}
+
+int run(const Args& a) {
+    bench_scenarios::register_builtin_scenarios();
+
+    const auto scenarios = obs::match_scenarios(a.filter);
+    if (a.list) {
+        for (const auto* s : obs::all_scenarios())
+            std::printf("%-28s [%s]  %s\n", s->name.c_str(), s->kind.c_str(),
+                        s->description.c_str());
+        return 0;
+    }
+    if (scenarios.empty()) raise("no scenario matches filter '%s'", a.filter.c_str());
+
+    obs::BenchOptions opt;
+    opt.quick = a.quick;
+    opt.repeat_override = a.repeat;
+    opt.seed = a.seed;
+
+    std::vector<obs::ScenarioResult> results;
+    for (const auto* s : scenarios) {
+        std::printf("[%zu/%zu] %s ...\n", results.size() + 1, scenarios.size(),
+                    s->name.c_str());
+        std::fflush(stdout);
+        auto r = obs::run_scenario(*s, opt);
+        if (a.check_determinism) {
+            // The literal reproducibility check: a second full run must land
+            // on bit-identical accuracy metrics.  run_scenario already
+            // asserts this *across repetitions*; this asserts it across runs.
+            auto r2 = obs::run_scenario(*s, opt);
+            if (r2.accuracy.size() != r.accuracy.size())
+                raise("scenario '%s': accuracy metric count differs between runs",
+                      s->name.c_str());
+            for (size_t i = 0; i < r.accuracy.size(); ++i)
+                if (r.accuracy[i].delta_db != r2.accuracy[i].delta_db ||
+                    r.accuracy[i].points != r2.accuracy[i].points)
+                    raise("scenario '%s': metric '%s' differs between runs "
+                          "(%.17g vs %.17g) — determinism is broken",
+                          s->name.c_str(), r.accuracy[i].name.c_str(),
+                          r.accuracy[i].delta_db, r2.accuracy[i].delta_db);
+        }
+        print_scenario_result(r);
+        results.push_back(std::move(r));
+    }
+
+    if (!a.out_path.empty()) {
+        obs::write_bench_report(a.out_path, obs::bench_report_json(results, opt));
+        std::printf("wrote %s\n", a.out_path.c_str());
+    }
+    if (!a.trace_path.empty()) {
+        std::vector<obs::TraceLane> lanes;
+        for (const auto& r : results) lanes.push_back(r.lane);
+        obs::write_chrome_trace(a.trace_path, lanes);
+        std::printf("wrote %s (load in chrome://tracing or ui.perfetto.dev)\n",
+                    a.trace_path.c_str());
+    }
+
+    std::vector<obs::Verdict> verdicts;
+    if (!a.baseline_path.empty())
+        verdicts = obs::compare_to_baseline(read_json_file(a.baseline_path),
+                                            results, a.fail_pct);
+    else
+        verdicts = obs::accuracy_verdicts(results);
+    std::fputs(obs::verdict_table(verdicts).c_str(), stdout);
+
+    if (!obs::gate_passes(verdicts)) {
+        std::fputs("GATE: FAIL\n", stdout);
+        return 1;
+    }
+    std::fputs("GATE: PASS\n", stdout);
+    return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    Args a;
+    try {
+        parse_args(argc, argv, a);
+    } catch (const Error& e) {
+        std::fprintf(stderr, "snim_bench: %s\n", e.what());
+        usage(stderr);
+        return 2;
+    }
+    try {
+        return run(a);
+    } catch (const Error& e) {
+        std::fprintf(stderr, "snim_bench: %s\n", e.what());
+        return 1;
+    }
+}

@@ -3,9 +3,18 @@
 // calibrate the oscillator and the per-path sensitivities, then compare the
 // paper-style prediction (eqs. 2-3) against a brute-force transient at
 // 10 MHz and print the per-device contribution table.
+//
+// The walk-through runs as a snim_bench scenario: the harness reseeds the
+// default Rng, times the run, and leaves the full obs registry snapshot
+// (phase tree + solver counters) readable afterwards.  The prediction /
+// transient agreement is recorded as an accuracy metric against the paper's
+// 2 dB claim and gates the exit status.
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "core/contribution.hpp"
+#include "obs/bench.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "testcases/vco.hpp"
@@ -15,9 +24,9 @@
 
 using namespace snim;
 
-int main() {
-    set_log_level(LogLevel::Info);
+namespace {
 
+void walk_through(obs::ScenarioContext& ctx) {
     printf("== building the VCO impact model (Figure 2 flow) ==\n");
     auto vco = testcases::build_vco();
     auto model = testcases::build_model(std::move(vco), testcases::vco_flow_options());
@@ -60,21 +69,51 @@ int main() {
     printf("  agreement : left %+.1f dB, right %+.1f dB\n",
            pred.left_dbc() - meas.left_dbc(), pred.right_dbc() - meas.right_dbc());
 
-    // With SNIM_OBS=1/text/json (or FlowOptions/TranOptions .observe) the
-    // registry has the full phase tree and solver counters of everything
-    // above; the JSON report is additionally written atexit for SNIM_OBS=json.
-    if (obs::enabled()) {
-        printf("\n== where the time went (obs registry) ==\n");
-        printf("  extraction  : %.2f s substrate + %.2f s interconnect\n",
-               obs::phase_seconds("flow/substrate_extract"),
-               obs::phase_seconds("flow/interconnect_extract"));
-        printf("  transient   : %.2f s over %llu steps, %llu Newton iterations\n",
-               obs::phase_seconds("sim/transient"),
-               static_cast<unsigned long long>(obs::counter_value("sim/transient/steps")),
-               static_cast<unsigned long long>(obs::phase_calls("sim/transient/newton")));
-        printf("  sparse LU   : %llu factorizations, %.2f s\n",
-               static_cast<unsigned long long>(obs::phase_calls("numeric/lu_factor")),
-               obs::phase_seconds("numeric/lu_factor"));
-    }
-    return 0;
+    obs::AccuracyMetric m;
+    m.name = "prediction vs transient spur power";
+    m.reference = "paper claim: within ~2 dB";
+    m.tolerance_db = 2.0;
+    m.points = 2;
+    m.delta_db = std::max(std::abs(pred.left_dbc() - meas.left_dbc()),
+                          std::abs(pred.right_dbc() - meas.right_dbc()));
+    ctx.add_accuracy(std::move(m));
+}
+
+} // namespace
+
+int main() {
+    set_log_level(LogLevel::Info);
+
+    obs::Scenario s;
+    s.name = "example/vco_substrate_impact";
+    s.description = "methodology walk-through on the 3 GHz LC-tank VCO";
+    s.kind = "flow";
+    s.repeat = 1;
+    s.warmup = 0;
+    s.run = walk_through;
+    const auto result = obs::run_scenario(s, obs::BenchOptions{});
+
+    // run_scenario leaves the registry snapshot intact: the full phase tree
+    // and solver counters of everything above.  The JSON form is in
+    // result.registry (what `snim_bench --out` would emit).
+    printf("\n== where the time went (obs registry) ==\n");
+    printf("  extraction  : %.2f s substrate + %.2f s interconnect\n",
+           obs::phase_seconds("flow/substrate_extract"),
+           obs::phase_seconds("flow/interconnect_extract"));
+    printf("  transient   : %.2f s over %llu steps, %llu Newton iterations\n",
+           obs::phase_seconds("sim/transient"),
+           static_cast<unsigned long long>(obs::counter_value("sim/transient/steps")),
+           static_cast<unsigned long long>(obs::phase_calls("sim/transient/newton")));
+    printf("  sparse LU   : %llu factorizations, %.2f s\n",
+           static_cast<unsigned long long>(obs::phase_calls("numeric/lu_factor")),
+           obs::phase_seconds("numeric/lu_factor"));
+    printf("  total       : %.2f s wall\n", result.runtime.median_s);
+
+    for (const auto& m : result.accuracy)
+        printf("  accuracy    : %s = %.2f dB (tolerance %.1f dB) %s\n",
+               m.name.c_str(), m.delta_db, m.tolerance_db,
+               m.pass() ? "ok" : "FAIL");
+
+    const auto verdicts = obs::accuracy_verdicts({result});
+    return obs::gate_passes(verdicts) ? 0 : 1;
 }

@@ -1,0 +1,102 @@
+#include "core/accuracy.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace snim::core {
+
+namespace {
+
+bool file_exists(const std::string& path) {
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    if (f) std::fclose(f);
+    return f != nullptr;
+}
+
+} // namespace
+
+std::string find_reference_file(const std::string& filename) {
+    std::vector<std::string> candidates;
+    if (const char* dir = std::getenv("SNIM_DATA_DIR"); dir && *dir)
+        candidates.push_back(std::string(dir) + "/" + filename);
+    candidates.push_back(filename);
+    std::string prefix;
+    for (int up = 0; up < 3; ++up) {
+        prefix += "../";
+        candidates.push_back(prefix + filename);
+    }
+    for (const auto& c : candidates)
+        if (file_exists(c)) return c;
+    raise("reference file '%s' not found (searched SNIM_DATA_DIR, . and ../ x3)",
+          filename.c_str());
+}
+
+RefSeries load_reference_series(const std::string& filename, const std::string& key_col,
+                                const std::string& value_col,
+                                const std::string& filter_col,
+                                const std::string& filter_value) {
+    const CsvTable csv = read_csv(find_reference_file(filename));
+    const size_t kc = csv.column(key_col);
+    const size_t vc = csv.column(value_col);
+    const size_t fc = filter_col.empty() ? 0 : csv.column(filter_col);
+    RefSeries out;
+    for (size_t r = 0; r < csv.row_count(); ++r) {
+        if (!filter_col.empty() && csv.cell(r, fc) != filter_value) continue;
+        if (csv.empty_cell(r, vc)) continue;
+        out.keys.push_back(csv.number(r, kc));
+        out.values.push_back(csv.number(r, vc));
+    }
+    if (out.keys.empty())
+        raise("reference '%s' has no rows for %s=%s", filename.c_str(),
+              filter_col.c_str(), filter_value.c_str());
+    return out;
+}
+
+obs::AccuracyMetric reference_delta(std::string metric_name, const RefSeries& ref,
+                                    std::string reference_label, double tolerance_db,
+                                    const std::vector<double>& keys,
+                                    const std::vector<double>& values,
+                                    double key_rel_tol) {
+    SNIM_ASSERT(keys.size() == values.size(), "key/value size mismatch in '%s'",
+                metric_name.c_str());
+    obs::AccuracyMetric m;
+    m.name = std::move(metric_name);
+    m.reference = std::move(reference_label);
+    m.tolerance_db = tolerance_db;
+    for (size_t i = 0; i < keys.size(); ++i) {
+        for (size_t j = 0; j < ref.keys.size(); ++j) {
+            const double scale = std::max({std::fabs(keys[i]), std::fabs(ref.keys[j]), 1.0});
+            if (std::fabs(keys[i] - ref.keys[j]) > key_rel_tol * scale) continue;
+            m.delta_db = std::max(m.delta_db, std::fabs(values[i] - ref.values[j]));
+            ++m.points;
+            break;
+        }
+    }
+    if (m.points == 0)
+        raise("accuracy metric '%s': no computed point matched a reference key in %s",
+              m.name.c_str(), m.reference.c_str());
+    return m;
+}
+
+obs::AccuracyMetric paired_delta(std::string metric_name, std::string reference_label,
+                                 double tolerance_db, const std::vector<double>& ref,
+                                 const std::vector<double>& got) {
+    SNIM_ASSERT(ref.size() == got.size(), "paired series size mismatch in '%s'",
+                metric_name.c_str());
+    obs::AccuracyMetric m;
+    m.name = std::move(metric_name);
+    m.reference = std::move(reference_label);
+    m.tolerance_db = tolerance_db;
+    for (size_t i = 0; i < ref.size(); ++i)
+        m.delta_db = std::max(m.delta_db, std::fabs(got[i] - ref[i]));
+    m.points = ref.size();
+    if (m.points == 0)
+        raise("accuracy metric '%s': empty comparison", m.name.c_str());
+    return m;
+}
+
+} // namespace snim::core

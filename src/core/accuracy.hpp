@@ -1,0 +1,50 @@
+// Accuracy extraction for the bench harness: loads the paper-reference CSVs
+// committed at the repo root (fig3_nmos_transfer.csv ... table_vco_specs.csv)
+// and scores a freshly computed series against them as a dB delta — the
+// machine-readable form of the paper's "simulation within 2 dB of
+// measurement" claims.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/bench.hpp"
+
+namespace snim::core {
+
+/// Finds a reference data file: tries SNIM_DATA_DIR (when set), then the
+/// current directory, then up to three parent directories (benches usually
+/// run from build/bench).  Raises when the file cannot be found.
+std::string find_reference_file(const std::string& filename);
+
+/// A (key, value) series from a reference CSV: `key_col` and `value_col`
+/// are column names; rows may optionally be restricted to those whose
+/// `filter_col` cell equals `filter_value`.  Rows with an empty value cell
+/// are skipped (the figure-8 CSV leaves MEAS blank at prediction-only
+/// frequencies).
+struct RefSeries {
+    std::vector<double> keys;
+    std::vector<double> values;
+};
+
+RefSeries load_reference_series(const std::string& filename, const std::string& key_col,
+                                const std::string& value_col,
+                                const std::string& filter_col = "",
+                                const std::string& filter_value = "");
+
+/// Accuracy metric: max |values[i] - reference| over computed points whose
+/// key matches a reference key within relative tolerance `key_rel_tol`
+/// (absolute for keys near zero).  Raises when no point matches — a silent
+/// zero-point comparison would read as a pass.
+obs::AccuracyMetric reference_delta(std::string metric_name, const RefSeries& ref,
+                                    std::string reference_label, double tolerance_db,
+                                    const std::vector<double>& keys,
+                                    const std::vector<double>& values,
+                                    double key_rel_tol = 1e-3);
+
+/// Same, values already paired one-to-one (no key matching).
+obs::AccuracyMetric paired_delta(std::string metric_name, std::string reference_label,
+                                 double tolerance_db, const std::vector<double>& ref,
+                                 const std::vector<double>& got);
+
+} // namespace snim::core

@@ -1,0 +1,351 @@
+#include "obs/bench.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "obs/registry.hpp"
+#include "obs/report.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace snim::obs {
+
+namespace {
+
+std::vector<Scenario>& scenario_store() {
+    static std::vector<Scenario>* s = new std::vector<Scenario>;
+    return *s;
+}
+
+std::vector<const Scenario*> sorted_view(const std::vector<Scenario>& store) {
+    std::vector<const Scenario*> out;
+    out.reserve(store.size());
+    for (const auto& s : store) out.push_back(&s);
+    std::sort(out.begin(), out.end(),
+              [](const Scenario* a, const Scenario* b) { return a->name < b->name; });
+    return out;
+}
+
+std::vector<std::string> split_filter(const std::string& filter) {
+    std::vector<std::string> parts;
+    std::string cur;
+    for (char ch : filter) {
+        if (ch == ',') {
+            if (!cur.empty()) parts.push_back(cur);
+            cur.clear();
+        } else {
+            cur += ch;
+        }
+    }
+    if (!cur.empty()) parts.push_back(cur);
+    return parts;
+}
+
+void check_deterministic_accuracy(const Scenario& s,
+                                  const std::vector<AccuracyMetric>& first,
+                                  const std::vector<AccuracyMetric>& rep, int repetition) {
+    if (first.size() != rep.size())
+        raise("scenario '%s' is non-deterministic: repetition %d produced %zu accuracy "
+              "metrics, repetition 0 produced %zu",
+              s.name.c_str(), repetition, rep.size(), first.size());
+    for (size_t i = 0; i < first.size(); ++i) {
+        const AccuracyMetric& a = first[i];
+        const AccuracyMetric& b = rep[i];
+        if (a.name != b.name || a.reference != b.reference || a.points != b.points ||
+            a.delta_db != b.delta_db)
+            raise("scenario '%s' is non-deterministic: accuracy metric '%s' changed "
+                  "between repetitions (%.17g dB vs %.17g dB over %llu/%llu points)",
+                  s.name.c_str(), a.name.c_str(), a.delta_db, b.delta_db,
+                  static_cast<unsigned long long>(a.points),
+                  static_cast<unsigned long long>(b.points));
+    }
+}
+
+Json accuracy_json(const std::vector<AccuracyMetric>& metrics) {
+    JsonArray arr;
+    for (const auto& m : metrics) {
+        JsonObject o;
+        o.emplace("name", m.name);
+        o.emplace("reference", m.reference);
+        o.emplace("delta_db", m.delta_db);
+        o.emplace("tolerance_db", m.tolerance_db);
+        o.emplace("points", m.points);
+        o.emplace("pass", m.pass());
+        arr.push_back(Json(std::move(o)));
+    }
+    return Json(std::move(arr));
+}
+
+Verdict runtime_verdict(const ScenarioResult& r, double baseline_median,
+                        double fail_pct) {
+    Verdict v;
+    v.scenario = r.name;
+    v.baseline_median_s = baseline_median;
+    v.median_s = r.runtime.median_s;
+    if (baseline_median > 0.0)
+        v.change_pct = (r.runtime.median_s - baseline_median) / baseline_median * 100.0;
+    if (v.change_pct > fail_pct) {
+        v.kind = VerdictKind::Regress;
+        v.detail = format("median %.4g s vs baseline %.4g s (%+.1f%% > %.1f%%)",
+                          v.median_s, baseline_median, v.change_pct, fail_pct);
+    } else if (v.change_pct < -fail_pct) {
+        v.kind = VerdictKind::Improve;
+        v.detail = format("median %.4g s vs baseline %.4g s (%+.1f%%)", v.median_s,
+                          baseline_median, v.change_pct);
+    } else {
+        v.kind = VerdictKind::Pass;
+        v.detail = format("%+.1f%%", v.change_pct);
+    }
+    return v;
+}
+
+/// AccuracyFail verdict when any metric of `r` exceeds its tolerance.
+bool accuracy_fail_verdict(const ScenarioResult& r, Verdict& out) {
+    for (const auto& m : r.accuracy) {
+        if (m.pass()) continue;
+        out.scenario = r.name;
+        out.kind = VerdictKind::AccuracyFail;
+        out.median_s = r.runtime.median_s;
+        out.detail = format("'%s' delta %.2f dB > tolerance %.2f dB (vs %s)",
+                            m.name.c_str(), m.delta_db, m.tolerance_db,
+                            m.reference.c_str());
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+void register_scenario(Scenario s) {
+    SNIM_ASSERT(!s.name.empty(), "scenario needs a name");
+    SNIM_ASSERT(s.run != nullptr, "scenario '%s' needs a run body", s.name.c_str());
+    for (const auto& existing : scenario_store())
+        if (existing.name == s.name)
+            raise("scenario '%s' registered twice", s.name.c_str());
+    scenario_store().push_back(std::move(s));
+}
+
+std::vector<const Scenario*> all_scenarios() { return sorted_view(scenario_store()); }
+
+std::vector<const Scenario*> match_scenarios(const std::string& filter) {
+    const auto parts = split_filter(filter);
+    if (parts.empty()) return all_scenarios();
+    std::vector<const Scenario*> out;
+    for (const Scenario* s : all_scenarios())
+        for (const auto& p : parts)
+            if (s->name.find(p) != std::string::npos) {
+                out.push_back(s);
+                break;
+            }
+    return out;
+}
+
+RuntimeStats runtime_stats(std::vector<double> runs) {
+    RuntimeStats st;
+    st.runs_s = runs;
+    if (runs.empty()) return st;
+    std::sort(runs.begin(), runs.end());
+    st.min_s = runs.front();
+    const size_t n = runs.size();
+    st.median_s = n % 2 ? runs[n / 2] : 0.5 * (runs[n / 2 - 1] + runs[n / 2]);
+    const double pos = 0.95 * static_cast<double>(n - 1);
+    const size_t lo = static_cast<size_t>(pos);
+    const size_t hi = std::min(lo + 1, n - 1);
+    st.p95_s = runs[lo] + (pos - static_cast<double>(lo)) * (runs[hi] - runs[lo]);
+    double sum = 0.0;
+    for (double r : runs) sum += r;
+    st.mean_s = sum / static_cast<double>(n);
+    return st;
+}
+
+ScenarioResult run_scenario(const Scenario& s, const BenchOptions& opt) {
+    using Clock = std::chrono::steady_clock;
+    ScenarioResult result;
+    result.name = s.name;
+    result.kind = s.kind;
+    result.description = s.description;
+    const int quick_repeat = s.quick_repeat > 0 ? s.quick_repeat : s.repeat;
+    result.repetitions = opt.repeat_override > 0 ? opt.repeat_override
+                         : opt.quick             ? quick_repeat
+                                                 : s.repeat;
+    result.warmup = opt.quick ? 0 : s.warmup;
+
+    auto one_rep = [&](int repetition, bool record) {
+        set_default_rng_seed(opt.seed);
+        reset();
+        set_enabled(true);
+        ScenarioContext ctx;
+        ctx.quick = opt.quick;
+        ctx.seed = opt.seed;
+        ctx.repetition = repetition;
+        const auto t0 = Clock::now();
+        s.run(ctx);
+        const double elapsed = std::chrono::duration<double>(Clock::now() - t0).count();
+        set_enabled(false);
+        if (!record) return;
+        result.runtime.runs_s.push_back(elapsed);
+        if (repetition == 0)
+            result.accuracy = std::move(ctx.accuracy);
+        else
+            check_deterministic_accuracy(s, result.accuracy, ctx.accuracy, repetition);
+    };
+
+    for (int w = 0; w < result.warmup; ++w) one_rep(-1 - w, false);
+    for (int r = 0; r < result.repetitions; ++r) one_rep(r, true);
+
+    // The final repetition's registry is left intact (but disabled) so the
+    // caller can still read phase_seconds()/report_text() after we return.
+    result.registry = report_json();
+    result.lane = registry_trace_lane(s.name);
+    result.runtime = runtime_stats(std::move(result.runtime.runs_s));
+    return result;
+}
+
+Json bench_report_json(const std::vector<ScenarioResult>& results,
+                       const BenchOptions& opt) {
+    JsonObject root;
+    root.emplace("schema_version", kBenchSchemaVersion);
+    root.emplace("tool", "snim_bench");
+    root.emplace("quick", opt.quick);
+    root.emplace("seed", static_cast<double>(opt.seed));
+    JsonArray scenarios;
+    for (const auto& r : results) {
+        JsonObject s;
+        s.emplace("name", r.name);
+        s.emplace("kind", r.kind);
+        s.emplace("description", r.description);
+        s.emplace("repetitions", r.repetitions);
+        s.emplace("warmup", r.warmup);
+        JsonObject rt;
+        JsonArray runs;
+        for (double x : r.runtime.runs_s) runs.push_back(x);
+        rt.emplace("runs_s", Json(std::move(runs)));
+        rt.emplace("min_s", r.runtime.min_s);
+        rt.emplace("median_s", r.runtime.median_s);
+        rt.emplace("p95_s", r.runtime.p95_s);
+        rt.emplace("mean_s", r.runtime.mean_s);
+        s.emplace("runtime", Json(std::move(rt)));
+        s.emplace("accuracy", accuracy_json(r.accuracy));
+        s.emplace("registry", r.registry);
+        scenarios.push_back(Json(std::move(s)));
+    }
+    root.emplace("scenarios", Json(std::move(scenarios)));
+    return Json(std::move(root));
+}
+
+void write_bench_report(const std::string& path, const Json& report) {
+    const std::string doc = report.dump(2);
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) raise("cannot open '%s' for writing", path.c_str());
+    const size_t n = std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    if (n != doc.size()) raise("short write to '%s'", path.c_str());
+}
+
+const char* verdict_name(VerdictKind kind) {
+    switch (kind) {
+        case VerdictKind::Pass: return "pass";
+        case VerdictKind::Improve: return "improve";
+        case VerdictKind::Regress: return "REGRESS";
+        case VerdictKind::AccuracyFail: return "ACCURACY FAIL";
+        case VerdictKind::New: return "new";
+        case VerdictKind::Missing: return "missing";
+    }
+    return "?";
+}
+
+std::vector<Verdict> accuracy_verdicts(const std::vector<ScenarioResult>& results) {
+    std::vector<Verdict> out;
+    for (const auto& r : results) {
+        Verdict v;
+        if (accuracy_fail_verdict(r, v)) {
+            out.push_back(std::move(v));
+            continue;
+        }
+        v.scenario = r.name;
+        v.kind = VerdictKind::Pass;
+        v.median_s = r.runtime.median_s;
+        v.detail = r.accuracy.empty()
+                       ? "no accuracy metrics"
+                       : format("%zu accuracy metrics in tolerance", r.accuracy.size());
+        out.push_back(std::move(v));
+    }
+    return out;
+}
+
+std::vector<Verdict> compare_to_baseline(const Json& baseline,
+                                         const std::vector<ScenarioResult>& results,
+                                         double fail_pct) {
+    if (!baseline.is_object() || !baseline.contains("schema_version"))
+        raise("baseline is not a snim_bench report (no schema_version)");
+    const int version = static_cast<int>(baseline.at("schema_version").as_number());
+    if (version != kBenchSchemaVersion)
+        raise("baseline schema_version %d does not match this tool's %d", version,
+              kBenchSchemaVersion);
+
+    std::vector<std::pair<std::string, double>> base_medians;
+    for (const auto& s : baseline.at("scenarios").as_array())
+        base_medians.emplace_back(s.at("name").as_string(),
+                                  s.at("runtime").at("median_s").as_number());
+    auto base_median = [&](const std::string& name) -> const double* {
+        for (const auto& [n, m] : base_medians)
+            if (n == name) return &m;
+        return nullptr;
+    };
+
+    std::vector<Verdict> out;
+    for (const auto& r : results) {
+        Verdict fail;
+        if (accuracy_fail_verdict(r, fail)) {
+            out.push_back(std::move(fail));
+            continue;
+        }
+        if (const double* old_median = base_median(r.name)) {
+            out.push_back(runtime_verdict(r, *old_median, fail_pct));
+        } else {
+            Verdict v;
+            v.scenario = r.name;
+            v.kind = VerdictKind::New;
+            v.median_s = r.runtime.median_s;
+            v.detail = "not in baseline";
+            out.push_back(std::move(v));
+        }
+    }
+    for (const auto& [name, median] : base_medians) {
+        const bool present = std::any_of(results.begin(), results.end(),
+                                         [&](const ScenarioResult& r) { return r.name == name; });
+        if (present) continue;
+        Verdict v;
+        v.scenario = name;
+        v.kind = VerdictKind::Missing;
+        v.baseline_median_s = median;
+        v.detail = "in baseline but not in this run (filtered out?)";
+        out.push_back(std::move(v));
+    }
+    return out;
+}
+
+bool gate_passes(const std::vector<Verdict>& verdicts) {
+    for (const auto& v : verdicts)
+        if (v.kind == VerdictKind::Regress || v.kind == VerdictKind::AccuracyFail)
+            return false;
+    return true;
+}
+
+std::string verdict_table(const std::vector<Verdict>& verdicts) {
+    Table t({"scenario", "verdict", "median [s]", "baseline [s]", "change", "detail"});
+    for (const auto& v : verdicts)
+        t.add_row({v.scenario, verdict_name(v.kind),
+                   v.median_s > 0.0 ? format("%.4g", v.median_s) : "-",
+                   v.baseline_median_s > 0.0 ? format("%.4g", v.baseline_median_s) : "-",
+                   v.baseline_median_s > 0.0 && v.median_s > 0.0
+                       ? format("%+.1f%%", v.change_pct)
+                       : "-",
+                   v.detail});
+    return t.to_string();
+}
+
+} // namespace snim::obs

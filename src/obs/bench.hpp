@@ -1,0 +1,154 @@
+// Benchmark scenario harness: named scenarios registered at startup, run
+// with warmup + repetitions, each repetition against a freshly reset obs
+// registry and a re-seeded default Rng.  Per scenario the runner collects
+//
+//   * wall-time statistics (min / median / p95 / mean over repetitions),
+//   * the final repetition's registry snapshot (phase tree, counters,
+//     value histograms) for the BENCH_*.json report and the Chrome trace,
+//   * accuracy metrics the scenario body attaches (dB deltas of reproduced
+//     figures against the paper-reference CSVs), asserted identical across
+//     repetitions — a repetition-dependent metric is a determinism bug.
+//
+// The harness itself is independent of the simulation layers: scenario
+// bodies live next to their subject (bench/scenarios.cpp wraps the figure
+// reproductions and numeric kernels) and only this header is needed to
+// register more.  Works with -DSNIM_ENABLE_OBS=OFF too: wall times and
+// accuracy still flow, registry snapshots and traces are simply empty.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/trace_export.hpp"
+
+namespace snim::obs {
+
+/// Version of the BENCH_*.json document layout.  Bump on breaking changes;
+/// compare_to_baseline refuses mismatching baselines.
+inline constexpr int kBenchSchemaVersion = 1;
+
+/// One accuracy score: a dB delta against a reference with a pass/fail
+/// tolerance (the paper's quantitative claims: 2 dB VCO, 1 dB NMOS).
+struct AccuracyMetric {
+    std::string name;      // "pred_dbm vs reference"
+    std::string reference; // "fig8_spur_vs_freq.csv" or a paper claim
+    double delta_db = 0.0; // measured max |delta|
+    double tolerance_db = 0.0;
+    uint64_t points = 0;   // matched comparison points
+    bool pass() const { return delta_db <= tolerance_db; }
+};
+
+/// Handed to the scenario body on every repetition.
+struct ScenarioContext {
+    bool quick = false;    // --quick: trimmed sweeps / captures
+    uint64_t seed = 0;     // the default-Rng seed in effect
+    int repetition = 0;    // 0-based, warmups excluded
+    /// Accuracy metrics recorded by the body (append via add_accuracy).
+    std::vector<AccuracyMetric> accuracy;
+
+    void add_accuracy(AccuracyMetric m) { accuracy.push_back(std::move(m)); }
+};
+
+struct Scenario {
+    std::string name;        // "fig8_spur_vs_freq", "kernel/sparse_lu"
+    std::string description;
+    std::string kind = "figure"; // "figure" | "kernel" | "flow"
+    int repeat = 3;          // repetitions (full mode)
+    int quick_repeat = 0;    // repetitions under --quick; 0 -> same as repeat
+    int warmup = 1;          // discarded warmup runs (full mode; 0 under --quick)
+    std::function<void(ScenarioContext&)> run;
+};
+
+/// Registers a scenario; raises on a duplicate name.
+void register_scenario(Scenario s);
+
+/// All registered scenarios, sorted by name.
+std::vector<const Scenario*> all_scenarios();
+
+/// Scenarios whose name contains any of the comma-separated substrings in
+/// `filter` (empty filter -> all), sorted by name.
+std::vector<const Scenario*> match_scenarios(const std::string& filter);
+
+struct BenchOptions {
+    bool quick = false;
+    int repeat_override = 0; // 0 -> scenario defaults
+    uint64_t seed = 0x9e3779b97f4a7c15ULL;
+};
+
+struct RuntimeStats {
+    std::vector<double> runs_s; // per-repetition wall seconds
+    double min_s = 0.0;
+    double median_s = 0.0;
+    double p95_s = 0.0;
+    double mean_s = 0.0;
+};
+
+/// Computed from `runs` (empty input -> zeros).  Exposed for tests.
+RuntimeStats runtime_stats(std::vector<double> runs);
+
+struct ScenarioResult {
+    std::string name;
+    std::string kind;
+    std::string description;
+    int repetitions = 0;
+    int warmup = 0;
+    RuntimeStats runtime;
+    std::vector<AccuracyMetric> accuracy; // identical on every repetition
+    Json registry;   // obs::report_json() snapshot of the final repetition
+    TraceLane lane;  // phase tree + counters of the final repetition
+};
+
+/// Runs warmups then repetitions; raises when accuracy metrics differ
+/// between repetitions (broken determinism).  Leaves the obs registry
+/// disabled but intact (the final repetition's data stays readable).
+ScenarioResult run_scenario(const Scenario& s, const BenchOptions& opt);
+
+/// The BENCH_*.json document.
+Json bench_report_json(const std::vector<ScenarioResult>& results,
+                       const BenchOptions& opt);
+
+/// Serialises `report` to `path`; throws snim::Error on I/O failure.
+void write_bench_report(const std::string& path, const Json& report);
+
+// --- regression gating ----------------------------------------------------
+
+enum class VerdictKind {
+    Pass,         // runtime within the threshold, accuracy in tolerance
+    Improve,      // median runtime faster than baseline by more than the threshold
+    Regress,      // median runtime slower than baseline beyond the threshold
+    AccuracyFail, // an accuracy delta exceeds its per-figure tolerance
+    New,          // scenario absent from the baseline (informational)
+    Missing,      // baseline scenario absent from this run (informational)
+};
+
+const char* verdict_name(VerdictKind kind);
+
+struct Verdict {
+    std::string scenario;
+    VerdictKind kind = VerdictKind::Pass;
+    double baseline_median_s = 0.0;
+    double median_s = 0.0;
+    double change_pct = 0.0; // (new - old) / old * 100
+    std::string detail;
+};
+
+/// Accuracy-only verdicts (no baseline): AccuracyFail / Pass per scenario.
+std::vector<Verdict> accuracy_verdicts(const std::vector<ScenarioResult>& results);
+
+/// Full gate: accuracy tolerances plus median-runtime comparison against a
+/// parsed baseline BENCH_*.json at `fail_pct` percent.  Raises on a
+/// baseline with a different schema_version.
+std::vector<Verdict> compare_to_baseline(const Json& baseline,
+                                         const std::vector<ScenarioResult>& results,
+                                         double fail_pct);
+
+/// False when any verdict is Regress or AccuracyFail.
+bool gate_passes(const std::vector<Verdict>& verdicts);
+
+/// Human-readable verdict table.
+std::string verdict_table(const std::vector<Verdict>& verdicts);
+
+} // namespace snim::obs

@@ -1,0 +1,157 @@
+#include "obs/trace_export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace snim::obs {
+
+namespace {
+
+/// Total span of a node in seconds: its own inclusive time, or the sum of
+/// its children when it is structural (or when clock jitter makes the
+/// children sum slightly larger).
+double node_span(const PhaseNode& node) {
+    double kids = 0.0;
+    for (const auto& c : node.children) kids += node_span(c);
+    return std::max(node.seconds, kids);
+}
+
+/// All phase paths of a tree, for counter-to-phase attachment.
+void collect_paths(const PhaseNode& node, std::vector<std::string>& out) {
+    if (!node.path.empty()) out.push_back(node.path);
+    for (const auto& c : node.children) collect_paths(c, out);
+}
+
+/// counter name -> (owning phase path, arg key).  The owner is the deepest
+/// phase whose path is the counter name itself or a '/'-boundary prefix.
+struct CounterHome {
+    std::string phase;
+    std::string key;
+    uint64_t value = 0;
+};
+
+std::vector<CounterHome> assign_counters(
+    const PhaseNode& tree, const std::vector<std::pair<std::string, uint64_t>>& counters) {
+    std::vector<std::string> paths;
+    collect_paths(tree, paths);
+    std::vector<CounterHome> homes;
+    homes.reserve(counters.size());
+    for (const auto& [name, value] : counters) {
+        CounterHome h;
+        h.value = value;
+        for (const auto& p : paths) {
+            const bool exact = name == p;
+            const bool prefixed = name.size() > p.size() && name.compare(0, p.size(), p) == 0 &&
+                                  name[p.size()] == '/';
+            if ((exact || prefixed) && p.size() > h.phase.size()) {
+                h.phase = p;
+                h.key = exact ? "count" : name.substr(p.size() + 1);
+            }
+        }
+        if (h.phase.empty()) h.key = name; // unmatched -> otherData
+        homes.push_back(std::move(h));
+    }
+    return homes;
+}
+
+double emit_node(JsonArray& events, const PhaseNode& node, int pid, int tid, double t0_us,
+                 const std::vector<CounterHome>& homes) {
+    const double span_us = node_span(node) * 1e6;
+    const bool real = !node.name.empty();
+    if (real) {
+        JsonObject args;
+        args.emplace("calls", node.calls);
+        args.emplace("seconds", node.seconds);
+        for (const auto& h : homes)
+            if (h.phase == node.path) args.emplace(h.key, h.value);
+        JsonObject b;
+        b.emplace("name", node.name);
+        b.emplace("cat", node.calls ? "phase" : "structural");
+        b.emplace("ph", "B");
+        b.emplace("ts", t0_us);
+        b.emplace("pid", pid);
+        b.emplace("tid", tid);
+        b.emplace("args", Json(std::move(args)));
+        events.push_back(Json(std::move(b)));
+    }
+    double cursor = t0_us;
+    for (const auto& c : node.children)
+        cursor += emit_node(events, c, pid, tid, cursor, homes);
+    if (real) {
+        JsonObject e;
+        e.emplace("name", node.name);
+        e.emplace("ph", "E");
+        e.emplace("ts", t0_us + span_us);
+        e.emplace("pid", pid);
+        e.emplace("tid", tid);
+        events.push_back(Json(std::move(e)));
+    }
+    return span_us;
+}
+
+Json metadata_event(const char* name, int pid, int tid, const std::string& value) {
+    JsonObject args;
+    args.emplace("name", value);
+    JsonObject m;
+    m.emplace("name", name);
+    m.emplace("ph", "M");
+    m.emplace("pid", pid);
+    m.emplace("tid", tid);
+    m.emplace("args", Json(std::move(args)));
+    return Json(std::move(m));
+}
+
+} // namespace
+
+double append_lane_events(JsonArray& events, const TraceLane& lane, int pid, int tid,
+                          double t0_us) {
+    const auto homes = assign_counters(lane.tree, lane.counters);
+    double cursor = t0_us;
+    for (const auto& c : lane.tree.children)
+        cursor += emit_node(events, c, pid, tid, cursor, homes);
+    return cursor - t0_us;
+}
+
+Json chrome_trace_json(const std::vector<TraceLane>& lanes) {
+    JsonArray events;
+    events.push_back(metadata_event("process_name", 1, 0, "snim"));
+    JsonObject unmatched;
+    double offset_us = 0.0;
+    int tid = 1;
+    for (const auto& lane : lanes) {
+        events.push_back(metadata_event("thread_name", 1, tid, lane.name));
+        offset_us += append_lane_events(events, lane, 1, tid, offset_us);
+        JsonObject loose;
+        for (const auto& h : assign_counters(lane.tree, lane.counters))
+            if (h.phase.empty()) loose.emplace(h.key, h.value);
+        if (!loose.empty()) unmatched.emplace(lane.name, Json(std::move(loose)));
+        ++tid;
+    }
+    JsonObject root;
+    root.emplace("displayTimeUnit", "ms");
+    root.emplace("traceEvents", Json(std::move(events)));
+    if (!unmatched.empty()) root.emplace("otherData", Json(std::move(unmatched)));
+    return Json(std::move(root));
+}
+
+TraceLane registry_trace_lane(const std::string& name) {
+    TraceLane lane;
+    lane.name = name;
+    lane.tree = phase_tree();
+    lane.counters = counters_snapshot();
+    return lane;
+}
+
+void write_chrome_trace(const std::string& path, const std::vector<TraceLane>& lanes) {
+    const std::string doc = chrome_trace_json(lanes).dump(1);
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) raise("cannot open '%s' for writing", path.c_str());
+    const size_t n = std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    if (n != doc.size()) raise("short write to '%s'", path.c_str());
+}
+
+} // namespace snim::obs

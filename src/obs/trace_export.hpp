@@ -1,0 +1,55 @@
+// Chrome trace-event export of the obs phase tree.
+//
+// The registry stores *aggregated* phases (total seconds + call count per
+// '/'-separated path), not individual begin/end events, so the exporter
+// reconstructs a deterministic timeline: every node's span is its inclusive
+// seconds (or the sum of its children for structural nodes), children are
+// laid out back to back inside their parent starting at the parent's begin
+// timestamp.  The result is a well-formed duration-event stream — balanced
+// B/E pairs with non-decreasing timestamps — loadable in chrome://tracing
+// or Perfetto (ui.perfetto.dev, "Open trace file").
+//
+// Counters (Newton iterations, LU factorizations, CG iterations, transient
+// steps...) ride along as args on the B event of the deepest phase whose
+// path prefixes the counter name; counters with no matching phase are
+// reported in the trace's otherData.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/registry.hpp"
+
+namespace snim::obs {
+
+/// One named timeline of the trace: a phase tree plus the counters recorded
+/// while it was built.  The bench harness emits one lane per scenario.
+struct TraceLane {
+    std::string name;
+    PhaseNode tree; // structural root (as returned by obs::phase_tree())
+    std::vector<std::pair<std::string, uint64_t>> counters;
+};
+
+/// Builds the full Chrome trace JSON document:
+///   { "displayTimeUnit": "ms", "traceEvents": [...], "otherData": {...} }
+/// Each lane becomes one tid of pid 1 with a thread_name metadata event;
+/// lanes are placed at increasing wall offsets so they do not overlap.
+Json chrome_trace_json(const std::vector<TraceLane>& lanes);
+
+/// Appends the duration events of one lane to `events`.  `t0_us` is the
+/// begin timestamp of the lane's first top-level phase; returns the lane's
+/// total span in microseconds.  Exposed separately for tests.
+double append_lane_events(JsonArray& events, const TraceLane& lane, int pid, int tid,
+                          double t0_us);
+
+/// Convenience: one lane snapshotted from the live registry.
+TraceLane registry_trace_lane(const std::string& name);
+
+/// Writes `chrome_trace_json({registry_trace_lane(name)})` (or the given
+/// lanes) to `path`; throws snim::Error on I/O failure.
+void write_chrome_trace(const std::string& path, const std::vector<TraceLane>& lanes);
+
+} // namespace snim::obs

@@ -1,6 +1,8 @@
 #include "util/csv.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+#include <iterator>
 
 #include "util/error.hpp"
 
@@ -43,6 +45,74 @@ void CsvWriter::save(const std::string& path) const {
     const size_t n = std::fwrite(s.data(), 1, s.size(), f);
     std::fclose(f);
     if (n != s.size()) raise("short write to '%s'", path.c_str());
+}
+
+size_t CsvTable::column(std::string_view name) const {
+    for (size_t c = 0; c < headers_.size(); ++c)
+        if (headers_[c] == name) return c;
+    raise("csv has no column '%.*s'", static_cast<int>(name.size()), name.data());
+}
+
+bool CsvTable::has_column(std::string_view name) const {
+    for (const auto& h : headers_)
+        if (h == name) return true;
+    return false;
+}
+
+const std::string& CsvTable::cell(size_t row, size_t col) const {
+    SNIM_ASSERT(row < rows_.size() && col < headers_.size(), "csv cell out of range");
+    return rows_[row][col];
+}
+
+double CsvTable::number(size_t row, size_t col) const {
+    const std::string& s = cell(row, col);
+    char* end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (end == s.c_str() || (end && *end != '\0'))
+        raise("csv cell '%s' (row %zu, col %zu) is not a number", s.c_str(), row, col);
+    return v;
+}
+
+bool CsvTable::empty_cell(size_t row, size_t col) const { return cell(row, col).empty(); }
+
+CsvTable parse_csv(std::string_view text) {
+    std::vector<std::vector<std::string>> lines;
+    std::vector<std::string> cells;
+    std::string cur;
+    auto end_cell = [&] { cells.push_back(std::move(cur)); cur.clear(); };
+    auto end_line = [&] {
+        end_cell();
+        // A lone trailing newline yields one empty cell: not a data row.
+        if (!(cells.size() == 1 && cells[0].empty())) lines.push_back(std::move(cells));
+        cells.clear();
+    };
+    for (char ch : text) {
+        if (ch == ',') end_cell();
+        else if (ch == '\n') end_line();
+        else if (ch != '\r') cur += ch;
+    }
+    if (!cur.empty() || !cells.empty()) end_line();
+
+    if (lines.empty()) raise("csv text has no header row");
+    std::vector<std::string> headers = std::move(lines.front());
+    std::vector<std::vector<std::string>> rows(std::make_move_iterator(lines.begin() + 1),
+                                               std::make_move_iterator(lines.end()));
+    for (size_t r = 0; r < rows.size(); ++r)
+        if (rows[r].size() != headers.size())
+            raise("csv row %zu has %zu cells, header has %zu", r + 1, rows[r].size(),
+                  headers.size());
+    return CsvTable(std::move(headers), std::move(rows));
+}
+
+CsvTable read_csv(const std::string& path) {
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    if (!f) raise("cannot open '%s' for reading", path.c_str());
+    std::string text;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+    std::fclose(f);
+    return parse_csv(text);
 }
 
 } // namespace snim

@@ -1,7 +1,10 @@
-// CSV writer used by benches to dump figure data for external plotting.
+// CSV writer used by benches to dump figure data for external plotting, and
+// the matching reader used by the bench harness to load the paper-reference
+// CSVs back for accuracy scoring.
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace snim {
@@ -21,5 +24,39 @@ private:
     std::vector<std::string> headers_;
     std::vector<std::vector<std::string>> rows_;
 };
+
+/// A parsed CSV file: one header row plus string cells.  Covers exactly what
+/// CsvWriter emits (no quoting, no embedded commas) — enough for the figure
+/// reference files this repo round-trips.
+class CsvTable {
+public:
+    CsvTable(std::vector<std::string> headers,
+             std::vector<std::vector<std::string>> rows)
+        : headers_(std::move(headers)), rows_(std::move(rows)) {}
+
+    const std::vector<std::string>& headers() const { return headers_; }
+    size_t row_count() const { return rows_.size(); }
+
+    /// Index of the named column; throws snim::Error when absent.
+    size_t column(std::string_view name) const;
+    bool has_column(std::string_view name) const;
+
+    const std::string& cell(size_t row, size_t col) const;
+    /// Cell parsed as a double; throws snim::Error on non-numeric content.
+    double number(size_t row, size_t col) const;
+    /// True when the cell is empty (a value the writer skipped).
+    bool empty_cell(size_t row, size_t col) const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Parses CSV text (header line + data lines).  Throws snim::Error on ragged
+/// rows or a missing header.
+CsvTable parse_csv(std::string_view text);
+
+/// Reads and parses a CSV file; throws snim::Error on I/O failure.
+CsvTable read_csv(const std::string& path);
 
 } // namespace snim

@@ -7,6 +7,9 @@
 namespace snim {
 
 namespace {
+
+uint64_t g_default_seed = 0x9e3779b97f4a7c15ULL;
+
 uint64_t splitmix64(uint64_t& x) {
     x += 0x9e3779b97f4a7c15ULL;
     uint64_t z = x;
@@ -16,6 +19,9 @@ uint64_t splitmix64(uint64_t& x) {
 }
 uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 } // namespace
+
+uint64_t default_rng_seed() { return g_default_seed; }
+void set_default_rng_seed(uint64_t seed) { g_default_seed = seed; }
 
 Rng::Rng(uint64_t seed) {
     uint64_t x = seed;

@@ -94,6 +94,46 @@ TEST_F(ObsTest, ValueStatsQuantiles) {
 #endif
 }
 
+TEST_F(ObsTest, ValueStatsEmptyHistogram) {
+    // A histogram nobody recorded into does not exist at all — nullopt, not
+    // a zero-filled stats block.
+    EXPECT_FALSE(obs::value_stats("never_recorded").has_value());
+#if SNIM_OBS_ENABLED
+    obs::record_value("v", 1.0);
+    obs::reset();
+    EXPECT_FALSE(obs::value_stats("v").has_value());
+#endif
+}
+
+TEST_F(ObsTest, ValueStatsSingleSample) {
+    obs::record_value("one", 42.5);
+#if SNIM_OBS_ENABLED
+    const auto s = obs::value_stats("one");
+    ASSERT_TRUE(s.has_value());
+    EXPECT_EQ(s->count, 1u);
+    EXPECT_DOUBLE_EQ(s->min, 42.5);
+    EXPECT_DOUBLE_EQ(s->max, 42.5);
+    EXPECT_DOUBLE_EQ(s->mean, 42.5);
+    // Every percentile of a one-sample distribution is that sample.
+    EXPECT_DOUBLE_EQ(s->p50, 42.5);
+    EXPECT_DOUBLE_EQ(s->p95, 42.5);
+#endif
+}
+
+TEST_F(ObsTest, ValueStatsAllEqualSamples) {
+    for (int i = 0; i < 1000; ++i) obs::record_value("flat", -3.25);
+#if SNIM_OBS_ENABLED
+    const auto s = obs::value_stats("flat");
+    ASSERT_TRUE(s.has_value());
+    EXPECT_EQ(s->count, 1000u);
+    EXPECT_DOUBLE_EQ(s->min, -3.25);
+    EXPECT_DOUBLE_EQ(s->max, -3.25);
+    EXPECT_DOUBLE_EQ(s->mean, -3.25);
+    EXPECT_DOUBLE_EQ(s->p50, -3.25);
+    EXPECT_DOUBLE_EQ(s->p95, -3.25);
+#endif
+}
+
 TEST_F(ObsTest, NestedScopedTimersFormTree) {
     {
         obs::ScopedTimer flow("flow/substrate_extract");

@@ -175,5 +175,36 @@ TEST(CsvTest, RejectsWrongWidth) {
     EXPECT_THROW(w.add_row(std::vector<double>{1.0}), Error);
 }
 
+TEST(CsvTest, ReaderRoundTripsWriterOutput) {
+    CsvWriter w({"fnoise_Hz", "pred_dbm", "note"});
+    w.add_row(std::vector<std::string>{"1e+06", "-44.25", "calibrated"});
+    w.add_row(std::vector<std::string>{"1.5e+07", "-67.5", ""});
+    const CsvTable t = parse_csv(w.to_string());
+
+    ASSERT_EQ(t.headers().size(), 3u);
+    EXPECT_EQ(t.row_count(), 2u);
+    EXPECT_TRUE(t.has_column("pred_dbm"));
+    EXPECT_FALSE(t.has_column("meas_dbm"));
+    EXPECT_THROW(t.column("meas_dbm"), Error);
+
+    const size_t f = t.column("fnoise_Hz"), p = t.column("pred_dbm");
+    EXPECT_DOUBLE_EQ(t.number(0, f), 1e6);
+    EXPECT_DOUBLE_EQ(t.number(1, p), -67.5);
+    EXPECT_EQ(t.cell(0, t.column("note")), "calibrated");
+    EXPECT_TRUE(t.empty_cell(1, t.column("note")));
+    EXPECT_FALSE(t.empty_cell(0, f));
+    // Text cells do not silently parse as numbers.
+    EXPECT_THROW(t.number(0, t.column("note")), Error);
+}
+
+TEST(CsvTest, ParserRejectsRaggedAndEmptyInput) {
+    EXPECT_THROW(parse_csv("a,b\n1,2,3\n"), Error);
+    EXPECT_THROW(parse_csv(""), Error);
+    // CRLF line endings and a missing trailing newline both parse.
+    const CsvTable t = parse_csv("a,b\r\n1,2\r\n3,4");
+    EXPECT_EQ(t.row_count(), 2u);
+    EXPECT_DOUBLE_EQ(t.number(1, 1), 4.0);
+}
+
 } // namespace
 } // namespace snim
