@@ -316,7 +316,7 @@ void run_substrate_cg(obs::ScenarioContext&) {
     (void)sink;
 }
 
-void run_transient_ladder(obs::ScenarioContext&) {
+void run_transient_ladder(obs::ScenarioContext& ctx) {
     const int stages = 50;
     circuit::Netlist nl;
     nl.add<circuit::VSource>("vin", nl.node("n0"), circuit::kGround,
@@ -331,6 +331,14 @@ void run_transient_ladder(obs::ScenarioContext&) {
     opt.dt = 10e-12;
     opt.tstop = 10e-9; // 1000 steps
     auto res = sim::transient(nl, {format("n%d", stages)}, opt);
+    if (!ctx.wave_dir.empty()) {
+        obs::WaveSignal probe;
+        probe.name = res.probe_names[0];
+        probe.unit = "V";
+        probe.time = res.time;
+        probe.value = res.waves[0];
+        ctx.dump_waves("kernel_transient.probes", {probe});
+    }
     volatile double sink = res.waves[0].back();
     (void)sink;
 }

@@ -21,6 +21,7 @@
 #include "obs/bench.hpp"
 #include "obs/trace_export.hpp"
 #include "scenarios.hpp"
+#include "sim/diagnostics.hpp"
 #include "util/error.hpp"
 
 namespace {
@@ -38,6 +39,8 @@ struct Args {
     std::string out_path;
     std::string trace_path;
     std::string baseline_path;
+    std::string wave_dir;
+    std::string diag_dir;
 };
 
 void usage(std::FILE* to) {
@@ -54,7 +57,11 @@ void usage(std::FILE* to) {
         "  --out FILE             write the BENCH_*.json report\n"
         "  --trace FILE           write a Chrome trace (chrome://tracing, Perfetto)\n"
         "  --baseline FILE        gate runtimes against a previous BENCH_*.json\n"
-        "  --fail-on-regress PCT  median-runtime regression threshold (default 10)\n",
+        "  --fail-on-regress PCT  median-runtime regression threshold (default 10)\n"
+        "  --dump-waves DIR       write per-scenario probe waveforms and solver-\n"
+        "                         health channels as VCD + CSV into DIR\n"
+        "  --diag-dir DIR         write Newton-failure diagnosis bundles\n"
+        "                         (snim_diag_*.json) into DIR instead of cwd\n",
         to);
 }
 
@@ -75,6 +82,8 @@ bool parse_args(int argc, char** argv, Args& a) {
         else if (arg == "--trace") a.trace_path = need_value(i, "--trace");
         else if (arg == "--baseline") a.baseline_path = need_value(i, "--baseline");
         else if (arg == "--fail-on-regress") a.fail_pct = std::atof(need_value(i, "--fail-on-regress"));
+        else if (arg == "--dump-waves") a.wave_dir = need_value(i, "--dump-waves");
+        else if (arg == "--diag-dir") a.diag_dir = need_value(i, "--diag-dir");
         else if (arg == "--help" || arg == "-h") { usage(stdout); std::exit(0); }
         else raise("unknown option '%s'", arg.c_str());
     }
@@ -118,6 +127,8 @@ int run(const Args& a) {
     opt.quick = a.quick;
     opt.repeat_override = a.repeat;
     opt.seed = a.seed;
+    opt.wave_dir = a.wave_dir;
+    if (!a.diag_dir.empty()) sim::set_default_diag_dir(a.diag_dir);
 
     std::vector<obs::ScenarioResult> results;
     for (const auto* s : scenarios) {

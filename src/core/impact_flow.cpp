@@ -5,6 +5,7 @@
 #include "layout/connectivity.hpp"
 #include "mor/macromodel.hpp"
 #include "obs/trace.hpp"
+#include "sim/diagnostics.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
@@ -21,6 +22,7 @@ ImpactModel build_impact_model(FlowInputs inputs, const FlowOptions& opt) {
     SNIM_ASSERT(inputs.layout != nullptr && inputs.tech != nullptr,
                 "flow needs layout and technology");
     if (opt.observe) obs::set_enabled(true);
+    if (!opt.diag_dir.empty()) sim::set_default_diag_dir(opt.diag_dir);
     obs::ScopedTimer obs_flow("flow/build_impact_model");
     const layout::Layout& lay = *inputs.layout;
     const tech::Technology& tech = *inputs.tech;

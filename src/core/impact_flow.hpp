@@ -31,6 +31,11 @@ struct FlowOptions {
     /// flow/stitch) and extraction counters are recorded and can be read
     /// back via obs::phase_stats / obs::report_json.
     bool observe = false;
+    /// When non-empty, Newton-failure diagnosis bundles (snim_diag_*.json)
+    /// from every solve on the resulting impact model are written here:
+    /// forwarded to sim::set_default_diag_dir(), which op/transient consult
+    /// when their own TranOptions/OpOptions::diag_dir is empty.
+    std::string diag_dir;
 };
 
 struct FlowInputs {

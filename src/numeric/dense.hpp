@@ -94,6 +94,10 @@ public:
     DenseMatrix<T> solve(const DenseMatrix<T>& b) const;
     size_t size() const { return lu_.rows(); }
 
+    /// Smallest |U(k,k)| of the factorization: the dense counterpart of
+    /// SparseLU::factor_stats().min_pivot for solver-health telemetry.
+    double min_pivot() const;
+
 private:
     DenseMatrix<T> lu_;
     std::vector<size_t> perm_;

@@ -105,6 +105,13 @@ SparseLU<T>::SparseLU(const SparseCSC<T>& a, double pivot_tol) : n_(a.size()) {
 
         if (ipiv != k) ++pivot_swaps;
         const T pivot = x[static_cast<size_t>(ipiv)];
+        const double pmag = mag(pivot);
+        if (kk == 0) {
+            stats_.min_pivot = stats_.max_pivot = pmag;
+        } else {
+            stats_.min_pivot = std::min(stats_.min_pivot, pmag);
+            stats_.max_pivot = std::max(stats_.max_pivot, pmag);
+        }
 
         // --- gather U(:,k) (pivoted rows) and L(:,k) (remaining rows) ---
         Column& ucol = u_[kk];
@@ -132,10 +139,16 @@ SparseLU<T>::SparseLU(const SparseCSC<T>& a, double pivot_tol) : n_(a.size()) {
     for (auto& col : l_)
         for (auto& e : col) e.row = pinv_[static_cast<size_t>(e.row)];
 
+    stats_.pivot_swaps = pivot_swaps;
+    stats_.fill_growth =
+        a.nnz() > 0 ? static_cast<double>(nnz()) / static_cast<double>(a.nnz()) : 0.0;
+
     if (obs::enabled()) {
         obs::count("numeric/lu_pivot_swaps", pivot_swaps);
         obs::record_value("numeric/lu_fill_nnz", static_cast<double>(nnz()));
         obs::record_value("numeric/lu_dim", static_cast<double>(n_));
+        obs::record_value("numeric/lu_min_pivot", stats_.min_pivot);
+        obs::record_value("numeric/lu_fill_growth", stats_.fill_growth);
     }
 }
 

@@ -15,6 +15,16 @@
 
 namespace snim {
 
+/// Numerical health of one factorization, for solver-health telemetry and
+/// failure diagnosis: a shrinking min |pivot| or a growing fill ratio is
+/// the classic early warning of an ill-conditioned MNA system.
+struct LuFactorStats {
+    double min_pivot = 0.0;   // smallest |pivot| over all columns
+    double max_pivot = 0.0;   // largest |pivot|
+    double fill_growth = 0.0; // nnz(L+U) / nnz(A)
+    size_t pivot_swaps = 0;   // off-diagonal pivots chosen
+};
+
 template <class T>
 class SparseLU {
 public:
@@ -30,6 +40,9 @@ public:
     size_t size() const { return n_; }
     size_t nnz() const;
 
+    /// Health of this factorization (valid once the constructor returns).
+    const LuFactorStats& factor_stats() const { return stats_; }
+
 private:
     struct Entry {
         int row;
@@ -41,6 +54,7 @@ private:
     std::vector<Column> l_; // unit-lower; first entry of column k is the diagonal (1)
     std::vector<Column> u_; // upper; diagonal stored last in each column
     std::vector<int> pinv_; // original row -> pivot position
+    LuFactorStats stats_;
 };
 
 extern template class SparseLU<double>;

@@ -6,6 +6,7 @@
 
 #include "obs/registry.hpp"
 #include "obs/report.hpp"
+#include "obs/timeseries.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -116,7 +117,24 @@ bool accuracy_fail_verdict(const ScenarioResult& r, Verdict& out) {
     return false;
 }
 
+/// Filesystem-safe slug: '/' and whitespace become '_'.
+std::string file_slug(const std::string& name) {
+    std::string out = name;
+    for (char& c : out)
+        if (c == '/' || c == ' ' || c == '\t') c = '_';
+    return out;
+}
+
 } // namespace
+
+std::string ScenarioContext::dump_waves(const std::string& tag,
+                                        const std::vector<WaveSignal>& signals) const {
+    if (wave_dir.empty() || signals.empty()) return {};
+    const std::string stem = wave_dir + "/" + file_slug(tag);
+    write_vcd(stem + ".vcd", signals);
+    write_wave_csv(stem + ".csv", signals);
+    return stem + ".vcd";
+}
 
 void register_scenario(Scenario s) {
     SNIM_ASSERT(!s.name.empty(), "scenario needs a name");
@@ -180,6 +198,10 @@ ScenarioResult run_scenario(const Scenario& s, const BenchOptions& opt) {
         ctx.quick = opt.quick;
         ctx.seed = opt.seed;
         ctx.repetition = repetition;
+        // Waveform dumps only on the last recorded repetition: file I/O in
+        // earlier repetitions would pollute the timing statistics for no
+        // extra information (repetitions are asserted deterministic).
+        if (record && repetition == result.repetitions - 1) ctx.wave_dir = opt.wave_dir;
         const auto t0 = Clock::now();
         s.run(ctx);
         const double elapsed = std::chrono::duration<double>(Clock::now() - t0).count();
@@ -200,6 +222,19 @@ ScenarioResult run_scenario(const Scenario& s, const BenchOptions& opt) {
     result.registry = report_json();
     result.lane = registry_trace_lane(s.name);
     result.runtime = runtime_stats(std::move(result.runtime.runs_s));
+
+    // Solver-health channels of the final repetition as a VCD next to the
+    // scenario's own probe dumps (non-monotone channels fall back to a
+    // sample-index axis inside wave_from_timeseries).
+    if (!opt.wave_dir.empty() && !result.lane.timeseries.empty()) {
+        std::vector<WaveSignal> health;
+        health.reserve(result.lane.timeseries.size());
+        for (const auto& ts : result.lane.timeseries)
+            health.push_back(wave_from_timeseries(ts));
+        const std::string stem = opt.wave_dir + "/" + file_slug(s.name) + ".health";
+        write_vcd(stem + ".vcd", health);
+        write_wave_csv(stem + ".csv", health);
+    }
     return result;
 }
 

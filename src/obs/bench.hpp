@@ -23,6 +23,7 @@
 
 #include "obs/json.hpp"
 #include "obs/trace_export.hpp"
+#include "obs/vcd.hpp"
 
 namespace snim::obs {
 
@@ -46,10 +47,19 @@ struct ScenarioContext {
     bool quick = false;    // --quick: trimmed sweeps / captures
     uint64_t seed = 0;     // the default-Rng seed in effect
     int repetition = 0;    // 0-based, warmups excluded
+    /// Waveform dump directory (--dump-waves); non-empty only on the last
+    /// recorded repetition.  Scenario bodies export probe waveforms through
+    /// dump_waves(); the runner exports the solver-health channels itself.
+    std::string wave_dir;
     /// Accuracy metrics recorded by the body (append via add_accuracy).
     std::vector<AccuracyMetric> accuracy;
 
     void add_accuracy(AccuracyMetric m) { accuracy.push_back(std::move(m)); }
+
+    /// Writes `signals` to <wave_dir>/<slug(tag)>.vcd and .csv; no-op
+    /// returning "" when wave_dir is empty.  Returns the VCD path.
+    std::string dump_waves(const std::string& tag,
+                           const std::vector<WaveSignal>& signals) const;
 };
 
 struct Scenario {
@@ -76,6 +86,10 @@ struct BenchOptions {
     bool quick = false;
     int repeat_override = 0; // 0 -> scenario defaults
     uint64_t seed = 0x9e3779b97f4a7c15ULL;
+    /// --dump-waves: directory for per-scenario VCD/CSV waveform exports
+    /// (probe waveforms from scenario bodies plus the solver-health
+    /// channels).  Empty -> no dumps.
+    std::string wave_dir;
 };
 
 struct RuntimeStats {

@@ -9,6 +9,7 @@
 #include <mutex>
 
 #include "obs/report.hpp"
+#include "obs/timeseries.hpp"
 
 namespace snim::obs {
 
@@ -231,11 +232,14 @@ PhaseNode phase_tree() {
 }
 
 void reset() {
-    Registry& r = registry();
-    std::lock_guard<std::mutex> lock(r.mu);
-    r.counters.clear();
-    r.values.clear();
-    r.phases.clear();
+    {
+        Registry& r = registry();
+        std::lock_guard<std::mutex> lock(r.mu);
+        r.counters.clear();
+        r.values.clear();
+        r.phases.clear();
+    }
+    ts_reset(); // the time-series channels are part of the registry too
 }
 
 } // namespace snim::obs

@@ -1,0 +1,121 @@
+#include "obs/timeseries.hpp"
+
+#if SNIM_OBS_ENABLED
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <mutex>
+
+namespace snim::obs {
+
+namespace {
+
+/// One channel's decimating buffer.  `stride` doubles every time the buffer
+/// fills; only every stride-th offered sample is stored, plus the pending
+/// last sample kept aside so snapshots always end on it.
+struct Channel {
+    std::string unit;
+    std::vector<double> time;
+    std::vector<double> value;
+    uint64_t offered = 0;
+    uint64_t stride = 1;
+    double last_t = 0.0;
+    double last_v = 0.0;
+
+    void add(double t, double v) {
+        if (offered % stride == 0) {
+            time.push_back(t);
+            value.push_back(v);
+            if (time.size() >= kTimeSeriesCapacity) decimate();
+        }
+        last_t = t;
+        last_v = v;
+        ++offered;
+    }
+
+    void decimate() {
+        size_t kept = 0;
+        for (size_t i = 0; i < time.size(); i += 2) {
+            time[kept] = time[i];
+            value[kept] = value[i];
+            ++kept;
+        }
+        time.resize(kept);
+        value.resize(kept);
+        stride *= 2;
+    }
+
+    TimeSeries snapshot(const std::string& name) const {
+        TimeSeries s;
+        s.name = name;
+        s.unit = unit;
+        s.time = time;
+        s.value = value;
+        s.offered = offered;
+        s.stride = stride;
+        // The stride may have skipped the most recent sample; a series that
+        // does not end on the last offered point misreports where the run
+        // stopped (the whole point of a post-mortem tail).
+        if (offered > 0 && (s.time.empty() || s.time.back() != last_t ||
+                            s.value.back() != last_v)) {
+            s.time.push_back(last_t);
+            s.value.push_back(last_v);
+        }
+        return s;
+    }
+};
+
+struct Store {
+    std::mutex mu;
+    std::map<std::string, Channel, std::less<>> channels;
+};
+
+Store& store() {
+    static Store* s = new Store; // leaked like the registry: no static-destruction races
+    return *s;
+}
+
+} // namespace
+
+void ts_append(std::string_view channel, double t, double value, std::string_view unit) {
+    if (!enabled()) return;
+    if (!std::isfinite(t) || !std::isfinite(value)) {
+        count("obs/ts_nonfinite_dropped");
+        return;
+    }
+    Store& s = store();
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.channels.find(channel);
+    if (it == s.channels.end())
+        it = s.channels.emplace(std::string(channel), Channel{}).first;
+    if (it->second.unit.empty() && !unit.empty()) it->second.unit = unit;
+    it->second.add(t, value);
+}
+
+std::optional<TimeSeries> ts_get(std::string_view channel) {
+    Store& s = store();
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.channels.find(channel);
+    if (it == s.channels.end()) return std::nullopt;
+    return it->second.snapshot(it->first);
+}
+
+std::vector<TimeSeries> ts_snapshot() {
+    Store& s = store();
+    std::lock_guard<std::mutex> lock(s.mu);
+    std::vector<TimeSeries> out;
+    out.reserve(s.channels.size());
+    for (const auto& [name, ch] : s.channels) out.push_back(ch.snapshot(name));
+    return out;
+}
+
+void ts_reset() {
+    Store& s = store();
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.channels.clear();
+}
+
+} // namespace snim::obs
+
+#endif // SNIM_OBS_ENABLED

@@ -1,0 +1,73 @@
+// Time-series channels: the obs registry's third data kind, next to counters
+// and value histograms.  A channel records (time, value) samples — solver
+// health per accepted transient step, residual per Newton iteration, pivot
+// magnitude per factorization — into a fixed-capacity decimating buffer, so
+// a million-step transient costs bounded memory while the recorded shape of
+// the run survives.
+//
+// Decimation policy: each channel keeps at most kTimeSeriesCapacity samples.
+// When the buffer fills, every second stored sample is dropped in place and
+// the acceptance stride doubles, so older history thins out uniformly while
+// recent samples stay dense-ish.  Invariants the snapshot guarantees:
+//
+//   * the FIRST sample ever offered is always present,
+//   * the LAST sample ever offered is always present (appended on snapshot
+//     when the stride skipped it),
+//   * time stays monotone non-decreasing when the producer's time is.
+//
+// Like every other obs entry point, appends are no-ops while the registry is
+// disabled and the whole API collapses to inline no-ops under
+// -DSNIM_ENABLE_OBS=OFF.  Non-finite values are never stored: they bump the
+// "obs/ts_nonfinite_dropped" counter instead, so NaN telemetry cannot
+// corrupt a VCD or trace file (the engines raise a structured diagnostic on
+// non-finite *solution* data before it ever reaches a channel).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/registry.hpp"
+
+namespace snim::obs {
+
+/// Hard per-channel sample budget after decimation.
+inline constexpr size_t kTimeSeriesCapacity = 4096;
+
+/// Snapshot of one channel.
+struct TimeSeries {
+    std::string name;
+    std::string unit;           // free-form ("iters", "V", "1"), set on first append
+    std::vector<double> time;   // sample abscissa (seconds, iteration index, Hz...)
+    std::vector<double> value;
+    uint64_t offered = 0;       // samples offered, before decimation
+    uint64_t stride = 1;        // final acceptance stride (1 = nothing dropped)
+};
+
+#if SNIM_OBS_ENABLED
+
+/// Appends one sample to the named channel (created on first use).  `unit`
+/// is recorded the first time it is non-empty.
+void ts_append(std::string_view channel, double t, double value,
+               std::string_view unit = {});
+
+/// Snapshot of one channel; nullopt when it does not exist.
+std::optional<TimeSeries> ts_get(std::string_view channel);
+
+/// Snapshots of every channel, sorted by name.
+std::vector<TimeSeries> ts_snapshot();
+
+/// Drops every channel (obs::reset() calls this too).
+void ts_reset();
+
+#else // SNIM_OBS_ENABLED — compiled out.
+
+inline void ts_append(std::string_view, double, double, std::string_view = {}) {}
+inline std::optional<TimeSeries> ts_get(std::string_view) { return {}; }
+inline std::vector<TimeSeries> ts_snapshot() { return {}; }
+inline void ts_reset() {}
+
+#endif // SNIM_OBS_ENABLED
+
+} // namespace snim::obs

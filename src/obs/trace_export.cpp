@@ -91,6 +91,39 @@ double emit_node(JsonArray& events, const PhaseNode& node, int pid, int tid, dou
     return span_us;
 }
 
+/// Emits one channel as a Chrome counter track.  The channel's abscissa
+/// (simulation time, iteration count, frequency) is mapped linearly onto
+/// the lane's [t0_us, t0_us + span_us] wall window, so counter lanes line
+/// up with the reconstructed phase timeline; a non-monotone abscissa falls
+/// back to the sample index.
+void emit_counter_events(JsonArray& events, const TimeSeries& ts, int pid, int tid,
+                         double t0_us, double span_us) {
+    if (ts.time.empty()) return;
+    bool monotone = true;
+    for (size_t k = 1; k < ts.time.size(); ++k)
+        if (ts.time[k] < ts.time[k - 1]) {
+            monotone = false;
+            break;
+        }
+    const double lo = monotone ? ts.time.front() : 0.0;
+    const double hi = monotone ? ts.time.back() : static_cast<double>(ts.time.size() - 1);
+    const double range = hi - lo;
+    for (size_t k = 0; k < ts.time.size(); ++k) {
+        const double at = monotone ? ts.time[k] : static_cast<double>(k);
+        const double frac = range > 0.0 ? (at - lo) / range : 0.0;
+        JsonObject args;
+        args.emplace("value", ts.value[k]);
+        JsonObject c;
+        c.emplace("name", ts.name);
+        c.emplace("ph", "C");
+        c.emplace("ts", t0_us + frac * span_us);
+        c.emplace("pid", pid);
+        c.emplace("tid", tid);
+        c.emplace("args", Json(std::move(args)));
+        events.push_back(Json(std::move(c)));
+    }
+}
+
 Json metadata_event(const char* name, int pid, int tid, const std::string& value) {
     JsonObject args;
     args.emplace("name", value);
@@ -111,7 +144,10 @@ double append_lane_events(JsonArray& events, const TraceLane& lane, int pid, int
     double cursor = t0_us;
     for (const auto& c : lane.tree.children)
         cursor += emit_node(events, c, pid, tid, cursor, homes);
-    return cursor - t0_us;
+    const double span_us = cursor - t0_us;
+    for (const auto& ts : lane.timeseries)
+        emit_counter_events(events, ts, pid, tid, t0_us, span_us);
+    return span_us;
 }
 
 Json chrome_trace_json(const std::vector<TraceLane>& lanes) {
@@ -141,6 +177,7 @@ TraceLane registry_trace_lane(const std::string& name) {
     lane.name = name;
     lane.tree = phase_tree();
     lane.counters = counters_snapshot();
+    lane.timeseries = ts_snapshot();
     return lane;
 }
 

@@ -22,15 +22,21 @@
 
 #include "obs/json.hpp"
 #include "obs/registry.hpp"
+#include "obs/timeseries.hpp"
 
 namespace snim::obs {
 
-/// One named timeline of the trace: a phase tree plus the counters recorded
-/// while it was built.  The bench harness emits one lane per scenario.
+/// One named timeline of the trace: a phase tree plus the counters and
+/// time-series channels recorded while it was built.  The bench harness
+/// emits one lane per scenario.
 struct TraceLane {
     std::string name;
     PhaseNode tree; // structural root (as returned by obs::phase_tree())
     std::vector<std::pair<std::string, uint64_t>> counters;
+    /// Solver-health channels; rendered as Chrome counter tracks ("ph":"C")
+    /// so Perfetto shows Newton effort aligned with the phase tree.  Each
+    /// channel's abscissa is mapped linearly onto the lane's wall span.
+    std::vector<TimeSeries> timeseries;
 };
 
 /// Builds the full Chrome trace JSON document:

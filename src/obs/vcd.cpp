@@ -1,0 +1,251 @@
+#include "obs/vcd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace snim::obs {
+
+namespace {
+
+void check_signals(const std::vector<WaveSignal>& signals) {
+    if (signals.empty()) raise("vcd: no signals to export");
+    for (size_t i = 0; i < signals.size(); ++i) {
+        const WaveSignal& s = signals[i];
+        if (s.name.empty()) raise("vcd: signal %zu has no name", i);
+        if (s.time.size() != s.value.size())
+            raise("vcd: signal '%s' has %zu times but %zu values", s.name.c_str(),
+                  s.time.size(), s.value.size());
+        for (size_t k = 1; k < s.time.size(); ++k)
+            if (s.time[k] < s.time[k - 1])
+                raise("vcd: signal '%s' time runs backwards at sample %zu",
+                      s.name.c_str(), k);
+        for (size_t j = 0; j < i; ++j)
+            if (signals[j].name == s.name)
+                raise("vcd: duplicate signal name '%s'", s.name.c_str());
+    }
+}
+
+/// Short printable identifier codes: !, ", #, ... then two-char codes.
+std::string id_code(size_t index) {
+    std::string id;
+    do {
+        id += static_cast<char>('!' + index % 94);
+        index /= 94;
+    } while (index > 0);
+    return id;
+}
+
+/// VCD identifiers must not contain whitespace; everything else passes
+/// through (GTKWave treats '.' as hierarchy, which reads nicely for the
+/// '/'-separated channel names).
+std::string vcd_name(const std::string& name) {
+    std::string out = name;
+    for (char& c : out)
+        if (c == ' ' || c == '\t' || c == '/') c = '.';
+    return out;
+}
+
+double auto_timescale(const std::vector<WaveSignal>& signals) {
+    double min_dt = 1.0; // fall back to 1us ticks for single-sample signals
+    for (const auto& s : signals)
+        for (size_t k = 1; k < s.time.size(); ++k) {
+            const double dt = s.time[k] - s.time[k - 1];
+            if (dt > 0.0) min_dt = std::min(min_dt, dt);
+        }
+    for (double scale : {1e-6, 1e-9, 1e-12})
+        if (min_dt >= scale) return scale;
+    return 1e-15;
+}
+
+const char* timescale_label(double scale) {
+    if (scale == 1e-6) return "1 us";
+    if (scale == 1e-9) return "1 ns";
+    if (scale == 1e-12) return "1 ps";
+    if (scale == 1e-15) return "1 fs";
+    return nullptr;
+}
+
+} // namespace
+
+std::string vcd_document(const std::vector<WaveSignal>& signals, double timescale_s) {
+    check_signals(signals);
+    if (timescale_s <= 0.0) timescale_s = auto_timescale(signals);
+    const char* label = timescale_label(timescale_s);
+    if (!label) raise("vcd: timescale %g s is not one of 1us/1ns/1ps/1fs", timescale_s);
+
+    std::ostringstream out;
+    out << "$comment snim waveform export $end\n";
+    out << "$timescale " << label << " $end\n";
+    out << "$scope module snim $end\n";
+    for (size_t i = 0; i < signals.size(); ++i) {
+        out << "$var real 64 " << id_code(i) << " " << vcd_name(signals[i].name)
+            << " $end\n";
+        if (!signals[i].unit.empty())
+            out << "$comment unit " << id_code(i) << " " << signals[i].unit
+                << " $end\n";
+    }
+    out << "$upscope $end\n$enddefinitions $end\n";
+
+    // Merge every signal's samples onto one non-decreasing tick axis.
+    struct Change {
+        long long tick;
+        size_t signal;
+        size_t sample;
+    };
+    std::vector<Change> changes;
+    for (size_t i = 0; i < signals.size(); ++i)
+        for (size_t k = 0; k < signals[i].time.size(); ++k)
+            changes.push_back({std::llround(signals[i].time[k] / timescale_s), i, k});
+    std::stable_sort(changes.begin(), changes.end(),
+                     [](const Change& a, const Change& b) { return a.tick < b.tick; });
+
+    long long current = -1;
+    char buf[64];
+    for (const Change& c : changes) {
+        if (c.tick != current) {
+            out << "#" << c.tick << "\n";
+            current = c.tick;
+        }
+        std::snprintf(buf, sizeof buf, "%.17g", signals[c.signal].value[c.sample]);
+        out << "r" << buf << " " << id_code(c.signal) << "\n";
+    }
+    return out.str();
+}
+
+void write_vcd(const std::string& path, const std::vector<WaveSignal>& signals,
+               double timescale_s) {
+    const std::string doc = vcd_document(signals, timescale_s);
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) raise("cannot open '%s' for writing", path.c_str());
+    const size_t n = std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    if (n != doc.size()) raise("short write to '%s'", path.c_str());
+}
+
+std::vector<WaveSignal> parse_vcd(const std::string& document) {
+    std::vector<WaveSignal> signals;
+    std::vector<std::string> ids; // ids[i] identifies signals[i]
+    double timescale = 0.0;
+    double now = 0.0;
+
+    std::istringstream in(document);
+    std::string line;
+    auto find_signal = [&](const std::string& id) -> WaveSignal* {
+        for (size_t i = 0; i < ids.size(); ++i)
+            if (ids[i] == id) return &signals[i];
+        return nullptr;
+    };
+    while (std::getline(in, line)) {
+        std::istringstream ls(line);
+        std::string tok;
+        if (!(ls >> tok)) continue;
+        if (tok == "$timescale") {
+            std::string mag, unit;
+            ls >> mag >> unit;
+            if (unit == "$end") { // "1ps" written without a space
+                unit = mag.substr(mag.find_first_not_of("0123456789"));
+                mag = mag.substr(0, mag.size() - unit.size());
+            }
+            const double m = std::atof(mag.c_str());
+            double u = 0.0;
+            if (unit == "s") u = 1.0;
+            else if (unit == "ms") u = 1e-3;
+            else if (unit == "us") u = 1e-6;
+            else if (unit == "ns") u = 1e-9;
+            else if (unit == "ps") u = 1e-12;
+            else if (unit == "fs") u = 1e-15;
+            else raise("vcd parse: unknown timescale unit '%s'", unit.c_str());
+            timescale = m * u;
+            if (timescale <= 0.0) raise("vcd parse: bad timescale '%s %s'",
+                                        mag.c_str(), unit.c_str());
+        } else if (tok == "$var") {
+            std::string type, width, id, name;
+            ls >> type >> width >> id >> name;
+            if (type != "real") raise("vcd parse: unsupported var type '%s'",
+                                      type.c_str());
+            WaveSignal s;
+            s.name = name;
+            signals.push_back(std::move(s));
+            ids.push_back(id);
+        } else if (tok[0] == '#') {
+            if (timescale <= 0.0) raise("vcd parse: value change before $timescale");
+            now = std::atof(tok.c_str() + 1) * timescale;
+        } else if (tok[0] == 'r') {
+            std::string id;
+            ls >> id;
+            WaveSignal* s = find_signal(id);
+            if (!s) raise("vcd parse: value change for unknown id '%s'", id.c_str());
+            s->time.push_back(now);
+            s->value.push_back(std::atof(tok.c_str() + 1));
+        }
+        // $comment/$scope/$upscope/$enddefinitions and b/x changes: ignored.
+    }
+    if (signals.empty()) raise("vcd parse: no $var declarations found");
+    return signals;
+}
+
+std::vector<WaveSignal> read_vcd(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) raise("cannot open '%s'", path.c_str());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parse_vcd(buf.str());
+}
+
+void write_wave_csv(const std::string& path, const std::vector<WaveSignal>& signals) {
+    check_signals(signals);
+    std::vector<double> axis;
+    for (const auto& s : signals) axis.insert(axis.end(), s.time.begin(), s.time.end());
+    std::sort(axis.begin(), axis.end());
+    axis.erase(std::unique(axis.begin(), axis.end()), axis.end());
+
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) raise("cannot open '%s' for writing", path.c_str());
+    std::fputs("time", f);
+    for (const auto& s : signals) std::fprintf(f, ",%s", s.name.c_str());
+    std::fputc('\n', f);
+    std::vector<size_t> cursor(signals.size(), 0);
+    for (double t : axis) {
+        std::fprintf(f, "%.17g", t);
+        for (size_t i = 0; i < signals.size(); ++i) {
+            const WaveSignal& s = signals[i];
+            while (cursor[i] < s.time.size() && s.time[cursor[i]] <= t) ++cursor[i];
+            if (cursor[i] == 0)
+                std::fputc(',', f); // not yet sampled
+            else
+                std::fprintf(f, ",%.17g", s.value[cursor[i] - 1]);
+        }
+        std::fputc('\n', f);
+    }
+    const bool ok = std::fflush(f) == 0;
+    std::fclose(f);
+    if (!ok) raise("short write to '%s'", path.c_str());
+}
+
+WaveSignal wave_from_timeseries(const TimeSeries& ts) {
+    WaveSignal s;
+    s.name = ts.name;
+    s.unit = ts.unit;
+    s.value = ts.value;
+    bool monotone = true;
+    for (size_t k = 1; k < ts.time.size(); ++k)
+        if (ts.time[k] < ts.time[k - 1]) {
+            monotone = false;
+            break;
+        }
+    if (monotone) {
+        s.time = ts.time;
+    } else {
+        s.time.resize(ts.time.size());
+        for (size_t k = 0; k < s.time.size(); ++k) s.time[k] = static_cast<double>(k);
+        if (!s.unit.empty()) s.unit += " (index axis)";
+    }
+    return s;
+}
+
+} // namespace snim::obs

@@ -1,6 +1,7 @@
 #include "sim/ac.hpp"
 
 #include "numeric/sparse_lu.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "sim/mna.hpp"
 #include "util/units.hpp"
@@ -32,6 +33,13 @@ AcResult ac_sweep(circuit::Netlist& netlist, const std::vector<double>& freqs,
         assemble_ac(netlist, s, xop, units::kTwoPi * f, opt.gmin, opt.exclude);
         SparseLU<std::complex<double>> lu(s.matrix());
         out.x.push_back(lu.solve(s.rhs()));
+        if (obs::enabled()) {
+            // Per-point pivot health over the sweep: a dip flags the
+            // frequency where the MNA system loses conditioning.
+            obs::ts_append("sim/ac/lu_min_pivot", f, lu.factor_stats().min_pivot, "1");
+            obs::ts_append("sim/ac/lu_fill_growth", f, lu.factor_stats().fill_growth,
+                           "x");
+        }
     }
     return out;
 }

@@ -1,0 +1,200 @@
+#include "sim/diagnostics.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sys/stat.h>
+
+#include "obs/report.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace snim::sim {
+
+namespace {
+
+std::string& diag_dir_store() {
+    static std::string* dir = new std::string;
+    return *dir;
+}
+
+obs::Json telemetry_json(const StepTelemetry& t) {
+    obs::JsonObject o;
+    o.emplace("step", static_cast<double>(t.step));
+    o.emplace("time", t.time);
+    o.emplace("newton_iters", t.newton_iters);
+    o.emplace("residual", t.residual);
+    o.emplace("worst_unknown", t.worst_unknown);
+    o.emplace("clamp_hits", t.clamp_hits);
+    o.emplace("lu_min_pivot", t.lu_min_pivot);
+    o.emplace("lu_fill_growth", t.lu_fill_growth);
+    o.emplace("converged", t.converged);
+    return obs::Json(std::move(o));
+}
+
+obs::Json wave_tail_json(const TranResult& r, size_t tail) {
+    const size_t n = r.time.size();
+    const size_t begin = n > tail ? n - tail : 0;
+    obs::JsonObject waves;
+    waves.emplace("dt_sample", r.dt_sample);
+    waves.emplace("recorded_samples", static_cast<double>(n));
+    waves.emplace("tail_begin", static_cast<double>(begin));
+    obs::JsonArray time;
+    for (size_t k = begin; k < n; ++k) time.push_back(r.time[k]);
+    waves.emplace("time", obs::Json(std::move(time)));
+    obs::JsonObject probes;
+    for (size_t p = 0; p < r.probe_names.size(); ++p) {
+        obs::JsonArray w;
+        const auto& wave = r.waves[p];
+        for (size_t k = begin; k < n && k < wave.size(); ++k) w.push_back(wave[k]);
+        probes.emplace(r.probe_names[p], obs::Json(std::move(w)));
+    }
+    waves.emplace("probes", obs::Json(std::move(probes)));
+    return obs::Json(std::move(waves));
+}
+
+bool file_exists(const std::string& path) {
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+}
+
+} // namespace
+
+StepTelemetryRing::StepTelemetryRing(size_t capacity)
+    : buf_(std::max<size_t>(1, capacity)) {}
+
+void StepTelemetryRing::push(const StepTelemetry& t) {
+    buf_[next_] = t;
+    next_ = (next_ + 1) % buf_.size();
+    ++pushed_;
+}
+
+std::vector<StepTelemetry> StepTelemetryRing::tail() const {
+    std::vector<StepTelemetry> out;
+    const size_t count = std::min<uint64_t>(pushed_, buf_.size());
+    out.reserve(count);
+    // Oldest entry sits at next_ once the ring has wrapped.
+    const size_t start = pushed_ > buf_.size() ? next_ : 0;
+    for (size_t k = 0; k < count; ++k) out.push_back(buf_[(start + k) % buf_.size()]);
+    return out;
+}
+
+void set_default_diag_dir(std::string dir) { diag_dir_store() = std::move(dir); }
+
+const std::string& default_diag_dir() { return diag_dir_store(); }
+
+obs::Json diagnosis_json(const FailureDiagnosis& d) {
+    obs::JsonObject root;
+    root.emplace("schema_version", kDiagSchemaVersion);
+    root.emplace("tool", "snim");
+    root.emplace("engine", d.engine);
+    root.emplace("reason", d.reason);
+    root.emplace("fail_time", d.fail_time);
+    root.emplace("fail_step", static_cast<double>(d.fail_step));
+    root.emplace("options", obs::Json(d.options));
+
+    obs::JsonArray tel;
+    for (const auto& t : d.telemetry) tel.push_back(telemetry_json(t));
+    root.emplace("telemetry", obs::Json(std::move(tel)));
+
+    obs::JsonArray worst;
+    for (const auto& [name, dv] : d.worst_nodes) {
+        obs::JsonObject o;
+        o.emplace("node", name);
+        o.emplace("dv", dv);
+        worst.push_back(obs::Json(std::move(o)));
+    }
+    root.emplace("worst_residual_nodes", obs::Json(std::move(worst)));
+
+    if (d.partial) root.emplace("waves", wave_tail_json(*d.partial, d.wave_tail));
+    root.emplace("registry", obs::report_json());
+    return obs::Json(std::move(root));
+}
+
+std::string write_diagnosis_bundle(const FailureDiagnosis& d, const std::string& dir) {
+    static std::atomic<int> seq{0};
+    std::string base = !dir.empty() ? dir : default_diag_dir();
+    if (base.empty()) base = ".";
+    try {
+        const std::string doc = diagnosis_json(d).dump(1);
+        std::string path;
+        std::FILE* f = nullptr;
+        // The sequence counter is process-global; probe past files left by
+        // other processes sharing the directory.
+        for (int attempt = 0; attempt < 10000 && !f; ++attempt) {
+            path = format("%s/snim_diag_%s_%04d.json", base.c_str(),
+                          d.engine.c_str(), seq.fetch_add(1));
+            if (!file_exists(path)) f = std::fopen(path.c_str(), "w");
+        }
+        if (!f) return {};
+        const size_t n = std::fwrite(doc.data(), 1, doc.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        if (n != doc.size()) return {};
+        log_warn("wrote failure diagnosis bundle: %s", path.c_str());
+        return path;
+    } catch (...) {
+        return {}; // diagnosis must never mask the original solver error
+    }
+}
+
+std::string unknown_name(const circuit::Netlist& netlist, int index) {
+    if (index < 0) return {};
+    if (static_cast<size_t>(index) < netlist.node_count())
+        return netlist.node_name(static_cast<circuit::NodeId>(index));
+    return format("branch:%zu", static_cast<size_t>(index) - netlist.node_count());
+}
+
+std::vector<std::pair<std::string, double>> worst_unknowns(
+    const circuit::Netlist& netlist, const std::vector<double>& dv, size_t count) {
+    std::vector<size_t> order(dv.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    count = std::min(count, order.size());
+    // NaN updates rank worst of all; mapping them to +inf keeps the
+    // comparator a strict weak ordering (raw NaN comparisons would not be).
+    auto key = [&](size_t i) {
+        const double m = std::fabs(dv[i]);
+        return std::isnan(m) ? std::numeric_limits<double>::infinity() : m;
+    };
+    std::partial_sort(order.begin(), order.begin() + static_cast<long>(count),
+                      order.end(),
+                      [&](size_t a, size_t b) { return key(a) > key(b); });
+    std::vector<std::pair<std::string, double>> out;
+    out.reserve(count);
+    for (size_t k = 0; k < count; ++k)
+        out.emplace_back(unknown_name(netlist, static_cast<int>(order[k])),
+                         dv[order[k]]);
+    return out;
+}
+
+void validate_tran_options(const TranOptions& opt) {
+    if (!(opt.tstop > 0.0))
+        raise("TranOptions.tstop must be > 0 (got %g)", opt.tstop);
+    if (!(opt.dt > 0.0)) raise("TranOptions.dt must be > 0 (got %g)", opt.dt);
+    if (opt.order != 1 && opt.order != 2)
+        raise("TranOptions.order must be 1 (BE) or 2 (trapezoidal), got %d", opt.order);
+    if (opt.max_newton <= 0)
+        raise("TranOptions.max_newton must be > 0 (got %d)", opt.max_newton);
+    if (opt.record_stride <= 0)
+        raise("TranOptions.record_stride must be > 0 (got %d)", opt.record_stride);
+    if (opt.record_start >= opt.tstop)
+        raise("TranOptions.record_start (%g) must be before tstop (%g) — nothing "
+              "would be recorded",
+              opt.record_start, opt.tstop);
+    if (!(opt.dv_max > 0.0))
+        raise("TranOptions.dv_max must be > 0 (got %g)", opt.dv_max);
+    if (opt.reltol < 0.0 || opt.vntol < 0.0)
+        raise("TranOptions.reltol/vntol must be >= 0 (got %g / %g)", opt.reltol,
+              opt.vntol);
+    if (opt.be_startup_steps < 0)
+        raise("TranOptions.be_startup_steps must be >= 0 (got %d)",
+              opt.be_startup_steps);
+    if (opt.diag_tail <= 0)
+        raise("TranOptions.diag_tail must be > 0 (got %d)", opt.diag_tail);
+    if (opt.diag_wave_tail < 0)
+        raise("TranOptions.diag_wave_tail must be >= 0 (got %d)", opt.diag_wave_tail);
+}
+
+} // namespace snim::sim

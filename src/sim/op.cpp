@@ -1,11 +1,14 @@
 #include "sim/op.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "numeric/sparse_lu.hpp"
 #include "numeric/vecops.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
+#include "sim/diagnostics.hpp"
 #include "sim/mna.hpp"
 #include "util/log.hpp"
 
@@ -13,10 +16,21 @@ namespace snim::sim {
 
 namespace {
 
+/// Telemetry shared across the gmin-stepping attempts of one operating
+/// point so the failure bundle shows the whole search, not just the last
+/// Newton run.
+struct OpTelemetry {
+    StepTelemetryRing ring;
+    std::vector<double> last_dx;
+    long total_iters = 0;
+
+    explicit OpTelemetry(size_t tail, size_t n) : ring(tail), last_dx(n, 0.0) {}
+};
+
 /// One Newton solve at fixed gmin; returns true on convergence and leaves
 /// the result in `x`.
 bool newton_dc(circuit::Netlist& netlist, std::vector<double>& x, double gmin,
-               const OpOptions& opt) {
+               const OpOptions& opt, OpTelemetry& diag) {
     const size_t n = netlist.unknown_count();
     bool nonlinear = false;
     for (const auto& d : netlist.devices()) nonlinear |= d->is_nonlinear();
@@ -24,27 +38,63 @@ bool newton_dc(circuit::Netlist& netlist, std::vector<double>& x, double gmin,
     circuit::RealStamper s(n);
     for (int it = 0; it < opt.max_iter; ++it) {
         obs::ScopedTimer obs_newton("sim/op/newton");
+        StepTelemetry tel;
+        tel.step = ++diag.total_iters;
+        tel.time = gmin; // abscissa: the gmin level this iteration ran at
+        tel.newton_iters = it + 1;
         s.clear();
         assemble_dc(netlist, s, x, gmin);
         std::vector<double> xn;
         try {
             SparseLU<double> lu(s.matrix());
             xn = lu.solve(s.rhs());
+            tel.lu_min_pivot = lu.factor_stats().min_pivot;
+            tel.lu_fill_growth = lu.factor_stats().fill_growth;
         } catch (const Error&) {
+            tel.converged = false;
+            diag.ring.push(tel);
             return false; // singular at this gmin level
         }
         // Clamp voltage-like updates for stability (nonlinear circuits only;
         // a linear solve is exact and must not be truncated).
         double max_dx = 0.0;
+        bool nonfinite = false;
         for (size_t i = 0; i < n; ++i) {
             double dx = xn[i] - x[i];
+            if (!std::isfinite(dx)) nonfinite = true;
             const bool is_node = i < netlist.node_count();
-            if (is_node && nonlinear) dx = std::clamp(dx, -opt.dv_max, opt.dv_max);
-            max_dx = std::max(max_dx, std::fabs(dx));
+            if (is_node && nonlinear) {
+                const double clamped = std::clamp(dx, -opt.dv_max, opt.dv_max);
+                if (clamped != dx) ++tel.clamp_hits;
+                dx = clamped;
+            }
+            diag.last_dx[i] = dx;
+            if (std::fabs(dx) > max_dx) {
+                max_dx = std::fabs(dx);
+                tel.worst_unknown = static_cast<int>(i);
+            }
             x[i] += dx;
         }
-        if (!nonlinear) return std::isfinite(max_dx);
-        if (!std::isfinite(max_dx)) return false;
+        tel.residual = max_dx;
+        tel.converged = false;
+        if (obs::enabled()) {
+            // Abscissa: Newton iterations cumulative over the process, so
+            // the channel stays monotone across repeated op solves (one
+            // scenario runs dozens: calibration, ablations, sweeps).
+            static std::atomic<long> cumulative{0};
+            obs::ts_append("sim/op/residual",
+                           static_cast<double>(++cumulative),
+                           std::isfinite(max_dx) ? max_dx : 0.0, "V");
+        }
+        if (!nonlinear) {
+            tel.converged = !nonfinite && std::isfinite(max_dx);
+            diag.ring.push(tel);
+            return tel.converged;
+        }
+        if (nonfinite || !std::isfinite(max_dx)) {
+            diag.ring.push(tel);
+            return false;
+        }
         if (max_dx < opt.vntol + opt.reltol * norm_inf(x)) {
             // One undamped verification pass: the iterate must reproduce
             // itself (companion models are exact at the fixpoint).
@@ -54,17 +104,36 @@ bool newton_dc(circuit::Netlist& netlist, std::vector<double>& x, double gmin,
                 SparseLU<double> lu(s.matrix());
                 xn = lu.solve(s.rhs());
             } catch (const Error&) {
+                diag.ring.push(tel);
                 return false;
             }
-            return max_abs_diff(xn, x) < 10 * (opt.vntol + opt.reltol * norm_inf(x));
+            tel.converged =
+                max_abs_diff(xn, x) < 10 * (opt.vntol + opt.reltol * norm_inf(x));
+            diag.ring.push(tel);
+            return tel.converged;
         }
+        diag.ring.push(tel);
     }
     return false;
+}
+
+obs::JsonObject op_options_json(const OpOptions& opt) {
+    obs::JsonObject o;
+    o.emplace("max_iter", opt.max_iter);
+    o.emplace("reltol", opt.reltol);
+    o.emplace("vntol", opt.vntol);
+    o.emplace("gmin", opt.gmin);
+    o.emplace("dv_max", opt.dv_max);
+    o.emplace("gmin_stepping", opt.gmin_stepping);
+    return o;
 }
 
 } // namespace
 
 std::vector<double> operating_point(circuit::Netlist& netlist, const OpOptions& opt) {
+    if (opt.max_iter <= 0) raise("OpOptions.max_iter must be > 0 (got %d)", opt.max_iter);
+    if (opt.diag_tail <= 0) raise("OpOptions.diag_tail must be > 0 (got %d)",
+                                  opt.diag_tail);
     obs::ScopedTimer obs_run("sim/op");
     netlist.finalize();
     const size_t n = netlist.unknown_count();
@@ -72,7 +141,8 @@ std::vector<double> operating_point(circuit::Netlist& netlist, const OpOptions& 
     if (x.empty()) x.assign(n, 0.0);
     SNIM_ASSERT(x.size() == n, "initial point size %zu != %zu", x.size(), n);
 
-    if (newton_dc(netlist, x, opt.gmin, opt)) return x;
+    OpTelemetry diag(static_cast<size_t>(opt.diag_tail), n);
+    if (newton_dc(netlist, x, opt.gmin, opt, diag)) return x;
 
     if (opt.gmin_stepping) {
         log_info("operating point: direct Newton failed, gmin stepping");
@@ -80,14 +150,30 @@ std::vector<double> operating_point(circuit::Netlist& netlist, const OpOptions& 
         bool ok = true;
         for (double g = 1e-2; g >= opt.gmin; g *= 0.1) {
             obs::count("sim/op/gmin_steps");
-            if (!newton_dc(netlist, xg, g, opt)) {
+            if (!newton_dc(netlist, xg, g, opt, diag)) {
                 ok = false;
                 break;
             }
         }
-        if (ok && newton_dc(netlist, xg, opt.gmin, opt)) return xg;
+        if (ok && newton_dc(netlist, xg, opt.gmin, opt, diag)) return xg;
     }
-    raise("operating point did not converge (%zu unknowns)", n);
+
+    std::string bundle;
+    if (opt.diag_bundle) {
+        FailureDiagnosis d;
+        d.engine = "op";
+        d.reason = "newton_no_convergence";
+        d.fail_step = diag.total_iters;
+        d.fail_time = 0.0;
+        d.telemetry = diag.ring.tail();
+        d.worst_nodes = worst_unknowns(netlist, diag.last_dx, 5);
+        d.options = op_options_json(opt);
+        bundle = write_diagnosis_bundle(d, opt.diag_dir);
+    }
+    raise("operating point did not converge (%zu unknowns, %ld Newton iterations%s)%s%s",
+          n, diag.total_iters, opt.gmin_stepping ? " incl. gmin stepping" : "",
+          bundle.empty() ? "" : "; diagnosis bundle: ",
+          bundle.empty() ? "" : bundle.c_str());
 }
 
 } // namespace snim::sim

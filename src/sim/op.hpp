@@ -14,6 +14,14 @@ struct OpOptions {
     bool gmin_stepping = true;
     /// Starting point; empty means all-zeros.
     std::vector<double> initial;
+    /// Write a snim_diag_*.json failure diagnosis bundle (per-iteration
+    /// residual history, worst nodes, LU pivot health) when the operating
+    /// point fails; the thrown snim::Error names the bundle path.
+    bool diag_bundle = true;
+    /// Bundle directory; empty -> sim::default_diag_dir() -> current dir.
+    std::string diag_dir;
+    /// Last-N Newton iterations of telemetry kept for the bundle.
+    int diag_tail = 64;
 };
 
 /// Solves the DC operating point; returns the full unknown vector

@@ -5,7 +5,9 @@
 
 #include "numeric/sparse_lu.hpp"
 #include "numeric/vecops.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
+#include "sim/diagnostics.hpp"
 #include "sim/mna.hpp"
 #include "sim/op.hpp"
 #include "util/log.hpp"
@@ -18,11 +20,65 @@ const std::vector<double>& TranResult::wave(const std::string& probe) const {
     raise("no probe named '%s'", probe.c_str());
 }
 
+namespace {
+
+/// Serialised into the failure bundle so a post-mortem sees the exact
+/// solver configuration.
+obs::JsonObject tran_options_json(const TranOptions& opt) {
+    obs::JsonObject o;
+    o.emplace("tstop", opt.tstop);
+    o.emplace("dt", opt.dt);
+    o.emplace("order", opt.order);
+    o.emplace("gmin", opt.gmin);
+    o.emplace("max_newton", opt.max_newton);
+    o.emplace("reltol", opt.reltol);
+    o.emplace("vntol", opt.vntol);
+    o.emplace("dv_max", opt.dv_max);
+    o.emplace("record_start", opt.record_start);
+    o.emplace("record_stride", opt.record_stride);
+    o.emplace("be_startup_steps", opt.be_startup_steps);
+    return o;
+}
+
+[[noreturn]] void fail_transient(const circuit::Netlist& netlist,
+                                 const TranOptions& opt, const TranResult& partial,
+                                 const StepTelemetryRing& ring,
+                                 const std::vector<double>& last_dx,
+                                 const char* reason, long step, long nsteps,
+                                 double time) {
+    std::string bundle;
+    std::string worst;
+    if (!last_dx.empty()) {
+        const auto nodes = worst_unknowns(netlist, last_dx, 5);
+        if (!nodes.empty())
+            worst = format("; worst node '%s' (dv=%.3g)", nodes.front().first.c_str(),
+                           nodes.front().second);
+        if (opt.diag_bundle) {
+            FailureDiagnosis d;
+            d.engine = "transient";
+            d.reason = reason;
+            d.fail_time = time;
+            d.fail_step = step;
+            d.telemetry = ring.tail();
+            d.worst_nodes = nodes;
+            d.options = tran_options_json(opt);
+            d.partial = &partial;
+            d.wave_tail = static_cast<size_t>(opt.diag_wave_tail);
+            bundle = write_diagnosis_bundle(d, opt.diag_dir);
+        }
+    }
+    raise("transient Newton %s at t=%.4g (step %ld of %ld, dt=%.3g, %zu samples "
+          "recorded)%s%s%s",
+          reason, time, step, nsteps, opt.dt, partial.time.size(), worst.c_str(),
+          bundle.empty() ? "" : "; diagnosis bundle: ",
+          bundle.empty() ? "" : bundle.c_str());
+}
+
+} // namespace
+
 TranResult transient(circuit::Netlist& netlist, const std::vector<std::string>& probes,
                      const TranOptions& opt) {
-    SNIM_ASSERT(opt.tstop > 0 && opt.dt > 0, "transient needs tstop and dt");
-    SNIM_ASSERT(opt.order == 1 || opt.order == 2, "order must be 1 or 2");
-    SNIM_ASSERT(opt.record_stride >= 1, "record_stride must be >= 1");
+    validate_tran_options(opt);
     if (opt.observe) obs::set_enabled(true);
     obs::ScopedTimer obs_run("sim/transient");
     netlist.finalize();
@@ -54,6 +110,8 @@ TranResult transient(circuit::Netlist& netlist, const std::vector<std::string>& 
 
     circuit::RealStamper s(n);
     std::vector<double> xit = x;
+    std::vector<double> last_dx(n, 0.0); // per-unknown update of the last iteration
+    StepTelemetryRing ring(static_cast<size_t>(opt.diag_tail));
     long recorded = 0;
     long averaged = 0;
     if (opt.accumulate_average) out.average.assign(n, 0.0);
@@ -72,11 +130,15 @@ TranResult transient(circuit::Netlist& netlist, const std::vector<std::string>& 
         obs::ScopedTimer obs_step("sim/transient/step");
 
         // Newton iteration, starting from the previous accepted solution.
+        StepTelemetry tel;
+        tel.step = step;
+        tel.time = tp.time;
         bool converged = false;
-        int newton_iters = 0;
+        bool nonfinite = false;
+        double max_dx = 0.0;
         for (int it = 0; it < opt.max_newton; ++it) {
             obs::ScopedTimer obs_newton("sim/transient/newton");
-            newton_iters = it + 1;
+            tel.newton_iters = it + 1;
             s.clear();
             assemble_tran(netlist, s, xit, tp, opt.gmin);
             std::vector<double> xn;
@@ -90,33 +152,66 @@ TranResult transient(circuit::Netlist& netlist, const std::vector<std::string>& 
                 for (size_t e = 0; e < rows.size(); ++e)
                     dense(static_cast<size_t>(rows[e]), static_cast<size_t>(cols[e])) +=
                         vals[e];
-                xn = DenseLU<double>(dense).solve(s.rhs());
+                DenseLU<double> lu(dense);
+                xn = lu.solve(s.rhs());
+                tel.lu_min_pivot = lu.min_pivot();
             } else {
                 SparseLU<double> lu(s.matrix());
                 xn = lu.solve(s.rhs());
+                tel.lu_min_pivot = lu.factor_stats().min_pivot;
+                tel.lu_fill_growth = lu.factor_stats().fill_growth;
             }
-            double max_dx = 0.0;
+            max_dx = 0.0;
+            tel.worst_unknown = -1;
             for (size_t i = 0; i < n; ++i) {
                 double dx = xn[i] - xit[i];
-                if (i < netlist.node_count()) dx = std::clamp(dx, -opt.dv_max, opt.dv_max);
-                max_dx = std::max(max_dx, std::fabs(dx));
+                // A NaN never wins a '>' comparison, so test finiteness
+                // explicitly — a poisoned update must trip the diagnosis,
+                // not silently spin until max_newton runs out.
+                if (!std::isfinite(dx)) nonfinite = true;
+                if (i < netlist.node_count()) {
+                    const double clamped = std::clamp(dx, -opt.dv_max, opt.dv_max);
+                    if (clamped != dx) ++tel.clamp_hits;
+                    dx = clamped;
+                }
+                last_dx[i] = dx;
+                if (std::fabs(dx) > max_dx) {
+                    max_dx = std::fabs(dx);
+                    tel.worst_unknown = static_cast<int>(i);
+                }
                 xit[i] += dx;
             }
-            if (!std::isfinite(max_dx))
-                raise("transient diverged at t=%.4g", tp.time);
+            if (nonfinite) break;
             if (max_dx < opt.vntol + opt.reltol * norm_inf(xit)) {
                 converged = true;
                 break;
             }
         }
+        tel.residual = max_dx;
+        tel.converged = converged;
+        ring.push(tel);
         if (obs::enabled()) {
             obs::count("sim/transient/steps");
-            obs::record_value("sim/transient/newton_per_step", newton_iters);
+            obs::record_value("sim/transient/newton_per_step", tel.newton_iters);
             if (!converged) obs::count("sim/transient/convergence_failures");
+            // Solver-health time-series: the per-step view of how hard the
+            // engine worked, exported to VCD and Perfetto counter lanes.
+            obs::ts_append("sim/transient/newton_iters", tp.time, tel.newton_iters,
+                           "iters");
+            obs::ts_append("sim/transient/residual", tp.time,
+                           std::isfinite(max_dx) ? max_dx : 0.0, "V");
+            obs::ts_append("sim/transient/clamp_hits", tp.time, tel.clamp_hits, "1");
+            obs::ts_append("sim/transient/lu_min_pivot", tp.time, tel.lu_min_pivot, "1");
+            if (!use_dense)
+                obs::ts_append("sim/transient/lu_fill_growth", tp.time,
+                               tel.lu_fill_growth, "x");
         }
+        if (nonfinite)
+            fail_transient(netlist, opt, out, ring, last_dx, "produced a non-finite "
+                           "update", step, nsteps, tp.time);
         if (!converged)
-            raise("transient Newton did not converge at t=%.4g (dt=%.3g)", tp.time,
-                  opt.dt);
+            fail_transient(netlist, opt, out, ring, last_dx, "did not converge", step,
+                           nsteps, tp.time);
 
         for (const auto& d : netlist.devices()) d->commit_tran(xit, tp);
 

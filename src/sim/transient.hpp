@@ -34,9 +34,21 @@ struct TranOptions {
     /// recorded window (quasi-DC levels during oscillation).
     bool accumulate_average = false;
     /// Turn on the obs registry for this run (equivalent to SNIM_OBS=1):
-    /// per-step phases, Newton counters and solver statistics are recorded
-    /// and can be read back via obs::phase_stats / obs::report_json.
+    /// per-step phases, Newton counters, solver statistics and the
+    /// solver-health time-series channels (sim/transient/newton_iters,
+    /// residual, clamp_hits, lu_min_pivot, lu_fill_growth) are recorded and
+    /// can be read back via obs::phase_stats / obs::ts_get / report_json.
     bool observe = false;
+    /// Write a snim_diag_*.json failure diagnosis bundle when Newton
+    /// diverges (the thrown snim::Error names the bundle path).
+    bool diag_bundle = true;
+    /// Bundle directory; empty -> sim::default_diag_dir() -> current dir.
+    std::string diag_dir;
+    /// Last-N steps of telemetry kept for the bundle.
+    int diag_tail = 64;
+    /// Samples of each probed waveform kept in the bundle (the recorded
+    /// prefix's tail; 0 drops the waveform section).
+    int diag_wave_tail = 256;
 };
 
 struct TranResult {
