@@ -170,34 +170,40 @@ void run_fig8(obs::ScenarioContext& ctx) {
                                                  : std::vector<double>{0.0, 0.9};
     const std::vector<double> f_pred{1e6, 2e6, 3e6, 5e6, 8e6, 15e6};
     for (double vt : vtunes) {
-        model.netlist.find_as<circuit::VSource>(VcoTestcase::kVtuneSource)
-            ->set_waveform(circuit::Waveform::dc(vt));
-        core::AnalyzerOptions aopt;
-        aopt.osc = testcases::vco_osc_options();
-        core::ImpactAnalyzer analyzer(model, VcoTestcase::kNoiseSource,
-                                      testcases::vco_noise_entries(), aopt);
-        analyzer.calibrate();
-
-        std::vector<double> pred_dbm;
-        for (double f : f_pred) pred_dbm.push_back(analyzer.predict(f).total_dbm());
         const std::string vt_label = format("%g", vt);
-        ctx.add_accuracy(core::reference_delta(
-            format("prediction total dBm (vtune=%s)", vt_label.c_str()),
-            core::load_reference_series("fig8_spur_vs_freq.csv", "fnoise_Hz", "pred_dbm",
-                                        "vtune", vt_label),
-            "fig8_spur_vs_freq.csv", 2.0, f_pred, pred_dbm));
+        // Each vtune point is an independent sweep corner: a solver failure
+        // in one skips (and annotates) that corner instead of losing the
+        // whole figure.
+        ctx.guard_corner(format("fig8 vtune=%s", vt_label.c_str()), [&] {
+            model.netlist.find_as<circuit::VSource>(VcoTestcase::kVtuneSource)
+                ->set_waveform(circuit::Waveform::dc(vt));
+            core::AnalyzerOptions aopt;
+            aopt.osc = testcases::vco_osc_options();
+            core::ImpactAnalyzer analyzer(model, VcoTestcase::kNoiseSource,
+                                          testcases::vco_noise_entries(), aopt);
+            analyzer.calibrate();
 
-        if (!ctx.quick) {
-            // The brute-force "measurement" stand-in at the cheapest measured
-            // frequency; the full 2/5/15 MHz set is the fig8 bench's job.
-            const double fmeas = 15e6;
-            const double meas = analyzer.simulate(fmeas).total_dbm();
+            std::vector<double> pred_dbm;
+            for (double f : f_pred) pred_dbm.push_back(analyzer.predict(f).total_dbm());
             ctx.add_accuracy(core::reference_delta(
-                format("transient total dBm (vtune=%s)", vt_label.c_str()),
+                format("prediction total dBm (vtune=%s)", vt_label.c_str()),
                 core::load_reference_series("fig8_spur_vs_freq.csv", "fnoise_Hz",
-                                            "meas_dbm", "vtune", vt_label),
-                "fig8_spur_vs_freq.csv", 2.0, {fmeas}, {meas}));
-        }
+                                            "pred_dbm", "vtune", vt_label),
+                "fig8_spur_vs_freq.csv", 2.0, f_pred, pred_dbm));
+
+            if (!ctx.quick) {
+                // The brute-force "measurement" stand-in at the cheapest
+                // measured frequency; the full 2/5/15 MHz set is the fig8
+                // bench's job.
+                const double fmeas = 15e6;
+                const double meas = analyzer.simulate(fmeas).total_dbm();
+                ctx.add_accuracy(core::reference_delta(
+                    format("transient total dBm (vtune=%s)", vt_label.c_str()),
+                    core::load_reference_series("fig8_spur_vs_freq.csv", "fnoise_Hz",
+                                                "meas_dbm", "vtune", vt_label),
+                    "fig8_spur_vs_freq.csv", 2.0, {fmeas}, {meas}));
+            }
+        });
     }
 }
 
@@ -242,26 +248,30 @@ void run_fig10(obs::ScenarioContext& ctx) {
 
     const auto freqs = subsample(logspace(1e6, 15e6, 5), ctx.quick ? 2 : 5);
     for (const auto& variant : variants) {
-        testcases::VcoOptions vopt;
-        vopt.ground_strap_width = variant.strap_width;
-        auto vco = testcases::build_vco(vopt);
-        auto fo = testcases::vco_flow_options();
-        fo.interconnect.extract_resistance = !variant.ideal_interconnect;
-        auto model = testcases::build_model(std::move(vco), fo);
+        // Each design variant rebuilds the full flow; a failed corner is
+        // skipped and annotated, the remaining variants still land.
+        ctx.guard_corner(format("fig10 %s", variant.name), [&] {
+            testcases::VcoOptions vopt;
+            vopt.ground_strap_width = variant.strap_width;
+            auto vco = testcases::build_vco(vopt);
+            auto fo = testcases::vco_flow_options();
+            fo.interconnect.extract_resistance = !variant.ideal_interconnect;
+            auto model = testcases::build_model(std::move(vco), fo);
 
-        core::AnalyzerOptions aopt;
-        aopt.osc = testcases::vco_osc_options();
-        core::ImpactAnalyzer analyzer(model, VcoTestcase::kNoiseSource,
-                                      testcases::vco_noise_entries(), aopt);
-        analyzer.calibrate();
+            core::AnalyzerOptions aopt;
+            aopt.osc = testcases::vco_osc_options();
+            core::ImpactAnalyzer analyzer(model, VcoTestcase::kNoiseSource,
+                                          testcases::vco_noise_entries(), aopt);
+            analyzer.calibrate();
 
-        std::vector<double> dbm;
-        for (double f : freqs) dbm.push_back(analyzer.predict(f).total_dbm());
-        ctx.add_accuracy(core::reference_delta(
-            format("total dBm (%s)", variant.name),
-            core::load_reference_series("fig10_ground_width.csv", "fnoise_Hz",
-                                        "total_dbm", "variant", variant.name),
+            std::vector<double> dbm;
+            for (double f : freqs) dbm.push_back(analyzer.predict(f).total_dbm());
+            ctx.add_accuracy(core::reference_delta(
+                format("total dBm (%s)", variant.name),
+                core::load_reference_series("fig10_ground_width.csv", "fnoise_Hz",
+                                            "total_dbm", "variant", variant.name),
             "fig10_ground_width.csv", 2.0, freqs, dbm));
+        });
     }
 }
 

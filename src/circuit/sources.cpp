@@ -125,7 +125,7 @@ void VSource::stamp_value(RealStamper& s, double value) const {
 }
 
 void VSource::stamp_dc(RealStamper& s, const std::vector<double>&) const {
-    stamp_value(s, wave_.dc_value());
+    stamp_value(s, s.source_scale() * wave_.dc_value());
 }
 
 void VSource::stamp_tran(RealStamper& s, const std::vector<double>&,
@@ -161,7 +161,7 @@ ISource::ISource(std::string name, NodeId from, NodeId to, Waveform wave, AcSpec
     : Device(std::move(name), {from, to}), wave_(std::move(wave)), ac_(ac) {}
 
 void ISource::stamp_dc(RealStamper& s, const std::vector<double>&) const {
-    const double i = wave_.dc_value();
+    const double i = s.source_scale() * wave_.dc_value();
     s.rhs_current(term(kPlus), -i);
     s.rhs_current(term(kMinus), i);
 }

@@ -67,9 +67,17 @@ public:
     Triplets<T>& matrix() { return a_; }
     const std::vector<T>& rhs() const { return b_; }
 
+    /// Multiplier independent sources apply to their excitation value.
+    /// 1.0 everywhere except during the op solver's source-stepping
+    /// homotopy rung, which ramps it from ~0 to 1 (sim::assemble_dc sets
+    /// it; nonlinear companion stamps must NOT scale by it).
+    void set_source_scale(double scale) { source_scale_ = scale; }
+    double source_scale() const { return source_scale_; }
+
 private:
     Triplets<T> a_;
     std::vector<T> b_;
+    double source_scale_ = 1.0;
 };
 
 using RealStamper = Stamper<double>;

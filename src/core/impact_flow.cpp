@@ -18,9 +18,40 @@ const interconnect::NetStats* ImpactModel::wire_stats_for(const std::string& net
     return nullptr;
 }
 
+void validate_flow_options(const FlowOptions& opt) {
+    if (opt.surface_patches < 1)
+        raise("FlowOptions.surface_patches must be >= 1 (got %d)",
+              opt.surface_patches);
+    const auto& m = opt.substrate.mesh;
+    if (!(m.fine_pitch > 0.0))
+        raise("FlowOptions.substrate.mesh.fine_pitch must be > 0 (got %g)",
+              m.fine_pitch);
+    if (!(m.growth >= 1.0))
+        raise("FlowOptions.substrate.mesh.growth must be >= 1 (got %g)", m.growth);
+    if (!(m.max_pitch >= m.fine_pitch))
+        raise("FlowOptions.substrate.mesh.max_pitch (%g) must be >= fine_pitch (%g)",
+              m.max_pitch, m.fine_pitch);
+    if (m.max_cells_per_axis < 1)
+        raise("FlowOptions.substrate.mesh.max_cells_per_axis must be >= 1 (got %d)",
+              m.max_cells_per_axis);
+    if (opt.substrate.drop_tol < 0.0)
+        raise("FlowOptions.substrate.drop_tol must be >= 0 (got %g)",
+              opt.substrate.drop_tol);
+    if (!(opt.interconnect.touch_resistance > 0.0))
+        raise("FlowOptions.interconnect.touch_resistance must be > 0 (got %g)",
+              opt.interconnect.touch_resistance);
+    if (opt.interconnect.cap_floor < 0.0)
+        raise("FlowOptions.interconnect.cap_floor must be >= 0 (got %g)",
+              opt.interconnect.cap_floor);
+    if (!(opt.interconnect.cut_pitch > 0.0))
+        raise("FlowOptions.interconnect.cut_pitch must be > 0 (got %g)",
+              opt.interconnect.cut_pitch);
+}
+
 ImpactModel build_impact_model(FlowInputs inputs, const FlowOptions& opt) {
     SNIM_ASSERT(inputs.layout != nullptr && inputs.tech != nullptr,
                 "flow needs layout and technology");
+    validate_flow_options(opt);
     if (opt.observe) obs::set_enabled(true);
     if (!opt.diag_dir.empty()) sim::set_default_diag_dir(opt.diag_dir);
     obs::ScopedTimer obs_flow("flow/build_impact_model");
@@ -75,6 +106,14 @@ ImpactModel build_impact_model(FlowInputs inputs, const FlowOptions& opt) {
                                                  opt.substrate);
     out.substrate_seconds = out.substrate.extract_seconds;
     out.mesh_nodes = out.substrate.mesh_node_count;
+    if (out.substrate.mor_fallback) {
+        // The flow still produces a usable (exact, just unreduced) model;
+        // the counter lets sweep reports flag the degraded corner.
+        obs::count("flow/degraded_builds");
+        log_warn("impact model: substrate reduction degraded to the unreduced "
+                 "mesh (%zu nodes) — simulation will be slower",
+                 out.mesh_nodes);
+    }
 
     // --- interconnect extraction --------------------------------------------
     interconnect::ExtractOptions ic_opt = opt.interconnect;

@@ -38,6 +38,11 @@ struct FlowOptions {
     std::string diag_dir;
 };
 
+/// Validates every FlowOptions field, raising an error that names the
+/// offending field (surface_patches >= 1, mesh pitches positive, ...).
+/// build_impact_model() calls this before any extraction work starts.
+void validate_flow_options(const FlowOptions& opt);
+
 struct FlowInputs {
     const layout::Layout* layout = nullptr;
     const tech::Technology* tech = nullptr;

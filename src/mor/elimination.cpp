@@ -301,4 +301,31 @@ std::vector<std::vector<double>> dense_port_conductance(const RcNetwork& net,
     return out;
 }
 
+RcNetwork ports_first(const RcNetwork& net, const std::vector<int>& ports) {
+    const size_t n = net.node_count;
+    std::vector<int> new_id(n, -1);
+    for (size_t j = 0; j < ports.size(); ++j) {
+        const int p = ports[j];
+        SNIM_ASSERT(p >= 0 && static_cast<size_t>(p) < n, "bad port %d", p);
+        SNIM_ASSERT(new_id[static_cast<size_t>(p)] < 0, "duplicate port %d", p);
+        new_id[static_cast<size_t>(p)] = static_cast<int>(j);
+    }
+    int next = static_cast<int>(ports.size());
+    for (size_t i = 0; i < n; ++i)
+        if (new_id[i] < 0) new_id[i] = next++;
+
+    RcNetwork out;
+    out.node_count = n;
+    auto remap = [&](int id) {
+        return id < 0 ? -1 : new_id[static_cast<size_t>(id)];
+    };
+    out.conductances.reserve(net.conductances.size());
+    for (const auto& e : net.conductances)
+        out.conductances.push_back({remap(e.a), remap(e.b), e.value});
+    out.capacitances.reserve(net.capacitances.size());
+    for (const auto& e : net.capacitances)
+        out.capacitances.push_back({remap(e.a), remap(e.b), e.value});
+    return out;
+}
+
 } // namespace snim::mor

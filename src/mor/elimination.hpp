@@ -38,6 +38,14 @@ struct RcNetwork {
 RcNetwork eliminate_internal(const RcNetwork& net, const std::vector<int>& ports,
                              double drop_tol = 0.0);
 
+/// Renumbers `net` so that node i corresponds to ports[i] and every
+/// internal node follows in ascending original order — the identity
+/// "reduction": no nodes are eliminated, but the result satisfies the same
+/// ports-first convention as eliminate_internal / reduce_by_solve, so
+/// macromodel instantiation accepts it unchanged.  The graceful-degradation
+/// fallback for a failed reduction (the full mesh is stitched in instead).
+RcNetwork ports_first(const RcNetwork& net, const std::vector<int>& ports);
+
 /// Dense port conductance matrix (Schur complement) for validation; row/col
 /// i corresponds to ports[i].  Entry (i,j) is dI_i/dV_j with every other
 /// port grounded.  Ground row eliminated (standard grounded nodal matrix).

@@ -4,6 +4,7 @@
 #include "mor/elimination.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/log.hpp"
 
 namespace snim::mor {
@@ -77,6 +78,9 @@ bool pcg(const Csr& a, const std::vector<double>& b, std::vector<double>& x,
 RcNetwork reduce_by_solve(const RcNetwork& net, const std::vector<int>& ports,
                           double cg_tol, int max_iter) {
     obs::ScopedTimer obs_timer("mor/reduce_by_solve");
+    if (fault::fires("mor.cg.fail"))
+        raise("substrate reduction: CG failed to converge for port 0 "
+              "(fault injected)");
     const size_t n = net.node_count;
     const size_t np = ports.size();
     SNIM_ASSERT(np >= 1, "need at least one port");

@@ -127,6 +127,18 @@ std::string file_slug(const std::string& name) {
 
 } // namespace
 
+bool ScenarioContext::guard_corner(const std::string& tag,
+                                   const std::function<void()>& body) {
+    try {
+        body();
+        return true;
+    } catch (const Error& e) {
+        count("bench/skipped_corners");
+        add_note(format("corner '%s' skipped: %s", tag.c_str(), e.what()));
+        return false;
+    }
+}
+
 std::string ScenarioContext::dump_waves(const std::string& tag,
                                         const std::vector<WaveSignal>& signals) const {
     if (wave_dir.empty() || signals.empty()) return {};
@@ -208,10 +220,17 @@ ScenarioResult run_scenario(const Scenario& s, const BenchOptions& opt) {
         set_enabled(false);
         if (!record) return;
         result.runtime.runs_s.push_back(elapsed);
-        if (repetition == 0)
+        if (repetition == 0) {
             result.accuracy = std::move(ctx.accuracy);
-        else
+            result.notes = std::move(ctx.notes);
+        } else {
             check_deterministic_accuracy(s, result.accuracy, ctx.accuracy, repetition);
+            if (result.notes != ctx.notes)
+                raise("scenario '%s' is non-deterministic: notes changed between "
+                      "repetition 0 (%zu notes) and repetition %d (%zu notes)",
+                      s.name.c_str(), result.notes.size(), repetition,
+                      ctx.notes.size());
+        }
     };
 
     for (int w = 0; w < result.warmup; ++w) one_rep(-1 - w, false);
@@ -263,6 +282,9 @@ Json bench_report_json(const std::vector<ScenarioResult>& results,
         rt.emplace("mean_s", r.runtime.mean_s);
         s.emplace("runtime", Json(std::move(rt)));
         s.emplace("accuracy", accuracy_json(r.accuracy));
+        JsonArray notes;
+        for (const auto& note : r.notes) notes.push_back(note);
+        s.emplace("notes", Json(std::move(notes)));
         s.emplace("registry", r.registry);
         scenarios.push_back(Json(std::move(s)));
     }

@@ -53,8 +53,20 @@ struct ScenarioContext {
     std::string wave_dir;
     /// Accuracy metrics recorded by the body (append via add_accuracy).
     std::vector<AccuracyMetric> accuracy;
+    /// Free-form annotations (skipped corners, degraded builds) attached by
+    /// the body via add_note; land in the BENCH_*.json scenario entry and
+    /// are asserted deterministic across repetitions like accuracy metrics.
+    std::vector<std::string> notes;
 
     void add_accuracy(AccuracyMetric m) { accuracy.push_back(std::move(m)); }
+    void add_note(std::string note) { notes.push_back(std::move(note)); }
+
+    /// Runs one sweep corner, converting a thrown snim::Error into a
+    /// skip-and-record: the error becomes a note ("corner '<tag>' skipped:
+    /// ..."), bumps the bench/skipped_corners counter and returns false so
+    /// the scenario keeps producing the corners that do work instead of
+    /// aborting the figure.  Non-Error exceptions propagate.
+    bool guard_corner(const std::string& tag, const std::function<void()>& body);
 
     /// Writes `signals` to <wave_dir>/<slug(tag)>.vcd and .csv; no-op
     /// returning "" when wave_dir is empty.  Returns the VCD path.
@@ -111,6 +123,7 @@ struct ScenarioResult {
     int warmup = 0;
     RuntimeStats runtime;
     std::vector<AccuracyMetric> accuracy; // identical on every repetition
+    std::vector<std::string> notes;       // identical on every repetition
     Json registry;   // obs::report_json() snapshot of the final repetition
     TraceLane lane;  // phase tree + counters of the final repetition
 };

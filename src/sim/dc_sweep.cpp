@@ -1,7 +1,9 @@
 #include "sim/dc_sweep.hpp"
 
 #include "circuit/sources.hpp"
+#include "obs/registry.hpp"
 #include "util/error.hpp"
+#include "util/log.hpp"
 
 namespace snim::sim {
 
@@ -15,11 +17,31 @@ DcSweepResult dc_sweep(circuit::Netlist& netlist, const std::string& source_name
     out.values = values;
     out.x.reserve(values.size());
     OpOptions o = opt;
-    for (double v : values) {
-        src->set_waveform(circuit::Waveform::dc(v));
-        auto x = operating_point(netlist, o);
-        o.initial = x; // continuation
-        out.x.push_back(std::move(x));
+    try {
+        for (size_t k = 0; k < values.size(); ++k) {
+            src->set_waveform(circuit::Waveform::dc(values[k]));
+            std::vector<double> x;
+            try {
+                x = operating_point(netlist, o);
+            } catch (const Error& e) {
+                // The continuation guess itself can poison Newton near a
+                // fold: retry once from a cold start before giving up.
+                if (o.initial.empty()) throw;
+                log_warn("dc_sweep: point %zu (value %g) failed warm-started "
+                         "(%s); retrying cold",
+                         k, values[k], e.what());
+                obs::count("sim/dc_sweep/retries");
+                out.retried_points.push_back(k);
+                OpOptions cold = o;
+                cold.initial.clear();
+                x = operating_point(netlist, cold);
+            }
+            o.initial = x; // continuation
+            out.x.push_back(std::move(x));
+        }
+    } catch (...) {
+        src->set_waveform(saved);
+        throw;
     }
     src->set_waveform(saved);
     return out;

@@ -9,10 +9,17 @@ namespace snim::sim {
 struct DcSweepResult {
     std::vector<double> values;               // swept source values
     std::vector<std::vector<double>> x;       // per-point full solution
+    /// Indices into `values` whose warm-started solve failed and had to be
+    /// retried cold (full homotopy ladder from zeros).  Empty on a clean
+    /// sweep; mirrored in the obs counter sim/dc_sweep/retries.
+    std::vector<size_t> retried_points;
 };
 
 /// Sweeps the DC value of voltage source `source_name` over `values`,
 /// reusing each converged point as the next initial guess (continuation).
+/// A point whose warm-started solve fails is retried once from a cold
+/// start before the failure propagates (the continuation guess itself can
+/// be the problem near a fold).
 DcSweepResult dc_sweep(circuit::Netlist& netlist, const std::string& source_name,
                        const std::vector<double>& values, const OpOptions& opt = {});
 

@@ -24,6 +24,7 @@ obs::Json telemetry_json(const StepTelemetry& t) {
     obs::JsonObject o;
     o.emplace("step", static_cast<double>(t.step));
     o.emplace("time", t.time);
+    o.emplace("dt", t.dt);
     o.emplace("newton_iters", t.newton_iters);
     o.emplace("residual", t.residual);
     o.emplace("worst_unknown", t.worst_unknown);
@@ -107,6 +108,21 @@ obs::Json diagnosis_json(const FailureDiagnosis& d) {
         worst.push_back(obs::Json(std::move(o)));
     }
     root.emplace("worst_residual_nodes", obs::Json(std::move(worst)));
+
+    obs::JsonArray retries;
+    for (const auto& r : d.retries) {
+        obs::JsonObject o;
+        o.emplace("step", static_cast<double>(r.step));
+        o.emplace("time", r.time);
+        o.emplace("dt_from", r.dt_from);
+        o.emplace("dt_to", r.dt_to);
+        o.emplace("newton_iters", r.newton_iters);
+        o.emplace("reason", r.reason);
+        retries.push_back(obs::Json(std::move(o)));
+    }
+    root.emplace("retry_history", obs::Json(std::move(retries)));
+    root.emplace("total_step_retries", static_cast<double>(d.total_retries));
+    for (const auto& [key, value] : d.extra) root.emplace(key, value);
 
     if (d.partial) root.emplace("waves", wave_tail_json(*d.partial, d.wave_tail));
     root.emplace("registry", obs::report_json());
@@ -195,6 +211,44 @@ void validate_tran_options(const TranOptions& opt) {
         raise("TranOptions.diag_tail must be > 0 (got %d)", opt.diag_tail);
     if (opt.diag_wave_tail < 0)
         raise("TranOptions.diag_wave_tail must be >= 0 (got %d)", opt.diag_wave_tail);
+    if (opt.dt_min < 0.0)
+        raise("TranOptions.dt_min must be >= 0 (got %g)", opt.dt_min);
+    if (opt.dt_min > opt.dt)
+        raise("TranOptions.dt_min (%g) must not exceed dt (%g)", opt.dt_min, opt.dt);
+    if (opt.max_step_retries < 0)
+        raise("TranOptions.max_step_retries must be >= 0 (got %d)",
+              opt.max_step_retries);
+    if (opt.dt_recovery_accepts < 1)
+        raise("TranOptions.dt_recovery_accepts must be >= 1 (got %d)",
+              opt.dt_recovery_accepts);
+    if (opt.lte_reltol < 0.0 || opt.lte_abstol < 0.0)
+        raise("TranOptions.lte_reltol/lte_abstol must be >= 0 (got %g / %g)",
+              opt.lte_reltol, opt.lte_abstol);
+    if (opt.retry_history <= 0)
+        raise("TranOptions.retry_history must be > 0 (got %d)", opt.retry_history);
+}
+
+void validate_op_options(const OpOptions& opt) {
+    if (opt.max_iter <= 0)
+        raise("OpOptions.max_iter must be > 0 (got %d)", opt.max_iter);
+    if (opt.reltol < 0.0 || opt.vntol < 0.0)
+        raise("OpOptions.reltol/vntol must be >= 0 (got %g / %g)", opt.reltol,
+              opt.vntol);
+    if (!(opt.gmin > 0.0)) raise("OpOptions.gmin must be > 0 (got %g)", opt.gmin);
+    if (!(opt.dv_max > 0.0)) raise("OpOptions.dv_max must be > 0 (got %g)", opt.dv_max);
+    if (opt.diag_tail <= 0)
+        raise("OpOptions.diag_tail must be > 0 (got %d)", opt.diag_tail);
+    if (opt.source_steps < 1)
+        raise("OpOptions.source_steps must be >= 1 (got %d)", opt.source_steps);
+    if (!(opt.ptran_g0 > 0.0))
+        raise("OpOptions.ptran_g0 must be > 0 (got %g)", opt.ptran_g0);
+    if (!(opt.ptran_growth > 1.0))
+        raise("OpOptions.ptran_growth must be > 1 (got %g)", opt.ptran_growth);
+    if (opt.ptran_steps < 1)
+        raise("OpOptions.ptran_steps must be >= 1 (got %d)", opt.ptran_steps);
+    if (!(opt.ptran_g_floor > 0.0) || opt.ptran_g_floor > opt.ptran_g0)
+        raise("OpOptions.ptran_g_floor must be in (0, ptran_g0] (got %g, g0 %g)",
+              opt.ptran_g_floor, opt.ptran_g0);
 }
 
 } // namespace snim::sim

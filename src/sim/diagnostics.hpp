@@ -21,25 +21,41 @@
 
 #include "circuit/netlist.hpp"
 #include "obs/json.hpp"
+#include "sim/op.hpp"
 #include "sim/transient.hpp"
 
 namespace snim::sim {
 
 /// Version of the snim_diag_*.json document layout.
-inline constexpr int kDiagSchemaVersion = 1;
+/// v2: telemetry rows gained "dt", bundles gained "retry_history" /
+/// "total_step_retries" (transient) and "rungs" (op).
+inline constexpr int kDiagSchemaVersion = 2;
 
-/// Telemetry of one solver step (a transient time step, a DC Newton
+/// Telemetry of one solver step (a transient step attempt, a DC Newton
 /// attempt, an AC frequency point).
 struct StepTelemetry {
-    long step = 0;            // 1-based step / iteration / point index
+    long step = 0;            // 1-based attempt / iteration / point index
     double time = 0.0;        // abscissa: seconds, gmin level or frequency
+    double dt = 0.0;          // step size of the attempt (transient only)
     int newton_iters = 0;     // Newton iterations spent on this step
     double residual = 0.0;    // final Newton update inf-norm (dv) [V]
     int worst_unknown = -1;   // unknown index with the largest final update
     int clamp_hits = 0;       // dv_max clamp activations over the step
     double lu_min_pivot = 0.0;   // pivot health of the step's last solve
-    double lu_fill_growth = 0.0; // nnz(L+U)/nnz(A); 0 on the dense path
+    double lu_fill_growth = 0.0; // nnz(L+U)/nnz(A); 1 on the dense path
+                                 // (in-place factorisation, no fill)
     bool converged = true;
+};
+
+/// One rejected transient step attempt: what failed and how dt backed off.
+struct RetryEvent {
+    long step = 0;        // nominal step being retried
+    double time = 0.0;    // target time of the rejected attempt
+    double dt_from = 0.0; // rejected attempt's step size
+    double dt_to = 0.0;   // next attempt's step size
+    int newton_iters = 0; // iterations burned by the rejected attempt
+    std::string reason;   // "no_convergence" | "nonfinite_update" |
+                          // "singular_system" | "fault_injected"
 };
 
 /// Fixed-capacity last-N ring of step telemetry.
@@ -71,6 +87,13 @@ struct FailureDiagnosis {
     /// has none); the writer keeps the last `wave_tail` samples per probe.
     const TranResult* partial = nullptr;
     size_t wave_tail = 256;
+    /// Retry ladder history (transient): the last-N rejected attempts,
+    /// oldest to newest, plus the run's total rejected-attempt count.
+    std::vector<RetryEvent> retries;
+    long total_retries = 0;
+    /// Engine-specific extra top-level members (e.g. the op solver's
+    /// per-rung ladder summary under "rungs"); merged into the document.
+    obs::JsonObject extra;
 };
 
 /// Process-wide fallback directory for bundles, used when an engine's
@@ -102,5 +125,9 @@ std::string unknown_name(const circuit::Netlist& netlist, int index);
 /// offending field.  transient() calls this; it is exposed so callers can
 /// vet options before an expensive model build.
 void validate_tran_options(const TranOptions& opt);
+
+/// Validates every OpOptions field the same way (gmin > 0, max_iter >= 1,
+/// homotopy-ladder knobs in range, ...).  operating_point() calls this.
+void validate_op_options(const OpOptions& opt);
 
 } // namespace snim::sim

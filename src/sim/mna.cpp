@@ -14,15 +14,18 @@ void add_gmin(const Netlist& netlist, Stamper& s, double gmin) {
 } // namespace
 
 void assemble_dc(const Netlist& netlist, circuit::RealStamper& s,
-                 const std::vector<double>& x, double gmin) {
+                 const std::vector<double>& x, double gmin, double source_scale) {
+    s.set_source_scale(source_scale);
     for (const auto& d : netlist.devices())
         if (!d->disabled()) d->stamp_dc(s, x);
+    s.set_source_scale(1.0);
     add_gmin(netlist, s, gmin);
 }
 
 void assemble_tran(const Netlist& netlist, circuit::RealStamper& s,
                    const std::vector<double>& x, const circuit::TranParams& tp,
                    double gmin) {
+    s.set_source_scale(1.0);
     for (const auto& d : netlist.devices())
         if (!d->disabled()) d->stamp_tran(s, x, tp);
     add_gmin(netlist, s, gmin);

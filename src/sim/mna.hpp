@@ -11,8 +11,11 @@ using circuit::NodeId;
 
 /// Assembles the DC Newton system at iterate `x`.  `gmin` is added from
 /// every node (not branch unknowns) to ground to keep matrices regular.
+/// `source_scale` multiplies every independent source value (1.0 for a
+/// plain solve; the op solver's source-stepping rung ramps it 0 -> 1).
 void assemble_dc(const Netlist& netlist, circuit::RealStamper& s,
-                 const std::vector<double>& x, double gmin);
+                 const std::vector<double>& x, double gmin,
+                 double source_scale = 1.0);
 
 /// Assembles a transient Newton system for the step described by `tp`.
 void assemble_tran(const Netlist& netlist, circuit::RealStamper& s,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <limits>
 
 #include "numeric/sparse_lu.hpp"
 #include "numeric/vecops.hpp"
@@ -10,13 +11,14 @@
 #include "obs/trace.hpp"
 #include "sim/diagnostics.hpp"
 #include "sim/mna.hpp"
+#include "util/fault.hpp"
 #include "util/log.hpp"
 
 namespace snim::sim {
 
 namespace {
 
-/// Telemetry shared across the gmin-stepping attempts of one operating
+/// Telemetry shared across every homotopy-ladder attempt of one operating
 /// point so the failure bundle shows the whole search, not just the last
 /// Newton run.
 struct OpTelemetry {
@@ -28,9 +30,13 @@ struct OpTelemetry {
 };
 
 /// One Newton solve at fixed gmin; returns true on convergence and leaves
-/// the result in `x`.
+/// the result in `x`.  `source_scale` ramps the independent sources (the
+/// source-stepping rung); a positive `g_anchor` ties every node through a
+/// conductance to `*anchor` (the pseudo-transient rung's artificial node
+/// capacitors, backward-Euler form).
 bool newton_dc(circuit::Netlist& netlist, std::vector<double>& x, double gmin,
-               const OpOptions& opt, OpTelemetry& diag) {
+               const OpOptions& opt, OpTelemetry& diag, double source_scale = 1.0,
+               double g_anchor = 0.0, const std::vector<double>* anchor = nullptr) {
     const size_t n = netlist.unknown_count();
     bool nonlinear = false;
     for (const auto& d : netlist.devices()) nonlinear |= d->is_nonlinear();
@@ -43,9 +49,19 @@ bool newton_dc(circuit::Netlist& netlist, std::vector<double>& x, double gmin,
         tel.time = gmin; // abscissa: the gmin level this iteration ran at
         tel.newton_iters = it + 1;
         s.clear();
-        assemble_dc(netlist, s, x, gmin);
+        assemble_dc(netlist, s, x, gmin, source_scale);
+        if (g_anchor > 0.0 && anchor) {
+            for (size_t i = 0; i < netlist.node_count(); ++i) {
+                s.entry(static_cast<circuit::NodeId>(i),
+                        static_cast<circuit::NodeId>(i), g_anchor);
+                s.rhs_current(static_cast<circuit::NodeId>(i),
+                              g_anchor * (*anchor)[i]);
+            }
+        }
         std::vector<double> xn;
         try {
+            if (fault::fires("op.lu.singular"))
+                raise("fault injected: op.lu.singular");
             SparseLU<double> lu(s.matrix());
             xn = lu.solve(s.rhs());
             tel.lu_min_pivot = lu.factor_stats().min_pivot;
@@ -53,8 +69,10 @@ bool newton_dc(circuit::Netlist& netlist, std::vector<double>& x, double gmin,
         } catch (const Error&) {
             tel.converged = false;
             diag.ring.push(tel);
-            return false; // singular at this gmin level
+            return false; // singular at this homotopy level
         }
+        if (fault::fires("op.newton.nonfinite"))
+            xn[0] = std::numeric_limits<double>::quiet_NaN();
         // Clamp voltage-like updates for stability (nonlinear circuits only;
         // a linear solve is exact and must not be truncated).
         double max_dx = 0.0;
@@ -87,7 +105,8 @@ bool newton_dc(circuit::Netlist& netlist, std::vector<double>& x, double gmin,
                            std::isfinite(max_dx) ? max_dx : 0.0, "V");
         }
         if (!nonlinear) {
-            tel.converged = !nonfinite && std::isfinite(max_dx);
+            tel.converged = !nonfinite && std::isfinite(max_dx) &&
+                            !fault::fires("op.newton.stall");
             diag.ring.push(tel);
             return tel.converged;
         }
@@ -96,10 +115,22 @@ bool newton_dc(circuit::Netlist& netlist, std::vector<double>& x, double gmin,
             return false;
         }
         if (max_dx < opt.vntol + opt.reltol * norm_inf(x)) {
+            if (fault::fires("op.newton.stall")) {
+                diag.ring.push(tel);
+                continue; // fault: pretend the fixpoint keeps slipping away
+            }
             // One undamped verification pass: the iterate must reproduce
             // itself (companion models are exact at the fixpoint).
             s.clear();
-            assemble_dc(netlist, s, x, gmin);
+            assemble_dc(netlist, s, x, gmin, source_scale);
+            if (g_anchor > 0.0 && anchor) {
+                for (size_t i = 0; i < netlist.node_count(); ++i) {
+                    s.entry(static_cast<circuit::NodeId>(i),
+                            static_cast<circuit::NodeId>(i), g_anchor);
+                    s.rhs_current(static_cast<circuit::NodeId>(i),
+                                  g_anchor * (*anchor)[i]);
+                }
+            }
             try {
                 SparseLU<double> lu(s.matrix());
                 xn = lu.solve(s.rhs());
@@ -117,6 +148,66 @@ bool newton_dc(circuit::Netlist& netlist, std::vector<double>& x, double gmin,
     return false;
 }
 
+/// Rung 2: solve at a strong node-to-ground gmin, then continue the
+/// solution down decade by decade to the target gmin.
+bool gmin_stepping_rung(circuit::Netlist& netlist, std::vector<double>& x,
+                        const OpOptions& opt, OpTelemetry& diag) {
+    std::vector<double> xg(netlist.unknown_count(), 0.0);
+    for (double g = 1e-2; g >= opt.gmin; g *= 0.1) {
+        obs::count("sim/op/gmin_steps");
+        if (!newton_dc(netlist, xg, g, opt, diag)) return false;
+    }
+    if (!newton_dc(netlist, xg, opt.gmin, opt, diag)) return false;
+    x = std::move(xg);
+    return true;
+}
+
+/// Rung 3: ramp every independent source from 1/source_steps to 100%,
+/// warm-starting each continuation point from the previous one.  The first
+/// point is nearly source-free, which a gmin'd Newton almost always wins.
+bool source_stepping_rung(circuit::Netlist& netlist, std::vector<double>& x,
+                          const OpOptions& opt, OpTelemetry& diag) {
+    std::vector<double> xs(netlist.unknown_count(), 0.0);
+    for (int k = 1; k <= opt.source_steps; ++k) {
+        obs::count("sim/op/source_steps");
+        const double scale = static_cast<double>(k) / opt.source_steps;
+        if (!newton_dc(netlist, xs, opt.gmin, opt, diag, scale)) return false;
+    }
+    x = std::move(xs);
+    return true;
+}
+
+/// Rung 4: pseudo-transient continuation.  Every node is anchored to the
+/// previous pseudo-state through a conductance g (backward-Euler form of an
+/// artificial node capacitor; g = C/dt).  g relaxes geometrically while the
+/// anchored solves keep converging, stiffens on failure, and the rung locks
+/// in with a plain Newton solve once the state stops moving at a negligible
+/// anchor level.
+bool ptran_rung(circuit::Netlist& netlist, std::vector<double>& x,
+                const OpOptions& opt, OpTelemetry& diag) {
+    std::vector<double> anchor = x;
+    double g = opt.ptran_g0;
+    const double g_ceiling = opt.ptran_g0 * 1e6;
+    for (int k = 0; k < opt.ptran_steps; ++k) {
+        obs::count("sim/op/ptran_steps");
+        std::vector<double> xk = anchor;
+        if (newton_dc(netlist, xk, opt.gmin, opt, diag, 1.0, g, &anchor)) {
+            const double move = max_abs_diff(xk, anchor);
+            anchor = std::move(xk);
+            if (g <= opt.ptran_g_floor &&
+                move < opt.vntol + opt.reltol * norm_inf(anchor)) {
+                x = anchor;
+                return newton_dc(netlist, x, opt.gmin, opt, diag);
+            }
+            g /= opt.ptran_growth; // grow the pseudo time step
+        } else {
+            g *= opt.ptran_growth * opt.ptran_growth; // shrink it
+            if (g > g_ceiling) return false; // diverging even when frozen
+        }
+    }
+    return false;
+}
+
 obs::JsonObject op_options_json(const OpOptions& opt) {
     obs::JsonObject o;
     o.emplace("max_iter", opt.max_iter);
@@ -125,55 +216,103 @@ obs::JsonObject op_options_json(const OpOptions& opt) {
     o.emplace("gmin", opt.gmin);
     o.emplace("dv_max", opt.dv_max);
     o.emplace("gmin_stepping", opt.gmin_stepping);
+    o.emplace("source_stepping", opt.source_stepping);
+    o.emplace("source_steps", opt.source_steps);
+    o.emplace("pseudo_transient", opt.pseudo_transient);
+    o.emplace("ptran_g0", opt.ptran_g0);
+    o.emplace("ptran_growth", opt.ptran_growth);
+    o.emplace("ptran_steps", opt.ptran_steps);
+    o.emplace("ptran_g_floor", opt.ptran_g_floor);
     return o;
 }
 
 } // namespace
 
-std::vector<double> operating_point(circuit::Netlist& netlist, const OpOptions& opt) {
-    if (opt.max_iter <= 0) raise("OpOptions.max_iter must be > 0 (got %d)", opt.max_iter);
-    if (opt.diag_tail <= 0) raise("OpOptions.diag_tail must be > 0 (got %d)",
-                                  opt.diag_tail);
+OpResult operating_point_ex(circuit::Netlist& netlist, const OpOptions& opt) {
+    validate_op_options(opt);
     obs::ScopedTimer obs_run("sim/op");
     netlist.finalize();
     const size_t n = netlist.unknown_count();
-    std::vector<double> x = opt.initial;
-    if (x.empty()) x.assign(n, 0.0);
-    SNIM_ASSERT(x.size() == n, "initial point size %zu != %zu", x.size(), n);
+    std::vector<double> x0 = opt.initial;
+    if (x0.empty()) x0.assign(n, 0.0);
+    SNIM_ASSERT(x0.size() == n, "initial point size %zu != %zu", x0.size(), n);
 
     OpTelemetry diag(static_cast<size_t>(opt.diag_tail), n);
-    if (newton_dc(netlist, x, opt.gmin, opt, diag)) return x;
 
-    if (opt.gmin_stepping) {
-        log_info("operating point: direct Newton failed, gmin stepping");
-        std::vector<double> xg(n, 0.0);
-        bool ok = true;
-        for (double g = 1e-2; g >= opt.gmin; g *= 0.1) {
-            obs::count("sim/op/gmin_steps");
-            if (!newton_dc(netlist, xg, g, opt, diag)) {
-                ok = false;
-                break;
-            }
+    // The homotopy ladder: each rung is tried in order; the first winner
+    // returns.  "op.fail" fails the whole ladder, "op.rung.<name>" vetoes
+    // one rung — both let tests drive every recovery and diagnosis path.
+    struct Rung {
+        const char* name;
+        bool enabled;
+        bool (*attempt)(circuit::Netlist&, std::vector<double>&, const OpOptions&,
+                        OpTelemetry&);
+    };
+    const Rung ladder[] = {
+        {"newton", true,
+         [](circuit::Netlist& nl, std::vector<double>& x, const OpOptions& o,
+            OpTelemetry& d) { return newton_dc(nl, x, o.gmin, o, d); }},
+        {"gmin", opt.gmin_stepping, gmin_stepping_rung},
+        {"source", opt.source_stepping, source_stepping_rung},
+        {"ptran", opt.pseudo_transient, ptran_rung},
+    };
+
+    const bool forced_fail = fault::fires("op.fail");
+    obs::JsonObject rung_log;
+    int rung_index = 0;
+    for (const Rung& rung : ladder) {
+        ++rung_index;
+        if (!rung.enabled || forced_fail) continue;
+        if (fault::fires(format("op.rung.%s", rung.name).c_str())) {
+            rung_log.emplace(rung.name, "fault_injected");
+            continue;
         }
-        if (ok && newton_dc(netlist, xg, opt.gmin, opt, diag)) return xg;
+        obs::count(format("sim/op/rung/%s/attempts", rung.name));
+        if (obs::enabled())
+            obs::ts_append("sim/op/rung_active",
+                           static_cast<double>(diag.total_iters), rung_index, "rung");
+        const long iters_before = diag.total_iters;
+        std::vector<double> x = x0;
+        if (rung.attempt(netlist, x, opt, diag)) {
+            obs::count(format("sim/op/rung/%s/wins", rung.name));
+            if (rung_index > 1)
+                log_info("operating point: recovered on the '%s' rung (%ld Newton "
+                         "iterations over the ladder)",
+                         rung.name, diag.total_iters);
+            OpResult out;
+            out.x = std::move(x);
+            out.rung = rung.name;
+            out.newton_iters = diag.total_iters;
+            return out;
+        }
+        rung_log.emplace(rung.name,
+                         format("failed after %ld Newton iterations",
+                                diag.total_iters - iters_before));
+        log_info("operating point: '%s' rung failed, descending the ladder",
+                 rung.name);
     }
 
     std::string bundle;
     if (opt.diag_bundle) {
         FailureDiagnosis d;
         d.engine = "op";
-        d.reason = "newton_no_convergence";
+        d.reason = forced_fail ? "fault_injected" : "newton_no_convergence";
         d.fail_step = diag.total_iters;
         d.fail_time = 0.0;
         d.telemetry = diag.ring.tail();
         d.worst_nodes = worst_unknowns(netlist, diag.last_dx, 5);
         d.options = op_options_json(opt);
+        d.extra.emplace("rungs", obs::Json(std::move(rung_log)));
         bundle = write_diagnosis_bundle(d, opt.diag_dir);
     }
-    raise("operating point did not converge (%zu unknowns, %ld Newton iterations%s)%s%s",
-          n, diag.total_iters, opt.gmin_stepping ? " incl. gmin stepping" : "",
-          bundle.empty() ? "" : "; diagnosis bundle: ",
+    raise("operating point did not converge (%zu unknowns, %ld Newton iterations "
+          "over the homotopy ladder)%s%s",
+          n, diag.total_iters, bundle.empty() ? "" : "; diagnosis bundle: ",
           bundle.empty() ? "" : bundle.c_str());
+}
+
+std::vector<double> operating_point(circuit::Netlist& netlist, const OpOptions& opt) {
+    return operating_point_ex(netlist, opt).x;
 }
 
 } // namespace snim::sim

@@ -1,5 +1,20 @@
-// DC operating point: damped Newton iteration with gmin stepping fallback.
+// DC operating point: a homotopy ladder of increasingly robust solvers.
+//
+// Rungs, tried in order until one converges:
+//   1. "newton"  — damped Newton from the caller's initial point,
+//   2. "gmin"    — gmin stepping: solve at a large node-to-ground gmin and
+//                  continue the solution down to OpOptions::gmin,
+//   3. "source"  — source stepping: ramp every independent source value
+//                  from ~0 to 100% in source_steps continuation points,
+//   4. "ptran"   — pseudo-transient continuation: anchor every node through
+//                  a conductance g to the previous pseudo-state (backward-
+//                  Euler integration of artificial node capacitors) and
+//                  relax g from ptran_g0 toward 0 until plain Newton holds.
+// Per-rung attempt/win counters land in the obs registry under
+// sim/op/rung/<name>/..., and the failure bundle records the whole ladder.
 #pragma once
+
+#include <string>
 
 #include "circuit/netlist.hpp"
 
@@ -15,18 +30,47 @@ struct OpOptions {
     /// Starting point; empty means all-zeros.
     std::vector<double> initial;
     /// Write a snim_diag_*.json failure diagnosis bundle (per-iteration
-    /// residual history, worst nodes, LU pivot health) when the operating
-    /// point fails; the thrown snim::Error names the bundle path.
+    /// residual history, worst nodes, LU pivot health, the rung ladder)
+    /// when the operating point fails; the thrown snim::Error names the
+    /// bundle path.
     bool diag_bundle = true;
     /// Bundle directory; empty -> sim::default_diag_dir() -> current dir.
     std::string diag_dir;
     /// Last-N Newton iterations of telemetry kept for the bundle.
     int diag_tail = 64;
+
+    // --- homotopy ladder (rungs past gmin stepping) ---------------------
+    /// Try source stepping when damped Newton and gmin stepping fail.
+    bool source_stepping = true;
+    /// Continuation points of the source ramp (scale = k / source_steps).
+    int source_steps = 8;
+    /// Try pseudo-transient continuation as the last rung.
+    bool pseudo_transient = true;
+    /// Initial node-anchor conductance [S] (the pseudo dt starts small).
+    double ptran_g0 = 1.0;
+    /// Geometric anchor relaxation per accepted pseudo-step (> 1).
+    double ptran_growth = 3.1622776601683795; // sqrt(10)
+    /// Pseudo-step budget before the rung gives up.
+    int ptran_steps = 80;
+    /// Anchor level treated as "free": once g falls below this and the
+    /// pseudo-state stops moving, the rung locks in with plain Newton.
+    double ptran_g_floor = 1e-9;
+};
+
+/// The operating point plus how it was won.
+struct OpResult {
+    std::vector<double> x;        // node voltages then branch currents
+    std::string rung;             // "newton" | "gmin" | "source" | "ptran"
+    long newton_iters = 0;        // total Newton iterations over the ladder
 };
 
 /// Solves the DC operating point; returns the full unknown vector
-/// (node voltages then branch currents).  Throws snim::Error if Newton
-/// fails to converge even with gmin stepping.
+/// (node voltages then branch currents).  Throws snim::Error once every
+/// enabled homotopy rung has failed.
 std::vector<double> operating_point(circuit::Netlist& netlist, const OpOptions& opt = {});
+
+/// As operating_point(), also reporting the winning rung and the total
+/// Newton iteration count (tests and sweep drivers read these).
+OpResult operating_point_ex(circuit::Netlist& netlist, const OpOptions& opt = {});
 
 } // namespace snim::sim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "numeric/sparse_lu.hpp"
 #include "numeric/vecops.hpp"
@@ -10,6 +11,7 @@
 #include "sim/diagnostics.hpp"
 #include "sim/mna.hpp"
 #include "sim/op.hpp"
+#include "util/fault.hpp"
 #include "util/log.hpp"
 
 namespace snim::sim {
@@ -37,15 +39,39 @@ obs::JsonObject tran_options_json(const TranOptions& opt) {
     o.emplace("record_start", opt.record_start);
     o.emplace("record_stride", opt.record_stride);
     o.emplace("be_startup_steps", opt.be_startup_steps);
+    o.emplace("adaptive", opt.adaptive);
+    o.emplace("dt_min", opt.dt_min);
+    o.emplace("max_step_retries", opt.max_step_retries);
+    o.emplace("dt_recovery_accepts", opt.dt_recovery_accepts);
+    o.emplace("lte_control", opt.lte_control);
     return o;
 }
+
+/// Bounded FIFO of retry events for the diagnosis bundle.
+class RetryLog {
+public:
+    explicit RetryLog(size_t capacity) : cap_(std::max<size_t>(1, capacity)) {}
+
+    void push(RetryEvent e) {
+        if (events_.size() == cap_) events_.erase(events_.begin());
+        events_.push_back(std::move(e));
+        ++total_;
+    }
+    const std::vector<RetryEvent>& events() const { return events_; }
+    long total() const { return total_; }
+
+private:
+    size_t cap_;
+    std::vector<RetryEvent> events_;
+    long total_ = 0;
+};
 
 [[noreturn]] void fail_transient(const circuit::Netlist& netlist,
                                  const TranOptions& opt, const TranResult& partial,
                                  const StepTelemetryRing& ring,
                                  const std::vector<double>& last_dx,
-                                 const char* reason, long step, long nsteps,
-                                 double time) {
+                                 const RetryLog& retries, const char* reason,
+                                 long step, long nsteps, double time) {
     std::string bundle;
     std::string worst;
     if (!last_dx.empty()) {
@@ -64,14 +90,31 @@ obs::JsonObject tran_options_json(const TranOptions& opt) {
             d.options = tran_options_json(opt);
             d.partial = &partial;
             d.wave_tail = static_cast<size_t>(opt.diag_wave_tail);
+            d.retries = retries.events();
+            d.total_retries = retries.total();
             bundle = write_diagnosis_bundle(d, opt.diag_dir);
         }
     }
+    std::string retried;
+    if (retries.total() > 0)
+        retried = format(" after %ld rejected attempts", retries.total());
     raise("transient Newton %s at t=%.4g (step %ld of %ld, dt=%.3g, %zu samples "
-          "recorded)%s%s%s",
-          reason, time, step, nsteps, opt.dt, partial.time.size(), worst.c_str(),
-          bundle.empty() ? "" : "; diagnosis bundle: ",
+          "recorded)%s%s%s%s",
+          reason, time, step, nsteps, opt.dt, partial.time.size(), retried.c_str(),
+          worst.c_str(), bundle.empty() ? "" : "; diagnosis bundle: ",
           bundle.empty() ? "" : bundle.c_str());
+}
+
+/// Why one step attempt was rejected.
+enum class Reject { none, no_convergence, nonfinite, singular };
+
+const char* reject_name(Reject r) {
+    switch (r) {
+        case Reject::no_convergence: return "no_convergence";
+        case Reject::nonfinite: return "nonfinite_update";
+        case Reject::singular: return "singular_system";
+        default: return "none";
+    }
 }
 
 } // namespace
@@ -108,10 +151,24 @@ TranResult transient(circuit::Netlist& netlist, const std::vector<std::string>& 
     out.time.reserve(est);
     for (auto& w : out.waves) w.reserve(est);
 
+    // The dt backoff ladder subdivides the nominal grid by powers of two:
+    // at `level`, micro-steps are dt / 2^level and a nominal step is 2^level
+    // micro-positions wide.  dt_min (0 -> dt/4096) bounds the subdivision.
+    int max_level = 0;
+    if (opt.adaptive) {
+        const double floor_dt = opt.dt_min > 0.0 ? opt.dt_min : opt.dt / 4096.0;
+        while (opt.dt / static_cast<double>(1L << (max_level + 1)) >= floor_dt &&
+               max_level < 30)
+            ++max_level;
+    }
+
     circuit::RealStamper s(n);
-    std::vector<double> xit = x;
+    std::vector<double> x_acc = x;       // last accepted (committed) state
+    std::vector<double> x_prev = x;      // accepted state one micro-step back
+    std::vector<double> xit = x;         // Newton iterate of the attempt
     std::vector<double> last_dx(n, 0.0); // per-unknown update of the last iteration
     StepTelemetryRing ring(static_cast<size_t>(opt.diag_tail));
+    RetryLog retries(static_cast<size_t>(opt.retry_history));
     long recorded = 0;
     long averaged = 0;
     if (opt.accumulate_average) out.average.assign(n, 0.0);
@@ -121,109 +178,226 @@ TranResult transient(circuit::Netlist& netlist, const std::vector<std::string>& 
     // allocation cost by a wide margin.
     const bool use_dense = n <= 160;
     DenseMatrix<double> dense(use_dense ? n : 0, use_dense ? n : 0);
+
+    const double lte_reltol = opt.lte_reltol > 0.0 ? opt.lte_reltol : opt.reltol;
+    const double lte_abstol = opt.lte_abstol > 0.0 ? opt.lte_abstol : opt.vntol;
+
+    long attempt_no = 0;       // global step-attempt counter (telemetry "step")
+    long be_steps_done = 0;    // accepted steps integrated with BE so far
+    int level = 0;             // current subdivision depth (0 = nominal dt)
+    int consecutive_accepts = 0;
+    double dt_prev = 0.0;      // accepted step before the current one (LTE)
+    bool lte_ok = true;        // last accepted step passed the LTE gate
+
     for (long step = 1; step <= nsteps; ++step) {
-        circuit::TranParams tp;
-        tp.dt = opt.dt;
-        tp.time = static_cast<double>(step) * opt.dt;
-        tp.order = (step <= opt.be_startup_steps) ? 1 : opt.order;
+        // Position within the nominal step in units of dt / 2^level.  The
+        // step completes when k reaches 2^level; regrowth halves both the
+        // numerator and the denominator, so alignment is exact.
+        long k = 0;
+        int step_retries = 0;
+        const double t_base = static_cast<double>(step - 1) * opt.dt;
 
-        obs::ScopedTimer obs_step("sim/transient/step");
+        while (k < (1L << level)) {
+            const double dt_cur = opt.dt / static_cast<double>(1L << level);
+            circuit::TranParams tp;
+            tp.dt = dt_cur;
+            // The last micro-step lands on the nominal boundary *exactly*
+            // (computed as step * dt, not t_base + k * dt_cur) so source
+            // evaluation and recording stay bit-identical to the fixed-step
+            // loop whenever no retry fired.
+            tp.time = (k + 1 == (1L << level))
+                          ? static_cast<double>(step) * opt.dt
+                          : t_base + static_cast<double>(k + 1) * dt_cur;
+            tp.order = (be_steps_done < opt.be_startup_steps) ? 1 : opt.order;
 
-        // Newton iteration, starting from the previous accepted solution.
-        StepTelemetry tel;
-        tel.step = step;
-        tel.time = tp.time;
-        bool converged = false;
-        bool nonfinite = false;
-        double max_dx = 0.0;
-        for (int it = 0; it < opt.max_newton; ++it) {
-            obs::ScopedTimer obs_newton("sim/transient/newton");
-            tel.newton_iters = it + 1;
-            s.clear();
-            assemble_tran(netlist, s, xit, tp, opt.gmin);
-            std::vector<double> xn;
-            if (use_dense) {
-                for (size_t i = 0; i < n; ++i)
-                    for (size_t j = 0; j < n; ++j) dense(i, j) = 0.0;
-                const auto& tri = s.matrix();
-                const auto& rows = tri.rows();
-                const auto& cols = tri.cols();
-                const auto& vals = tri.values();
-                for (size_t e = 0; e < rows.size(); ++e)
-                    dense(static_cast<size_t>(rows[e]), static_cast<size_t>(cols[e])) +=
-                        vals[e];
-                DenseLU<double> lu(dense);
-                xn = lu.solve(s.rhs());
-                tel.lu_min_pivot = lu.min_pivot();
-            } else {
-                SparseLU<double> lu(s.matrix());
-                xn = lu.solve(s.rhs());
-                tel.lu_min_pivot = lu.factor_stats().min_pivot;
-                tel.lu_fill_growth = lu.factor_stats().fill_growth;
-            }
-            max_dx = 0.0;
-            tel.worst_unknown = -1;
-            for (size_t i = 0; i < n; ++i) {
-                double dx = xn[i] - xit[i];
-                // A NaN never wins a '>' comparison, so test finiteness
-                // explicitly — a poisoned update must trip the diagnosis,
-                // not silently spin until max_newton runs out.
-                if (!std::isfinite(dx)) nonfinite = true;
-                if (i < netlist.node_count()) {
-                    const double clamped = std::clamp(dx, -opt.dv_max, opt.dv_max);
-                    if (clamped != dx) ++tel.clamp_hits;
-                    dx = clamped;
+            obs::ScopedTimer obs_step("sim/transient/step");
+
+            // Newton iteration, starting from the last accepted solution.
+            StepTelemetry tel;
+            tel.step = ++attempt_no;
+            tel.time = tp.time;
+            tel.dt = dt_cur;
+            Reject reject = Reject::none;
+            bool converged = false;
+            double max_dx = 0.0;
+            xit = x_acc;
+            for (int it = 0; it < opt.max_newton; ++it) {
+                obs::ScopedTimer obs_newton("sim/transient/newton");
+                tel.newton_iters = it + 1;
+                s.clear();
+                assemble_tran(netlist, s, xit, tp, opt.gmin);
+                std::vector<double> xn;
+                try {
+                    if (fault::fires("tran.lu.singular"))
+                        raise("fault injected: tran.lu.singular");
+                    if (use_dense) {
+                        for (size_t i = 0; i < n; ++i)
+                            for (size_t j = 0; j < n; ++j) dense(i, j) = 0.0;
+                        const auto& tri = s.matrix();
+                        const auto& rows = tri.rows();
+                        const auto& cols = tri.cols();
+                        const auto& vals = tri.values();
+                        for (size_t e = 0; e < rows.size(); ++e)
+                            dense(static_cast<size_t>(rows[e]),
+                                  static_cast<size_t>(cols[e])) += vals[e];
+                        DenseLU<double> lu(dense);
+                        xn = lu.solve(s.rhs());
+                        tel.lu_min_pivot = lu.min_pivot();
+                        tel.lu_fill_growth = 1.0; // in-place, no fill
+                    } else {
+                        SparseLU<double> lu(s.matrix());
+                        xn = lu.solve(s.rhs());
+                        tel.lu_min_pivot = lu.factor_stats().min_pivot;
+                        tel.lu_fill_growth = lu.factor_stats().fill_growth;
+                    }
+                } catch (const Error&) {
+                    reject = Reject::singular;
+                    break;
                 }
-                last_dx[i] = dx;
-                if (std::fabs(dx) > max_dx) {
-                    max_dx = std::fabs(dx);
-                    tel.worst_unknown = static_cast<int>(i);
+                if (fault::fires("tran.newton.nonfinite"))
+                    xn[0] = std::numeric_limits<double>::quiet_NaN();
+                max_dx = 0.0;
+                tel.worst_unknown = -1;
+                bool nonfinite = false;
+                for (size_t i = 0; i < n; ++i) {
+                    double dx = xn[i] - xit[i];
+                    // A NaN never wins a '>' comparison, so test finiteness
+                    // explicitly — a poisoned update must trip the recovery
+                    // ladder, not silently spin until max_newton runs out.
+                    if (!std::isfinite(dx)) nonfinite = true;
+                    if (i < netlist.node_count()) {
+                        const double clamped = std::clamp(dx, -opt.dv_max, opt.dv_max);
+                        if (clamped != dx) ++tel.clamp_hits;
+                        dx = clamped;
+                    }
+                    last_dx[i] = dx;
+                    if (std::fabs(dx) > max_dx) {
+                        max_dx = std::fabs(dx);
+                        tel.worst_unknown = static_cast<int>(i);
+                    }
+                    xit[i] += dx;
                 }
-                xit[i] += dx;
+                if (nonfinite) {
+                    reject = Reject::nonfinite;
+                    break;
+                }
+                if (max_dx < opt.vntol + opt.reltol * norm_inf(xit)) {
+                    converged = true;
+                    break;
+                }
             }
-            if (nonfinite) break;
-            if (max_dx < opt.vntol + opt.reltol * norm_inf(xit)) {
-                converged = true;
-                break;
+            if (converged && fault::fires("tran.step.fail")) {
+                converged = false;
+                reject = Reject::no_convergence;
             }
-        }
-        tel.residual = max_dx;
-        tel.converged = converged;
-        ring.push(tel);
-        if (obs::enabled()) {
-            obs::count("sim/transient/steps");
-            obs::record_value("sim/transient/newton_per_step", tel.newton_iters);
-            if (!converged) obs::count("sim/transient/convergence_failures");
-            // Solver-health time-series: the per-step view of how hard the
-            // engine worked, exported to VCD and Perfetto counter lanes.
-            obs::ts_append("sim/transient/newton_iters", tp.time, tel.newton_iters,
-                           "iters");
-            obs::ts_append("sim/transient/residual", tp.time,
-                           std::isfinite(max_dx) ? max_dx : 0.0, "V");
-            obs::ts_append("sim/transient/clamp_hits", tp.time, tel.clamp_hits, "1");
-            obs::ts_append("sim/transient/lu_min_pivot", tp.time, tel.lu_min_pivot, "1");
-            if (!use_dense)
+            if (!converged && reject == Reject::none) reject = Reject::no_convergence;
+            tel.residual = max_dx;
+            tel.converged = converged;
+            ring.push(tel);
+            // A fired slow-step fault marks the attempt as pathologically
+            // slow in the health lanes (queried unconditionally so firing
+            // positions don't depend on whether the registry is on).
+            if (fault::fires("tran.slow_step"))
+                obs::record_value("sim/transient/slow_step_s", 1.0);
+            if (obs::enabled()) {
+                obs::count("sim/transient/steps");
+                obs::record_value("sim/transient/newton_per_step", tel.newton_iters);
+                if (!converged) obs::count("sim/transient/convergence_failures");
+                // Solver-health time-series: the per-step view of how hard
+                // the engine worked, exported to VCD and Perfetto lanes.
+                obs::ts_append("sim/transient/newton_iters", tp.time, tel.newton_iters,
+                               "iters");
+                obs::ts_append("sim/transient/residual", tp.time,
+                               std::isfinite(max_dx) ? max_dx : 0.0, "V");
+                obs::ts_append("sim/transient/clamp_hits", tp.time, tel.clamp_hits, "1");
+                obs::ts_append("sim/transient/lu_min_pivot", tp.time, tel.lu_min_pivot,
+                               "1");
                 obs::ts_append("sim/transient/lu_fill_growth", tp.time,
                                tel.lu_fill_growth, "x");
+                obs::ts_append("sim/transient/dt", tp.time, dt_cur, "s");
+            }
+
+            if (!converged) {
+                // Reject the attempt.  Device state only advances in
+                // commit_tran, so restoring the iterate to the last accepted
+                // solution is the entire rollback.
+                const bool can_halve = opt.adaptive && level < max_level &&
+                                       step_retries < opt.max_step_retries;
+                if (!can_halve) {
+                    // Budget exhausted (or recovery disabled): report the
+                    // failure against the nominal grid the caller knows.
+                    const char* why =
+                        reject == Reject::nonfinite ? "produced a non-finite update"
+                        : reject == Reject::singular ? "hit a singular system"
+                                                     : "did not converge";
+                    fail_transient(netlist, opt, out, ring, last_dx, retries, why,
+                                   step, nsteps,
+                                   static_cast<double>(step) * opt.dt);
+                }
+                RetryEvent ev;
+                ev.step = step;
+                ev.time = tp.time;
+                ev.dt_from = dt_cur;
+                ev.dt_to = dt_cur / 2.0;
+                ev.newton_iters = tel.newton_iters;
+                ev.reason = reject_name(reject);
+                retries.push(ev);
+                ++out.step_retries;
+                ++step_retries;
+                obs::count("sim/transient/step_retries");
+                log_info("transient: step %ld rejected (%s) at t=%.4g, retrying "
+                         "with dt=%.3g",
+                         step, ev.reason.c_str(), tp.time, ev.dt_to);
+                ++level;
+                k *= 2; // same position, finer units
+                consecutive_accepts = 0;
+                continue;
+            }
+
+            // Accept: the LTE gate compares the corrector against a linear
+            // predictor extrapolated from the last two accepted states; a
+            // large error keeps dt from regrowing (it never rejects).
+            if (opt.lte_control && dt_prev > 0.0) {
+                double err = 0.0;
+                const double r = dt_cur / dt_prev;
+                for (size_t i = 0; i < n; ++i) {
+                    const double pred = x_acc[i] + r * (x_acc[i] - x_prev[i]);
+                    err = std::max(err, std::fabs(xit[i] - pred));
+                }
+                lte_ok = err < lte_reltol * norm_inf(xit) + lte_abstol;
+                if (obs::enabled())
+                    obs::ts_append("sim/transient/lte", tp.time, err, "V");
+            }
+            for (const auto& d : netlist.devices()) d->commit_tran(xit, tp);
+            x_prev = x_acc;
+            x_acc = xit;
+            dt_prev = dt_cur;
+            ++be_steps_done;
+            ++k;
+            ++consecutive_accepts;
+
+            // Regrow dt (level--) only on even positions, so the coarser
+            // grid still lands exactly on the nominal boundary.
+            if (level > 0 && consecutive_accepts >= opt.dt_recovery_accepts &&
+                k % 2 == 0 && lte_ok) {
+                --level;
+                k /= 2;
+                consecutive_accepts = 0;
+            }
         }
-        if (nonfinite)
-            fail_transient(netlist, opt, out, ring, last_dx, "produced a non-finite "
-                           "update", step, nsteps, tp.time);
-        if (!converged)
-            fail_transient(netlist, opt, out, ring, last_dx, "did not converge", step,
-                           nsteps, tp.time);
 
-        for (const auto& d : netlist.devices()) d->commit_tran(xit, tp);
-
-        if (tp.time >= opt.record_start) {
+        // Nominal boundary reached: record on the uniform grid exactly as
+        // the fixed-step loop did.
+        const double t_nominal = static_cast<double>(step) * opt.dt;
+        if (t_nominal >= opt.record_start) {
             if (recorded % opt.record_stride == 0) {
-                out.time.push_back(tp.time);
+                out.time.push_back(t_nominal);
                 for (size_t p = 0; p < probe_ids.size(); ++p)
-                    out.waves[p].push_back(circuit::volt(xit, probe_ids[p]));
+                    out.waves[p].push_back(circuit::volt(x_acc, probe_ids[p]));
             }
             ++recorded;
             if (opt.accumulate_average) {
-                for (size_t i = 0; i < n; ++i) out.average[i] += xit[i];
+                for (size_t i = 0; i < n; ++i) out.average[i] += x_acc[i];
                 ++averaged;
             }
         }

@@ -1,9 +1,17 @@
-// Transient analysis: fixed-step trapezoidal (or backward-Euler) integration
-// with per-step Newton iteration.
+// Transient analysis: fixed-grid trapezoidal (or backward-Euler) integration
+// with per-step Newton iteration and convergence recovery.
 //
-// Fixed stepping is deliberate: spur measurement reads tones off the sampled
-// waveform with windowed Goertzel sums, which wants uniform sampling; and an
-// oscillator run at 3 GHz needs a stable, repeatable phase trajectory.
+// The recording grid is fixed and deliberate: spur measurement reads tones
+// off the sampled waveform with windowed Goertzel sums, which wants uniform
+// sampling; and an oscillator run at 3 GHz needs a stable, repeatable phase
+// trajectory.  Convergence recovery therefore subdivides *within* the
+// nominal grid: a step whose Newton iteration fails (stall, non-finite
+// update, singular system) is rejected, the last accepted state is restored,
+// and the step is retried at dt/2, dt/4, ... down to dt_min with a bounded
+// retry budget; dt regrows by doubling — only on nominal-grid-aligned
+// boundaries — after enough consecutive accepted micro-steps.  Every nominal
+// boundary is hit exactly, so recorded samples stay on the same uniform grid
+// whether or not recovery fired.
 #pragma once
 
 #include <string>
@@ -49,6 +57,30 @@ struct TranOptions {
     /// Samples of each probed waveform kept in the bundle (the recorded
     /// prefix's tail; 0 drops the waveform section).
     int diag_wave_tail = 256;
+
+    // --- convergence recovery (the retry ladder) ------------------------
+    /// Reject-and-retry failed steps with dt backoff instead of raising on
+    /// the first Newton failure.  OFF restores the historical behavior:
+    /// one attempt per step, first failure raises.
+    bool adaptive = true;
+    /// Smallest micro-step the backoff may reach; 0 -> dt / 4096.  The
+    /// effective floor is always a power-of-two fraction of dt so every
+    /// micro-step lands back on the nominal grid.
+    double dt_min = 0.0;
+    /// Rejected attempts allowed per nominal step before the run gives up
+    /// and writes the diagnosis bundle (with the full retry history).
+    int max_step_retries = 16;
+    /// Consecutive accepted micro-steps required before dt may double back
+    /// toward the nominal dt.
+    int dt_recovery_accepts = 4;
+    /// Gate dt regrowth on a predictor-corrector local-truncation-error
+    /// estimate: dt only doubles while |x - x_predicted|_inf stays below
+    /// lte_reltol * |x|_inf + lte_abstol.
+    bool lte_control = false;
+    double lte_reltol = 0.0; // 0 -> reltol
+    double lte_abstol = 0.0; // 0 -> vntol
+    /// Last-N retry events kept for the diagnosis bundle.
+    int retry_history = 64;
 };
 
 struct TranResult {
@@ -58,12 +90,17 @@ struct TranResult {
     double dt_sample = 0.0;                 // dt * record_stride
     /// Mean of every unknown over the recorded window (when requested).
     std::vector<double> average;
+    /// Rejected step attempts recovered by the retry ladder (0 on a clean
+    /// run; also mirrored in the obs counter sim/transient/step_retries).
+    long step_retries = 0;
 
     const std::vector<double>& wave(const std::string& probe) const;
 };
 
 /// Integrates the netlist to `tstop`, recording the named probe nodes.
-/// Throws snim::Error if Newton fails at any step.
+/// Newton failures are retried with the dt-backoff ladder (TranOptions
+/// recovery knobs); snim::Error is thrown only once the retry budget or
+/// dt_min is exhausted.
 TranResult transient(circuit::Netlist& netlist, const std::vector<std::string>& probes,
                      const TranOptions& opt);
 

@@ -93,10 +93,23 @@ SubstrateModel extract_substrate(const geom::Rect& area,
 
     // Schur reduction via CG solves: exact to solver tolerance and immune
     // to the fill-in explosion of node elimination on 3-D meshes.
-    out.reduced = mor::reduce_by_solve(mesh.network(), port_nodes);
+    try {
+        out.reduced = mor::reduce_by_solve(mesh.network(), port_nodes);
+    } catch (const Error& e) {
+        if (!opt.unreduced_fallback) throw;
+        // Graceful degradation: stitch the full mesh network in instead of
+        // killing the flow.  Exact, just larger and slower to simulate.
+        log_warn("substrate: reduction failed (%s); falling back to the "
+                 "unreduced mesh network (%zu nodes)",
+                 e.what(), mesh.network().node_count);
+        obs::count("substrate/mor_fallbacks");
+        out.reduced = mor::ports_first(mesh.network(), port_nodes);
+        out.mor_fallback = true;
+    }
     out.extract_seconds = obs_timer.stop();
-    log_info("substrate: %zu mesh nodes -> %zu ports in %.2fs", out.mesh_node_count,
-             out.port_names.size(), out.extract_seconds);
+    log_info("substrate: %zu mesh nodes -> %zu ports in %.2fs%s",
+             out.mesh_node_count, out.port_names.size(), out.extract_seconds,
+             out.mor_fallback ? " (unreduced fallback)" : "");
     return out;
 }
 

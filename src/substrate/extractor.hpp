@@ -37,6 +37,11 @@ struct ExtractOptions {
     MeshOptions mesh;
     /// Drop tolerance handed to the reducer (0 keeps the model exact).
     double drop_tol = 0.0;
+    /// When the CG-based reduction fails, degrade to the unreduced mesh
+    /// network (ports renumbered first) instead of aborting the flow: the
+    /// stitched model is larger and slower but exact.  OFF propagates the
+    /// reduction error.
+    bool unreduced_fallback = true;
 };
 
 struct SubstrateModel {
@@ -45,6 +50,9 @@ struct SubstrateModel {
     std::vector<std::string> port_names;
     size_t mesh_node_count = 0;
     double extract_seconds = 0.0;
+    /// True when the reduction failed and `reduced` holds the unreduced
+    /// mesh network instead (see ExtractOptions::unreduced_fallback).
+    bool mor_fallback = false;
 
     int port_index(const std::string& name) const;
 };

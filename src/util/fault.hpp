@@ -1,0 +1,85 @@
+// Deterministic fault injection: named fault points compiled into the
+// solver engines so tests (and operators chasing a heisenbug) can force
+// every recovery and diagnosis path on demand.
+//
+// A fault point is a string like "tran.step.fail" placed at the exact spot
+// where the real failure would originate (a singular LU, a NaN update, a
+// Newton stall).  Engines ask `fault::fires(point)` on every pass through
+// the point; each query increments a per-point counter, and the fault fires
+// when that counter falls inside an armed window [at, at + count).  Firing
+// is therefore a pure function of the query sequence — two runs with the
+// same armed faults take bit-identical paths, which is what lets the
+// recovery tests assert full waveform determinism.
+//
+// Arming:
+//   * API: fault::arm({.point = "tran.step.fail", .at = 51, .count = 2});
+//   * env: SNIM_FAULT=tran.step.fail@51x2,mor.cg.fail  (parsed once, on the
+//     first framework use; malformed entries are warned about and skipped).
+//     `@at` defaults to 1, `xcount` to 1; `x-1` keeps a window open forever.
+//
+// Cost: one relaxed atomic load per query while nothing is armed.  Configure
+// with -DSNIM_ENABLE_FAULTS=OFF and every entry point collapses to an inline
+// no-op (`fires` returns a compile-time false), proving release builds carry
+// no functional dependency on the hooks.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef SNIM_FAULTS_ENABLED
+#define SNIM_FAULTS_ENABLED 1
+#endif
+
+namespace snim::fault {
+
+/// One armed fault window: fire on queries at, at+1, ..., at+count-1 of
+/// `point` (1-based; count < 0 keeps firing forever once reached).
+struct FaultSpec {
+    std::string point;
+    long at = 1;
+    long count = 1;
+};
+
+#if SNIM_FAULTS_ENABLED
+
+/// Parses "point[@at][xcount]" (e.g. "tran.step.fail@51x2"); raises
+/// snim::Error on malformed input.
+FaultSpec parse_spec(std::string_view text);
+
+/// Arms one fault window.  Windows on the same point accumulate.
+void arm(const FaultSpec& spec);
+
+/// Arms a comma-separated spec list (the SNIM_FAULT syntax); raises on the
+/// first malformed entry.
+void arm_list(std::string_view specs);
+
+/// Disarms everything and zeroes every per-point query/trip counter.
+void clear();
+
+/// True when the current query of `point` falls inside an armed window.
+/// Counts the query even when nothing matches, so firing positions stay
+/// stable while faults on other points are added or removed.
+bool fires(std::string_view point);
+
+/// Queries seen / faults fired at `point` since the last clear().
+long queries(std::string_view point);
+long trips(std::string_view point);
+
+/// Every armed window (for diagnostics output and tests).
+std::vector<FaultSpec> armed();
+
+#else // SNIM_FAULTS_ENABLED — compiled out: inline no-ops.
+
+inline FaultSpec parse_spec(std::string_view) { return {}; }
+inline void arm(const FaultSpec&) {}
+inline void arm_list(std::string_view) {}
+inline void clear() {}
+inline constexpr bool fires(std::string_view) { return false; }
+inline long queries(std::string_view) { return 0; }
+inline long trips(std::string_view) { return 0; }
+inline std::vector<FaultSpec> armed() { return {}; }
+
+#endif // SNIM_FAULTS_ENABLED
+
+} // namespace snim::fault

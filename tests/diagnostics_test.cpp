@@ -61,6 +61,10 @@ sim::TranOptions divergent_options(const std::string& diag_dir) {
     opt.dt = 0.1e-9;
     opt.tstop = 10e-9;
     opt.diag_dir = diag_dir;
+    // These tests exercise the first-failure diagnosis path; the retry
+    // ladder would actually rescue this edge by subdividing it into
+    // clamp-sized jumps (recovery_test covers that).
+    opt.adaptive = false;
     return opt;
 }
 
