@@ -10,6 +10,7 @@
 #include "circuit/sources.hpp"
 #include "core/impact_model.hpp"
 #include "numeric/vecops.hpp"
+#include "obs/parallel.hpp"
 #include "testcases/vco.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
@@ -36,17 +37,16 @@ int main() {
         {"ground lines widened 2x", 2.0, false},
         {"ideal interconnect (classical flow)", 1.0, true},
     };
+    constexpr size_t kVariants = std::size(variants);
 
-    CsvWriter csv({"variant", "fnoise_Hz", "total_dbm"});
-    AsciiPlot plot("Figure 10: spur power, real vs widened ground lines",
-                   "fnoise [Hz]", "dBm");
-    plot.set_log_x(true);
-    std::vector<std::vector<double>> series_dbm;
-    std::vector<double> wire_squares;
-
-    const char markers[] = {'*', 'o', 'x'};
-    int mi = 0;
-    for (const auto& variant : variants) {
+    // Each variant is an independent re-extraction + calibration, fanned out
+    // over SNIM_THREADS workers; printing and the CSV stay serial below, in
+    // declaration order, so output is bit-identical for every thread count.
+    std::vector<std::vector<double>> series_dbm(kVariants);
+    std::vector<double> wire_squares(kVariants, 0.0);
+    std::vector<double> k_src(kVariants, 0.0);
+    obs::parallel_tasks(0, kVariants, [&](size_t ci) {
+        const auto& variant = variants[ci];
         testcases::VcoOptions vopt;
         vopt.ground_strap_width = variant.strap_width;
         auto vco = testcases::build_vco(vopt);
@@ -54,25 +54,32 @@ int main() {
         fo.interconnect.extract_resistance = !variant.ideal_interconnect;
         auto model = testcases::build_model(std::move(vco), fo);
         const auto* st = model.wire_stats_for("vgnd");
-        wire_squares.push_back(st ? st->resistance_squares : 0.0);
+        wire_squares[ci] = st ? st->resistance_squares : 0.0;
 
         core::AnalyzerOptions aopt;
         aopt.osc = testcases::vco_osc_options();
         core::ImpactAnalyzer analyzer(model, VcoTestcase::kNoiseSource,
                                       testcases::vco_noise_entries(), aopt);
         analyzer.calibrate();
+        k_src[ci] = analyzer.k_src();
 
-        std::vector<double> dbm;
-        for (double fn : freqs) {
-            auto pred = analyzer.predict(fn);
-            dbm.push_back(pred.total_dbm());
-            csv.add_row(std::vector<std::string>{variant.name, format("%g", fn),
-                                                 format("%.2f", pred.total_dbm())});
-        }
-        series_dbm.push_back(dbm);
-        plot.add({variant.name, freqs, dbm, markers[mi++ % 3]});
+        for (double fn : freqs) series_dbm[ci].push_back(analyzer.predict(fn).total_dbm());
+    });
+
+    CsvWriter csv({"variant", "fnoise_Hz", "total_dbm"});
+    AsciiPlot plot("Figure 10: spur power, real vs widened ground lines",
+                   "fnoise [Hz]", "dBm");
+    plot.set_log_x(true);
+
+    const char markers[] = {'*', 'o', 'x'};
+    for (size_t ci = 0; ci < kVariants; ++ci) {
+        const auto& variant = variants[ci];
+        for (size_t k = 0; k < freqs.size(); ++k)
+            csv.add_row(std::vector<std::string>{variant.name, format("%g", freqs[k]),
+                                                 format("%.2f", series_dbm[ci][k])});
+        plot.add({variant.name, freqs, series_dbm[ci], markers[ci % 3]});
         printf("%-38s K_src = %9.4g Hz/V, ground wiring %.0f squares\n", variant.name,
-               analyzer.k_src(), wire_squares.back());
+               k_src[ci], wire_squares[ci]);
     }
 
     Table t({"fnoise [MHz]", "real [dBm]", "widened 2x [dBm]", "delta [dB]",

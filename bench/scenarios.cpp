@@ -163,18 +163,21 @@ void run_fig7(obs::ScenarioContext& ctx) {
 }
 
 void run_fig8(obs::ScenarioContext& ctx) {
-    auto vco = testcases::build_vco();
-    auto model = testcases::build_model(std::move(vco), testcases::vco_flow_options());
-
     const std::vector<double> vtunes = ctx.quick ? std::vector<double>{0.9}
                                                  : std::vector<double>{0.0, 0.9};
     const std::vector<double> f_pred{1e6, 2e6, 3e6, 5e6, 8e6, 15e6};
-    for (double vt : vtunes) {
+    // Each vtune point is an independent sweep corner: a solver failure in
+    // one skips (and annotates) that corner instead of losing the whole
+    // figure.  Corners fan out over ctx.threads workers, each rebuilding
+    // its own flow so nothing shared is mutated; metrics merge back in
+    // vtune order, bit-identical for every thread count.
+    ctx.run_corners(vtunes.size(), [&](obs::ScenarioContext& corner, size_t ci) {
+        const double vt = vtunes[ci];
         const std::string vt_label = format("%g", vt);
-        // Each vtune point is an independent sweep corner: a solver failure
-        // in one skips (and annotates) that corner instead of losing the
-        // whole figure.
-        ctx.guard_corner(format("fig8 vtune=%s", vt_label.c_str()), [&] {
+        corner.guard_corner(format("fig8 vtune=%s", vt_label.c_str()), [&] {
+            auto vco = testcases::build_vco();
+            auto model =
+                testcases::build_model(std::move(vco), testcases::vco_flow_options());
             model.netlist.find_as<circuit::VSource>(VcoTestcase::kVtuneSource)
                 ->set_waveform(circuit::Waveform::dc(vt));
             core::AnalyzerOptions aopt;
@@ -185,26 +188,26 @@ void run_fig8(obs::ScenarioContext& ctx) {
 
             std::vector<double> pred_dbm;
             for (double f : f_pred) pred_dbm.push_back(analyzer.predict(f).total_dbm());
-            ctx.add_accuracy(core::reference_delta(
+            corner.add_accuracy(core::reference_delta(
                 format("prediction total dBm (vtune=%s)", vt_label.c_str()),
                 core::load_reference_series("fig8_spur_vs_freq.csv", "fnoise_Hz",
                                             "pred_dbm", "vtune", vt_label),
                 "fig8_spur_vs_freq.csv", 2.0, f_pred, pred_dbm));
 
-            if (!ctx.quick) {
+            if (!corner.quick) {
                 // The brute-force "measurement" stand-in at the cheapest
                 // measured frequency; the full 2/5/15 MHz set is the fig8
                 // bench's job.
                 const double fmeas = 15e6;
                 const double meas = analyzer.simulate(fmeas).total_dbm();
-                ctx.add_accuracy(core::reference_delta(
+                corner.add_accuracy(core::reference_delta(
                     format("transient total dBm (vtune=%s)", vt_label.c_str()),
                     core::load_reference_series("fig8_spur_vs_freq.csv", "fnoise_Hz",
                                                 "meas_dbm", "vtune", vt_label),
                     "fig8_spur_vs_freq.csv", 2.0, {fmeas}, {meas}));
             }
         });
-    }
+    });
 }
 
 void run_fig9(obs::ScenarioContext& ctx) {
@@ -247,10 +250,12 @@ void run_fig10(obs::ScenarioContext& ctx) {
         variants.push_back({"ideal interconnect (classical flow)", 1.0, true});
 
     const auto freqs = subsample(logspace(1e6, 15e6, 5), ctx.quick ? 2 : 5);
-    for (const auto& variant : variants) {
-        // Each design variant rebuilds the full flow; a failed corner is
-        // skipped and annotated, the remaining variants still land.
-        ctx.guard_corner(format("fig10 %s", variant.name), [&] {
+    // Each design variant rebuilds the full flow; a failed corner is
+    // skipped and annotated, the remaining variants still land.  Variants
+    // fan out over ctx.threads workers, merged back in declaration order.
+    ctx.run_corners(variants.size(), [&](obs::ScenarioContext& corner, size_t ci) {
+        const auto& variant = variants[ci];
+        corner.guard_corner(format("fig10 %s", variant.name), [&] {
             testcases::VcoOptions vopt;
             vopt.ground_strap_width = variant.strap_width;
             auto vco = testcases::build_vco(vopt);
@@ -266,13 +271,13 @@ void run_fig10(obs::ScenarioContext& ctx) {
 
             std::vector<double> dbm;
             for (double f : freqs) dbm.push_back(analyzer.predict(f).total_dbm());
-            ctx.add_accuracy(core::reference_delta(
+            corner.add_accuracy(core::reference_delta(
                 format("total dBm (%s)", variant.name),
                 core::load_reference_series("fig10_ground_width.csv", "fnoise_Hz",
                                             "total_dbm", "variant", variant.name),
             "fig10_ground_width.csv", 2.0, freqs, dbm));
         });
-    }
+    });
 }
 
 // --- kernel scenarios -----------------------------------------------------

@@ -23,6 +23,7 @@
 #include "scenarios.hpp"
 #include "sim/diagnostics.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -33,6 +34,7 @@ struct Args {
     bool quick = false;
     bool check_determinism = false;
     int repeat = 0;
+    int threads = 0;
     double fail_pct = 10.0;
     uint64_t seed = obs::BenchOptions{}.seed;
     std::string filter;
@@ -52,6 +54,9 @@ void usage(std::FILE* to) {
         "  --quick                trimmed sweeps, fewer repetitions, no warmup\n"
         "  --repeat N             override the per-scenario repetition count\n"
         "  --seed N               default-Rng seed (runs are deterministic per seed)\n"
+        "  --threads N            worker threads for parallel sweep corners\n"
+        "                         (default: SNIM_THREADS, else 1; results are\n"
+        "                         bit-identical for every value)\n"
         "  --check-determinism    run every scenario twice and require identical\n"
         "                         accuracy metrics\n"
         "  --out FILE             write the BENCH_*.json report\n"
@@ -77,6 +82,7 @@ bool parse_args(int argc, char** argv, Args& a) {
         else if (arg == "--check-determinism") a.check_determinism = true;
         else if (arg == "--filter") a.filter = need_value(i, "--filter");
         else if (arg == "--repeat") a.repeat = std::atoi(need_value(i, "--repeat"));
+        else if (arg == "--threads") a.threads = std::atoi(need_value(i, "--threads"));
         else if (arg == "--seed") a.seed = std::strtoull(need_value(i, "--seed"), nullptr, 0);
         else if (arg == "--out") a.out_path = need_value(i, "--out");
         else if (arg == "--trace") a.trace_path = need_value(i, "--trace");
@@ -88,6 +94,7 @@ bool parse_args(int argc, char** argv, Args& a) {
         else raise("unknown option '%s'", arg.c_str());
     }
     if (a.repeat < 0) raise("--repeat must be positive");
+    if (a.threads < 0) raise("--threads must be >= 0");
     if (a.fail_pct <= 0) raise("--fail-on-regress must be a positive percentage");
     return true;
 }
@@ -128,6 +135,10 @@ int run(const Args& a) {
     opt.repeat_override = a.repeat;
     opt.seed = a.seed;
     opt.wave_dir = a.wave_dir;
+    opt.threads = a.threads;
+    // Also raise the process default so AC sweeps inside scenarios pick the
+    // same width without plumbing it through every options struct.
+    if (a.threads > 0) util::set_default_thread_count(a.threads);
     if (!a.diag_dir.empty()) sim::set_default_diag_dir(a.diag_dir);
 
     std::vector<obs::ScenarioResult> results;

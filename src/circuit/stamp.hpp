@@ -3,11 +3,26 @@
 // Analyses build a matrix/RHS pair by asking every device to stamp itself.
 // NodeId -1 is ground; stamps touching ground are silently dropped, which
 // keeps device code free of special cases.
+//
+// Repeated assembly (Newton iterations, transient steps, AC points) can run
+// in compiled mode: the first pass is recorded as a triplet sequence, the
+// Stamper learns a one-time triplet->CSC index map, and every later pass
+// scatters values straight into the CSC value array — no triplet rebuild,
+// sort, or duplicate merge.  Device stamp sequences are value-independent
+// (same entry() calls in the same order every pass), which is what makes the
+// fixed map valid; a sequence that deviates anyway demotes the pass back to
+// triplet assembly and relearns, so compiled mode is always correct, just
+// fast when the precondition holds.  The compiled image is bit-identical to
+// the triplet-built CSC: the CSC constructor merges duplicates in insertion
+// order (stable sort) and the scatter path assigns the first duplicate and
+// accumulates the rest in the same stamp order.
 #pragma once
 
+#include <algorithm>
 #include <complex>
 
 #include "numeric/sparse.hpp"
+#include "obs/registry.hpp"
 
 namespace snim::circuit {
 
@@ -27,13 +42,45 @@ public:
     size_t size() const { return b_.size(); }
 
     void clear() {
-        a_.clear();
+        if (mapped_) {
+            // Compiled mode: the CSC values are overwritten in place by the
+            // next pass (assign-on-first-write), so only the sequence cursor
+            // and RHS reset here.
+            cursor_ = 0;
+        } else {
+            a_.clear();
+        }
         std::fill(b_.begin(), b_.end(), T{});
     }
+
+    /// Opts this stamper into compiled assembly: the next csc() call learns
+    /// the triplet->CSC map from the pass assembled so far, and later passes
+    /// scatter in place.  Must be called before the first assembly so the
+    /// learned pattern keeps structural zeros (a stamp value that happens to
+    /// be zero on the learning pass can be nonzero later).
+    void enable_compiled_assembly() {
+        compile_enabled_ = true;
+        a_.set_keep_zeros(true);
+    }
+    bool compiled_mode() const { return mapped_; }
 
     /// Raw matrix entry A(row, col) += v; ground rows/cols dropped.
     void entry(NodeId row, NodeId col, T v) {
         if (row < 0 || col < 0) return;
+        if (mapped_) {
+            if (cursor_ < rows_seq_.size() && rows_seq_[cursor_] == row &&
+                cols_seq_[cursor_] == col) {
+                seq_vals_[cursor_] = v;
+                T& slot = csc_.values_mut()[static_cast<size_t>(map_[cursor_])];
+                if (first_[cursor_])
+                    slot = v;
+                else
+                    slot += v;
+                ++cursor_;
+                return;
+            }
+            demote(); // stamp sequence deviated from the learned pattern
+        }
         a_.add(static_cast<size_t>(row), static_cast<size_t>(col), v);
     }
 
@@ -67,6 +114,20 @@ public:
     Triplets<T>& matrix() { return a_; }
     const std::vector<T>& rhs() const { return b_; }
 
+    /// CSC image of the pass assembled since the last clear().  With
+    /// compiled assembly enabled, the first call (and any call after a
+    /// pattern deviation) builds it from the triplets and learns the scatter
+    /// map; later passes return the image entry() already filled in place.
+    const SparseCSC<T>& csc() {
+        if (mapped_) {
+            if (cursor_ == rows_seq_.size()) return csc_;
+            demote(); // pass ended short of the learned sequence
+        }
+        csc_ = SparseCSC<T>(a_);
+        if (compile_enabled_) learn_map();
+        return csc_;
+    }
+
     /// Multiplier independent sources apply to their excitation value.
     /// 1.0 everywhere except during the op solver's source-stepping
     /// homotopy rung, which ramps it from ~0 to 1 (sim::assemble_dc sets
@@ -75,9 +136,63 @@ public:
     double source_scale() const { return source_scale_; }
 
 private:
+    /// Leaves compiled mode: replays the values scattered so far this pass
+    /// back into the triplet accumulator so assembly continues seamlessly.
+    /// The next csc() call relearns the map from the new sequence.
+    void demote() {
+        mapped_ = false;
+        if (obs::enabled()) obs::count("circuit/stamp_map_fallbacks");
+        a_.clear();
+        for (size_t i = 0; i < cursor_; ++i)
+            a_.add(static_cast<size_t>(rows_seq_[i]), static_cast<size_t>(cols_seq_[i]),
+                   seq_vals_[i]);
+        cursor_ = 0;
+    }
+
+    void learn_map() {
+        const auto& rows = a_.rows();
+        const auto& cols = a_.cols();
+        const auto& vals = a_.values();
+        const size_t nz = rows.size();
+        rows_seq_.assign(rows.begin(), rows.end());
+        cols_seq_.assign(cols.begin(), cols.end());
+        seq_vals_.assign(vals.begin(), vals.end());
+        map_.resize(nz);
+        first_.assign(nz, 0);
+        std::vector<char> seen(csc_.nnz(), 0);
+        const auto& cp = csc_.col_ptr();
+        const auto& ri = csc_.row_idx();
+        for (size_t k = 0; k < nz; ++k) {
+            const size_t c = static_cast<size_t>(cols[k]);
+            const int* lo = ri.data() + cp[c];
+            const int* hi = ri.data() + cp[c + 1];
+            const int* it = std::lower_bound(lo, hi, rows[k]);
+            SNIM_ASSERT(it != hi && *it == rows[k], "stamp map: slot (%d,%d) missing",
+                        rows[k], cols[k]);
+            const size_t slot = static_cast<size_t>(it - ri.data());
+            map_[k] = static_cast<int>(slot);
+            if (!seen[slot]) {
+                seen[slot] = 1;
+                first_[k] = 1;
+            }
+        }
+        mapped_ = true;
+        cursor_ = nz; // the learning pass itself is complete and consistent
+    }
+
     Triplets<T> a_;
     std::vector<T> b_;
     double source_scale_ = 1.0;
+
+    bool compile_enabled_ = false;
+    bool mapped_ = false;
+    size_t cursor_ = 0;          // position in the learned stamp sequence
+    SparseCSC<T> csc_;           // compiled image (values of the current pass)
+    std::vector<int> rows_seq_;  // learned sequence: row per stamp call
+    std::vector<int> cols_seq_;  // learned sequence: col per stamp call
+    std::vector<T> seq_vals_;    // values of the current pass (for demote)
+    std::vector<int> map_;       // stamp call -> CSC value slot
+    std::vector<char> first_;    // first stamp landing in its slot -> assign
 };
 
 using RealStamper = Stamper<double>;

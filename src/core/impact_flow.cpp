@@ -9,6 +9,7 @@
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
+#include "util/thread_pool.hpp"
 
 namespace snim::core {
 
@@ -46,6 +47,8 @@ void validate_flow_options(const FlowOptions& opt) {
     if (!(opt.interconnect.cut_pitch > 0.0))
         raise("FlowOptions.interconnect.cut_pitch must be > 0 (got %g)",
               opt.interconnect.cut_pitch);
+    if (opt.threads < 0)
+        raise("FlowOptions.threads must be >= 0 (got %d)", opt.threads);
 }
 
 ImpactModel build_impact_model(FlowInputs inputs, const FlowOptions& opt) {
@@ -54,6 +57,7 @@ ImpactModel build_impact_model(FlowInputs inputs, const FlowOptions& opt) {
     validate_flow_options(opt);
     if (opt.observe) obs::set_enabled(true);
     if (!opt.diag_dir.empty()) sim::set_default_diag_dir(opt.diag_dir);
+    if (opt.threads > 0) util::set_default_thread_count(opt.threads);
     obs::ScopedTimer obs_flow("flow/build_impact_model");
     const layout::Layout& lay = *inputs.layout;
     const tech::Technology& tech = *inputs.tech;

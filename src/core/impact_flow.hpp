@@ -36,6 +36,12 @@ struct FlowOptions {
     /// forwarded to sim::set_default_diag_dir(), which op/transient consult
     /// when their own TranOptions/OpOptions::diag_dir is empty.
     std::string diag_dir;
+    /// Default worker-thread count for every parallel sweep run on the
+    /// resulting impact model (AC sweeps, bench corner fan-out); forwarded
+    /// to util::set_default_thread_count().  0 keeps the current default
+    /// (the SNIM_THREADS environment override, else 1).  Sweep results are
+    /// bit-identical for every thread count.
+    int threads = 0;
 };
 
 /// Validates every FlowOptions field, raising an error that names the

@@ -4,6 +4,7 @@
 // and as the reference solver the sparse LU is validated against.
 #pragma once
 
+#include <algorithm>
 #include <complex>
 #include <vector>
 
@@ -26,6 +27,13 @@ public:
 
     size_t rows() const { return rows_; }
     size_t cols() const { return cols_; }
+
+    /// Contiguous row-major storage, for bulk operations on the whole matrix.
+    T* data() { return data_.data(); }
+    const T* data() const { return data_.data(); }
+
+    /// Sets every element to `v` in one pass over the flat storage.
+    void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
 
     T& operator()(size_t r, size_t c) {
         SNIM_ASSERT(r < rows_ && c < cols_, "index (%zu,%zu) out of (%zu,%zu)", r, c,

@@ -35,8 +35,11 @@ SparseCSC<T>::SparseCSC(const Triplets<T>& t) : n_(t.size()) {
         col.clear();
         for (int p = cp_[c]; p < cp_[c + 1]; ++p)
             col.emplace_back(ri[static_cast<size_t>(p)], vx[static_cast<size_t>(p)]);
-        std::sort(col.begin(), col.end(),
-                  [](const auto& a, const auto& b) { return a.first < b.first; });
+        // stable: duplicate (row,col) entries must merge in insertion order so
+        // a triplet-built matrix is bit-identical to the Stamper's compiled
+        // scatter path, which accumulates duplicates in stamp-sequence order.
+        std::stable_sort(col.begin(), col.end(),
+                         [](const auto& a, const auto& b) { return a.first < b.first; });
         for (size_t k = 0; k < col.size(); ++k) {
             if (k > 0 && col[k - 1].first == col[k].first) {
                 vx_.back() += col[k].second;

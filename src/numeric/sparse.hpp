@@ -23,11 +23,17 @@ public:
 
     void add(size_t row, size_t col, T value) {
         SNIM_ASSERT(row < n_ && col < n_, "triplet (%zu,%zu) out of %zu", row, col, n_);
-        if (value == T{}) return;
+        if (!keep_zeros_ && value == T{}) return;
         rows_.push_back(static_cast<int>(row));
         cols_.push_back(static_cast<int>(col));
         vals_.push_back(value);
     }
+
+    /// Record exact-zero entries instead of dropping them.  Repeated-assembly
+    /// consumers (the Stamper's compiled-CSC mode, reusable LU) need the
+    /// *structural* pattern of the stamp sequence: a position that happens to
+    /// evaluate to zero this pass can be nonzero on the next one.
+    void set_keep_zeros(bool keep) { keep_zeros_ = keep; }
 
     void clear() {
         rows_.clear();
@@ -48,6 +54,7 @@ public:
 
 private:
     size_t n_ = 0;
+    bool keep_zeros_ = false;
     std::vector<int> rows_, cols_;
     std::vector<T> vals_;
 };
@@ -67,6 +74,10 @@ public:
     /// Row indices per entry.
     const std::vector<int>& row_idx() const { return ri_; }
     const std::vector<T>& values() const { return vx_; }
+    /// Mutable value array for in-place numeric reassembly on a fixed
+    /// pattern (the Stamper's compiled-CSC scatter path).  Callers must not
+    /// change the array's length.
+    std::vector<T>& values_mut() { return vx_; }
 
     std::vector<T> multiply(const std::vector<T>& x) const;
     DenseMatrix<T> to_dense() const;

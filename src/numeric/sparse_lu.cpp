@@ -1,8 +1,11 @@
 #include "numeric/sparse_lu.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "obs/trace.hpp"
+#include "util/fault.hpp"
 
 namespace snim {
 
@@ -11,6 +14,77 @@ namespace {
 template <class T>
 double mag(const T& v) {
     return std::abs(v);
+}
+
+// Greedy minimum-degree elimination ordering on the symmetrized pattern.
+// Straightforward clique-update formulation (no quotient graph): full
+// factorizations are rare here — ReusableLU amortizes one over an entire
+// Newton/transient/AC sweep — so ordering cost is irrelevant next to the
+// refactor flops it removes.  Deterministic: min degree with lowest-index
+// tie-breaking, and once the cheapest remaining node touches everything
+// left, the tail is a clique no ordering can improve — it is flushed in
+// index order, which also bounds the clique-update cost on dense patterns.
+std::vector<int> min_degree_order(size_t n, const std::vector<int>& cp,
+                                  const std::vector<int>& ri) {
+    std::vector<std::vector<int>> adj(n);
+    for (size_t j = 0; j < n; ++j)
+        for (int p = cp[j]; p < cp[j + 1]; ++p) {
+            const int i = ri[static_cast<size_t>(p)];
+            if (i == static_cast<int>(j)) continue;
+            adj[j].push_back(i);
+            adj[static_cast<size_t>(i)].push_back(static_cast<int>(j));
+        }
+    for (auto& l : adj) {
+        std::sort(l.begin(), l.end());
+        l.erase(std::unique(l.begin(), l.end()), l.end());
+    }
+
+    std::vector<char> dead(n, 0);
+    std::vector<int> stamp(n, -1);
+    std::vector<int> order;
+    order.reserve(n);
+    std::vector<int> nv; // live neighbours of the node being eliminated
+    size_t alive = n;
+    int op = 0;
+    while (alive > 0) {
+        int v = -1;
+        size_t best = n + 1;
+        for (size_t i = 0; i < n; ++i)
+            if (!dead[i] && adj[i].size() < best) {
+                best = adj[i].size();
+                v = static_cast<int>(i);
+            }
+        if (best + 1 >= alive) { // dense tail: remaining graph is a clique
+            for (size_t i = 0; i < n; ++i)
+                if (!dead[i]) order.push_back(static_cast<int>(i));
+            break;
+        }
+        order.push_back(v);
+        dead[static_cast<size_t>(v)] = 1;
+        --alive;
+        nv.clear();
+        for (int u : adj[static_cast<size_t>(v)])
+            if (!dead[static_cast<size_t>(u)]) nv.push_back(u);
+        // Eliminating v turns its live neighbourhood into a clique: drop v
+        // (and any dead entries) from each neighbour's list, then connect
+        // the neighbours pairwise.  Lists only ever hold live nodes, so
+        // list length *is* the live degree.
+        for (int u : nv) {
+            ++op;
+            auto& au = adj[static_cast<size_t>(u)];
+            size_t w = 0;
+            for (int x : au) {
+                if (dead[static_cast<size_t>(x)]) continue;
+                au[w++] = x;
+                stamp[static_cast<size_t>(x)] = op;
+            }
+            au.resize(w);
+            stamp[static_cast<size_t>(u)] = op;
+            for (int x : nv)
+                if (stamp[static_cast<size_t>(x)] != op) au.push_back(x);
+        }
+    }
+    return order;
 }
 
 } // namespace
@@ -24,15 +98,45 @@ SparseLU<T>::SparseLU(const SparseCSC<T>& a, double pivot_tol) : n_(a.size()) {
     u_.resize(n_);
     pinv_.assign(n_, -1);
 
-    const auto& cp = a.col_ptr();
-    const auto& ri = a.row_idx();
-    const auto& vx = a.values();
+    // Apply the fill-reducing permutation symmetrically: the factorization
+    // below runs on Ap = A(perm, perm), whose columns are materialized once
+    // here (row-sorted, so the DFS visit order is deterministic).
+    perm_ = min_degree_order(n_, a.col_ptr(), a.row_idx());
+    iperm_.assign(n_, 0);
+    for (size_t k = 0; k < n_; ++k) iperm_[static_cast<size_t>(perm_[k])] = static_cast<int>(k);
+
+    const auto& acp = a.col_ptr();
+    const auto& ari = a.row_idx();
+    const auto& avx = a.values();
+    std::vector<int> cp(n_ + 1, 0);
+    std::vector<int> ri(ari.size());
+    std::vector<T> vx(avx.size());
+    {
+        std::vector<std::pair<int, T>> col;
+        int at = 0;
+        for (size_t kk = 0; kk < n_; ++kk) {
+            const auto j = static_cast<size_t>(perm_[kk]);
+            col.clear();
+            for (int p = acp[j]; p < acp[j + 1]; ++p)
+                col.emplace_back(iperm_[static_cast<size_t>(ari[static_cast<size_t>(p)])],
+                                 avx[static_cast<size_t>(p)]);
+            std::sort(col.begin(), col.end(),
+                      [](const auto& x, const auto& y) { return x.first < y.first; });
+            for (const auto& [r, v] : col) {
+                ri[static_cast<size_t>(at)] = r;
+                vx[static_cast<size_t>(at)] = v;
+                ++at;
+            }
+            cp[kk + 1] = at;
+        }
+    }
 
     std::vector<T> x(n_, T{});          // scatter workspace
     std::vector<int> topo(n_);          // xi: topological pattern of x
     std::vector<int> mark(n_, -1);      // mark[i] == k -> visited this column
     std::vector<int> stack_node(n_);    // DFS stacks
     std::vector<int> stack_ptr(n_);
+    std::vector<std::pair<int, int>> order; // (pivot idx, original row) of pivoted entries
 
     for (size_t kk = 0; kk < n_; ++kk) {
         const int k = static_cast<int>(kk);
@@ -71,15 +175,25 @@ SparseLU<T>::SparseLU(const SparseCSC<T>& a, double pivot_tol) : n_(a.size()) {
             }
         }
 
+        // Pivoted pattern entries, sorted by ascending pivot index.  This is
+        // a valid topological order (column jp only updates rows that pivot
+        // later), and — unlike the DFS post-order — it is reproducible from
+        // the stored factors alone, so refactor() can replay the exact same
+        // accumulation sequence and stay bit-identical to this constructor.
+        order.clear();
+        for (int p = top; p < static_cast<int>(n_); ++p) {
+            const int j = topo[static_cast<size_t>(p)];
+            const int jp = pinv_[static_cast<size_t>(j)];
+            if (jp >= 0) order.emplace_back(jp, j);
+        }
+        std::sort(order.begin(), order.end());
+
         // --- numeric: scatter A(:,k), then sparse forward solve ---
         for (int p = top; p < static_cast<int>(n_); ++p)
             x[static_cast<size_t>(topo[static_cast<size_t>(p)])] = T{};
         for (int p = cp[kk]; p < cp[kk + 1]; ++p)
             x[static_cast<size_t>(ri[static_cast<size_t>(p)])] = vx[static_cast<size_t>(p)];
-        for (int p = top; p < static_cast<int>(n_); ++p) {
-            const int j = topo[static_cast<size_t>(p)];
-            const int jp = pinv_[static_cast<size_t>(j)];
-            if (jp < 0) continue;
+        for (const auto& [jp, j] : order) {
             const Column& lcol = l_[static_cast<size_t>(jp)];
             const T xj = x[static_cast<size_t>(j)]; // L diagonal is 1
             // Skip the diagonal entry (index 0).
@@ -99,7 +213,8 @@ SparseLU<T>::SparseLU(const SparseCSC<T>& a, double pivot_tol) : n_(a.size()) {
                 ipiv = i;
             }
         }
-        if (ipiv < 0 || best == 0.0) raise("sparse LU: matrix singular at column %d", k);
+        if (ipiv < 0 || best == 0.0)
+            raise("sparse LU: matrix singular at column %d", perm_[kk]);
         // Prefer the diagonal when acceptable (only if row k is in the pattern).
         if (pinv_[kk] < 0 && mark[kk] == k && mag(x[kk]) >= pivot_tol * best) ipiv = k;
 
@@ -114,24 +229,22 @@ SparseLU<T>::SparseLU(const SparseCSC<T>& a, double pivot_tol) : n_(a.size()) {
         }
 
         // --- gather U(:,k) (pivoted rows) and L(:,k) (remaining rows) ---
+        // Exact zeros are kept: the stored pattern is the *symbolic* one, and
+        // refactor() relies on every structural position being present (a
+        // value that is zero this pass can be nonzero on the next).  U rows
+        // follow `order` (ascending pivot index, diagonal last) so a numeric
+        // refactor can walk the column as its update schedule.
         Column& ucol = u_[kk];
         Column& lcol = l_[kk];
-        for (int p = top; p < static_cast<int>(n_); ++p) {
-            const int i = topo[static_cast<size_t>(p)];
-            const int ip = pinv_[static_cast<size_t>(i)];
-            if (ip >= 0) {
-                if (x[static_cast<size_t>(i)] != T{})
-                    ucol.push_back({ip, x[static_cast<size_t>(i)]});
-            }
-        }
+        for (const auto& [jp, j] : order)
+            ucol.push_back({jp, x[static_cast<size_t>(j)]});
         ucol.push_back({k, pivot}); // diagonal last
         pinv_[static_cast<size_t>(ipiv)] = k;
         lcol.push_back({ipiv, T{1}}); // diagonal first
         for (int p = top; p < static_cast<int>(n_); ++p) {
             const int i = topo[static_cast<size_t>(p)];
             if (pinv_[static_cast<size_t>(i)] >= 0) continue;
-            if (x[static_cast<size_t>(i)] != T{})
-                lcol.push_back({i, x[static_cast<size_t>(i)] / pivot});
+            lcol.push_back({i, x[static_cast<size_t>(i)] / pivot});
         }
     }
 
@@ -153,11 +266,77 @@ SparseLU<T>::SparseLU(const SparseCSC<T>& a, double pivot_tol) : n_(a.size()) {
 }
 
 template <class T>
+bool SparseLU<T>::refactor(const SparseCSC<T>& a) {
+    SNIM_ASSERT(a.size() == n_, "refactor shape %zu != %zu", a.size(), n_);
+    obs::ScopedTimer obs_timer("numeric/lu_refactor");
+
+    const auto& cp = a.col_ptr();
+    const auto& ri = a.row_idx();
+    const auto& vx = a.values();
+
+    // Workspace is indexed by pivot coordinates here: every row of A maps
+    // through iperm_ (min-degree) then pinv_ (pivoting), and the stored L/U
+    // rows already live in that space.
+    std::vector<T> x(n_, T{});
+    double minp = 0.0;
+    double maxp = 0.0;
+
+    for (size_t kk = 0; kk < n_; ++kk) {
+        Column& ucol = u_[kk];
+        Column& lcol = l_[kk];
+
+        // Clear the symbolic pattern, scatter A(:,k) into pivot coordinates.
+        for (const auto& e : ucol) x[static_cast<size_t>(e.row)] = T{};
+        for (const auto& e : lcol) x[static_cast<size_t>(e.row)] = T{};
+        const auto j = static_cast<size_t>(perm_[kk]);
+        for (int p = cp[j]; p < cp[j + 1]; ++p)
+            x[static_cast<size_t>(pinv_[static_cast<size_t>(
+                iperm_[static_cast<size_t>(ri[static_cast<size_t>(p)])])])] =
+                vx[static_cast<size_t>(p)];
+
+        // Forward solve in stored U order — ascending pivot index, exactly
+        // the schedule the full constructor used, so the accumulation is
+        // bit-identical when the pivot sequence still matches.
+        for (size_t q = 0; q + 1 < ucol.size(); ++q) {
+            const int jp = ucol[q].row;
+            const T xj = x[static_cast<size_t>(jp)];
+            ucol[q].value = xj;
+            const Column& lj = l_[static_cast<size_t>(jp)];
+            for (size_t r = 1; r < lj.size(); ++r)
+                x[static_cast<size_t>(lj[r].row)] -= lj[r].value * xj;
+        }
+
+        // The pivot is fixed at pivot coordinate k by the cached sequence.
+        const T pivot = x[kk];
+        if (pivot == T{}) return false; // stale pivot hit exact zero
+        ucol.back().value = pivot;
+        for (size_t r = 1; r < lcol.size(); ++r)
+            lcol[r].value = x[static_cast<size_t>(lcol[r].row)] / pivot;
+
+        const double pmag = mag(pivot);
+        if (kk == 0) {
+            minp = maxp = pmag;
+        } else {
+            minp = std::min(minp, pmag);
+            maxp = std::max(maxp, pmag);
+        }
+    }
+
+    // Pattern and pivot sequence are unchanged, so fill_growth and
+    // pivot_swaps carry over; only the pivot magnitudes move.
+    stats_.min_pivot = minp;
+    stats_.max_pivot = maxp;
+    if (obs::enabled()) obs::record_value("numeric/lu_min_pivot", stats_.min_pivot);
+    return true;
+}
+
+template <class T>
 std::vector<T> SparseLU<T>::solve(const std::vector<T>& b) const {
     SNIM_ASSERT(b.size() == n_, "rhs size %zu != %zu", b.size(), n_);
     obs::ScopedTimer obs_timer("numeric/lu_solve");
     std::vector<T> x(n_);
-    for (size_t i = 0; i < n_; ++i) x[static_cast<size_t>(pinv_[i])] = b[i];
+    for (size_t i = 0; i < n_; ++i)
+        x[static_cast<size_t>(pinv_[i])] = b[static_cast<size_t>(perm_[i])];
     // L y = Pb (unit lower, diagonal first in each column).
     for (size_t k = 0; k < n_; ++k) {
         const T xk = x[k];
@@ -176,7 +355,9 @@ std::vector<T> SparseLU<T>::solve(const std::vector<T>& b) const {
         for (size_t q = 0; q + 1 < col.size(); ++q)
             x[static_cast<size_t>(col[q].row)] -= col[q].value * xk;
     }
-    return x;
+    std::vector<T> out(n_);
+    for (size_t j = 0; j < n_; ++j) out[static_cast<size_t>(perm_[j])] = x[j];
+    return out;
 }
 
 template <class T>
@@ -184,7 +365,10 @@ std::vector<T> SparseLU<T>::solve_transpose(const std::vector<T>& b) const {
     SNIM_ASSERT(b.size() == n_, "rhs size %zu != %zu", b.size(), n_);
     obs::ScopedTimer obs_timer("numeric/lu_solve");
     // A^T = (P^T L U)^T = U^T L^T P, so solve U^T y = b, L^T z = y, x = P^T z.
-    std::vector<T> x = b;
+    // The min-degree permutation is symmetric, so transposing commutes with
+    // it: permute b in, solve the permuted transpose, permute x back out.
+    std::vector<T> x(n_);
+    for (size_t j = 0; j < n_; ++j) x[j] = b[static_cast<size_t>(perm_[j])];
     // U^T y = b: forward substitution over columns of U used as rows.
     for (size_t k = 0; k < n_; ++k) {
         const Column& col = u_[k];
@@ -202,7 +386,8 @@ std::vector<T> SparseLU<T>::solve_transpose(const std::vector<T>& b) const {
         x[kk] = acc;
     }
     std::vector<T> out(n_);
-    for (size_t i = 0; i < n_; ++i) out[i] = x[static_cast<size_t>(pinv_[i])];
+    for (size_t i = 0; i < n_; ++i)
+        out[static_cast<size_t>(perm_[i])] = x[static_cast<size_t>(pinv_[i])];
     return out;
 }
 
@@ -214,7 +399,40 @@ size_t SparseLU<T>::nnz() const {
     return total;
 }
 
+template <class T>
+void ReusableLU<T>::full_factor(const SparseCSC<T>& a) {
+    lu_.reset(); // a throwing factorization must leave the cache empty, not stale
+    lu_ = std::make_unique<SparseLU<T>>(a, opt_.pivot_tol);
+    ref_min_pivot_ = lu_->factor_stats().min_pivot;
+    pattern_cp_ = a.col_ptr();
+    pattern_ri_ = a.row_idx();
+}
+
+template <class T>
+void ReusableLU<T>::factor(const SparseCSC<T>& a) {
+    if (!lu_ || !opt_.reuse || a.col_ptr() != pattern_cp_ || a.row_idx() != pattern_ri_) {
+        full_factor(a);
+        return;
+    }
+    // Queried first and unconditionally, so firing positions are a pure
+    // function of how many reuse opportunities the run has seen.
+    const bool forced = fault::fires("numeric.lu.repivot");
+    if (obs::enabled()) obs::count("numeric/lu_refactor");
+    const bool ok = !forced && lu_->refactor(a);
+    if (ok && lu_->factor_stats().min_pivot >= opt_.repivot_tol * ref_min_pivot_) {
+        if (obs::enabled()) obs::count("numeric/lu_symbolic_reuse");
+        return;
+    }
+    // Guard tripped (pivot degraded / exact zero / forced): the cached pivot
+    // sequence is stale — pay for one full re-pivoting factorization, which
+    // also refreshes the health reference.
+    if (obs::enabled()) obs::count("numeric/lu_repivot_fallbacks");
+    full_factor(a);
+}
+
 template class SparseLU<double>;
 template class SparseLU<std::complex<double>>;
+template class ReusableLU<double>;
+template class ReusableLU<std::complex<double>>;
 
 } // namespace snim

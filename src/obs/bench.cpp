@@ -4,12 +4,14 @@
 #include <chrono>
 #include <cstdio>
 
+#include "obs/parallel.hpp"
 #include "obs/registry.hpp"
 #include "obs/report.hpp"
 #include "obs/timeseries.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace snim::obs {
 
@@ -139,6 +141,23 @@ bool ScenarioContext::guard_corner(const std::string& tag,
     }
 }
 
+void ScenarioContext::run_corners(
+    size_t count, const std::function<void(ScenarioContext&, size_t)>& body) {
+    std::vector<ScenarioContext> corners(count);
+    for (auto& c : corners) {
+        c.quick = quick;
+        c.seed = seed;
+        c.repetition = repetition;
+        c.threads = threads;
+        c.wave_dir = wave_dir; // corner dumps write distinct slugged paths
+    }
+    parallel_tasks(threads, count, [&](size_t i) { body(corners[i], i); });
+    for (auto& c : corners) {
+        for (auto& m : c.accuracy) accuracy.push_back(std::move(m));
+        for (auto& n : c.notes) notes.push_back(std::move(n));
+    }
+}
+
 std::string ScenarioContext::dump_waves(const std::string& tag,
                                         const std::vector<WaveSignal>& signals) const {
     if (wave_dir.empty() || signals.empty()) return {};
@@ -210,6 +229,7 @@ ScenarioResult run_scenario(const Scenario& s, const BenchOptions& opt) {
         ctx.quick = opt.quick;
         ctx.seed = opt.seed;
         ctx.repetition = repetition;
+        ctx.threads = util::ThreadPool(opt.threads).thread_count();
         // Waveform dumps only on the last recorded repetition: file I/O in
         // earlier repetitions would pollute the timing statistics for no
         // extra information (repetitions are asserted deterministic).
@@ -264,6 +284,10 @@ Json bench_report_json(const std::vector<ScenarioResult>& results,
     root.emplace("tool", "snim_bench");
     root.emplace("quick", opt.quick);
     root.emplace("seed", static_cast<double>(opt.seed));
+    // Additive field (schema_version stays 1): the resolved worker-thread
+    // count the scenarios ran with.  Results are thread-count independent;
+    // runtimes are not, so baselines should note it.
+    root.emplace("threads", util::ThreadPool(opt.threads).thread_count());
     JsonArray scenarios;
     for (const auto& r : results) {
         JsonObject s;

@@ -47,6 +47,10 @@ struct ScenarioContext {
     bool quick = false;    // --quick: trimmed sweeps / captures
     uint64_t seed = 0;     // the default-Rng seed in effect
     int repetition = 0;    // 0-based, warmups excluded
+    /// Worker threads for parallel sweep corners (BenchOptions::threads
+    /// resolved through util::default_thread_count()); always >= 1.
+    /// Scenario results are bit-identical for every value.
+    int threads = 1;
     /// Waveform dump directory (--dump-waves); non-empty only on the last
     /// recorded repetition.  Scenario bodies export probe waveforms through
     /// dump_waves(); the runner exports the solver-health channels itself.
@@ -72,6 +76,16 @@ struct ScenarioContext {
     /// returning "" when wave_dir is empty.  Returns the VCD path.
     std::string dump_waves(const std::string& tag,
                            const std::vector<WaveSignal>& signals) const;
+
+    /// Fans `count` independent sweep corners out over `threads` workers.
+    /// Each corner receives a private ScenarioContext; its accuracy metrics
+    /// and notes (and, via obs::parallel_tasks, everything the corner put in
+    /// the obs registry) are merged back into this context in corner-index
+    /// order, so the scenario result is bit-identical for every thread
+    /// count.  Corner bodies must not share mutable state — rebuild the
+    /// model per corner instead of mutating one netlist.
+    void run_corners(size_t count,
+                     const std::function<void(ScenarioContext&, size_t)>& body);
 };
 
 struct Scenario {
@@ -102,6 +116,9 @@ struct BenchOptions {
     /// (probe waveforms from scenario bodies plus the solver-health
     /// channels).  Empty -> no dumps.
     std::string wave_dir;
+    /// --threads: worker threads for parallel sweep corners inside
+    /// scenarios; 0 -> util::default_thread_count() (SNIM_THREADS, else 1).
+    int threads = 0;
 };
 
 struct RuntimeStats {

@@ -1,0 +1,27 @@
+#include "obs/parallel.hpp"
+
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "util/thread_pool.hpp"
+
+namespace snim::obs {
+
+void parallel_tasks(int threads, size_t count, const std::function<void(size_t)>& body) {
+    util::ThreadPool pool(threads);
+    if (pool.thread_count() <= 1 || count <= 1) {
+        for (size_t i = 0; i < count; ++i) body(i);
+        return;
+    }
+    std::vector<TaskCapture> captures(count);
+    pool.parallel_for_indexed(count, [&](size_t i) {
+        CaptureScope scope(captures[i]);
+        body(i);
+    });
+    // Index-order commit: the registry ends up with the serial run's exact
+    // operation sequence.  Unreached on an exception — the sweep failed and
+    // its partial metrics are deliberately dropped with it.
+    for (auto& c : captures) c.commit();
+}
+
+} // namespace snim::obs

@@ -1,0 +1,28 @@
+// Observability-aware parallel sweep driver.
+//
+// parallel_tasks(threads, count, body) runs body(0..count-1) on a
+// util::ThreadPool while buffering every obs recording (counters, value
+// histograms, phases, time-series) each task makes into a per-task
+// TaskCapture, then commits the captures in task-index order after the pool
+// joins.  Registry *content* is therefore identical to a serial run for any
+// thread count — the determinism contract the sweep engines (ac_sweep, the
+// fig-8/fig-10 bench corners) rely on.  Phase *seconds* are wall time and
+// inherently vary run to run; everything else is bit-stable.
+//
+// Task contract: write results only into your own index's slot, record
+// metrics only through the obs entry points, and do not read registry state
+// mid-sweep (it is not updated until the commit pass).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace snim::obs {
+
+/// Runs body(i) for i in [0, count).  threads <= 0 selects
+/// util::default_thread_count(); an effective count of 1 (or count <= 1)
+/// runs inline on the caller with no capture indirection, which produces
+/// the same registry sequence by construction.
+void parallel_tasks(int threads, size_t count, const std::function<void(size_t)>& body);
+
+} // namespace snim::obs

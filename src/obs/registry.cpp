@@ -105,7 +105,65 @@ Registry& registry() {
     return *r;
 }
 
+thread_local TaskCapture* tl_capture = nullptr;
+
 } // namespace
+
+/// Private-member access for the capture hooks below (kept out of the
+/// header so TaskCapture's op format stays an implementation detail).
+struct CaptureAccess {
+    using Op = TaskCapture::Op;
+    static void push(TaskCapture& c, Op::Kind kind, std::string_view name, double a,
+                     double b, uint64_t delta, std::string_view unit) {
+        c.ops_.push_back({kind, std::string(name), a, b, delta, std::string(unit)});
+    }
+};
+
+CaptureScope::CaptureScope(TaskCapture& cap) : prev_(tl_capture) { tl_capture = &cap; }
+CaptureScope::~CaptureScope() { tl_capture = prev_; }
+
+void TaskCapture::commit() {
+    // Replaying through the public entry points routes into the registry —
+    // or into the committing thread's own active capture when parallel
+    // regions nest, which preserves the outer region's index ordering.
+    for (const Op& op : ops_) {
+        switch (op.kind) {
+        case Op::Count: count(op.name, op.delta); break;
+        case Op::Value: record_value(op.name, op.a); break;
+        case Op::Phase: record_phase(op.name, op.a); break;
+        case Op::Ts: ts_append(op.name, op.a, op.b, op.unit); break;
+        }
+    }
+    ops_.clear();
+}
+
+namespace detail {
+
+bool capture_count(std::string_view name, uint64_t delta) {
+    if (!tl_capture) return false;
+    CaptureAccess::push(*tl_capture, CaptureAccess::Op::Count, name, 0.0, 0.0, delta, {});
+    return true;
+}
+
+bool capture_value(std::string_view name, double value) {
+    if (!tl_capture) return false;
+    CaptureAccess::push(*tl_capture, CaptureAccess::Op::Value, name, value, 0.0, 0, {});
+    return true;
+}
+
+bool capture_phase(std::string_view name, double seconds) {
+    if (!tl_capture) return false;
+    CaptureAccess::push(*tl_capture, CaptureAccess::Op::Phase, name, seconds, 0.0, 0, {});
+    return true;
+}
+
+bool capture_ts(std::string_view channel, double t, double value, std::string_view unit) {
+    if (!tl_capture) return false;
+    CaptureAccess::push(*tl_capture, CaptureAccess::Op::Ts, channel, t, value, 0, unit);
+    return true;
+}
+
+} // namespace detail
 
 bool enabled() {
     // Touch the registry once so SNIM_OBS is honoured even if no one called
@@ -128,6 +186,7 @@ ReportMode report_mode() {
 
 void count(std::string_view name, uint64_t delta) {
     if (!enabled()) return;
+    if (detail::capture_count(name, delta)) return;
     Registry& r = registry();
     std::lock_guard<std::mutex> lock(r.mu);
     auto it = r.counters.find(name);
@@ -139,6 +198,7 @@ void count(std::string_view name, uint64_t delta) {
 
 void record_value(std::string_view name, double value) {
     if (!enabled()) return;
+    if (detail::capture_value(name, value)) return;
     Registry& r = registry();
     std::lock_guard<std::mutex> lock(r.mu);
     auto it = r.values.find(name);
@@ -148,6 +208,7 @@ void record_value(std::string_view name, double value) {
 
 void record_phase(std::string_view name, double seconds) {
     if (!enabled()) return;
+    if (detail::capture_phase(name, seconds)) return;
     Registry& r = registry();
     std::lock_guard<std::mutex> lock(r.mu);
     auto it = r.phases.find(name);

@@ -108,6 +108,63 @@ PhaseNode phase_tree();
 /// Clears every counter, histogram and phase (the enabled flag is kept).
 void reset();
 
+/// Buffers the recording calls one parallel task makes so they can be
+/// applied to the registry later, in deterministic task order.  Used by
+/// obs::parallel_tasks: each worker records through a CaptureScope, and the
+/// sweep owner commits the captures in index order after joining — the
+/// registry then holds exactly what a serial run would have produced,
+/// independent of thread count and scheduling.
+class TaskCapture {
+public:
+    TaskCapture() = default;
+    TaskCapture(TaskCapture&&) = default;
+    TaskCapture& operator=(TaskCapture&&) = default;
+
+    /// Replays the buffered operations into the registry (or into the
+    /// calling thread's own active capture, which is what makes nested
+    /// parallel regions compose).  Clears the buffer.
+    void commit();
+
+    bool empty() const { return ops_.empty(); }
+
+private:
+    friend class CaptureScope;
+    friend struct CaptureAccess; // registry.cpp internals
+    struct Op {
+        enum Kind : uint8_t { Count, Value, Phase, Ts };
+        Kind kind = Count;
+        std::string name;
+        double a = 0.0;     // value sample / phase seconds / ts time
+        double b = 0.0;     // ts value
+        uint64_t delta = 0; // counter delta
+        std::string unit;   // ts unit
+    };
+    std::vector<Op> ops_;
+};
+
+/// RAII: while alive, every obs recording made on THIS thread goes into the
+/// given TaskCapture instead of the registry.  Scopes nest per thread (the
+/// previous capture is restored on destruction).
+class CaptureScope {
+public:
+    explicit CaptureScope(TaskCapture& cap);
+    ~CaptureScope();
+    CaptureScope(const CaptureScope&) = delete;
+    CaptureScope& operator=(const CaptureScope&) = delete;
+
+private:
+    TaskCapture* prev_;
+};
+
+namespace detail {
+/// Recording-entry-point hooks: route one operation into the thread's
+/// active capture; false when none is active (record into the registry).
+bool capture_count(std::string_view name, uint64_t delta);
+bool capture_value(std::string_view name, double value);
+bool capture_phase(std::string_view name, double seconds);
+bool capture_ts(std::string_view channel, double t, double value, std::string_view unit);
+} // namespace detail
+
 #else // SNIM_OBS_ENABLED — compiled out: inline no-ops.
 
 inline bool enabled() { return false; }
@@ -126,6 +183,26 @@ inline std::vector<std::pair<std::string, ValueStats>> values_snapshot() { retur
 inline std::vector<std::pair<std::string, PhaseStats>> phases_snapshot() { return {}; }
 inline PhaseNode phase_tree() { return {}; }
 inline void reset() {}
+
+class TaskCapture {
+public:
+    void commit() {}
+    bool empty() const { return true; }
+};
+
+class CaptureScope {
+public:
+    explicit CaptureScope(TaskCapture&) {}
+    CaptureScope(const CaptureScope&) = delete;
+    CaptureScope& operator=(const CaptureScope&) = delete;
+};
+
+namespace detail {
+inline bool capture_count(std::string_view, uint64_t) { return false; }
+inline bool capture_value(std::string_view, double) { return false; }
+inline bool capture_phase(std::string_view, double) { return false; }
+inline bool capture_ts(std::string_view, double, double, std::string_view) { return false; }
+} // namespace detail
 
 #endif // SNIM_OBS_ENABLED
 

@@ -80,6 +80,9 @@ Store& store() {
 
 void ts_append(std::string_view channel, double t, double value, std::string_view unit) {
     if (!enabled()) return;
+    // Parallel-task capture first: finiteness filtering and channel state
+    // updates then happen at commit time, in deterministic task order.
+    if (detail::capture_ts(channel, t, value, unit)) return;
     if (!std::isfinite(t) || !std::isfinite(value)) {
         count("obs/ts_nonfinite_dropped");
         return;

@@ -5,6 +5,7 @@
 #include "dsp/goertzel.hpp"
 #include "dsp/window.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 #include "util/units.hpp"
 
 namespace snim::rf {
@@ -106,9 +107,17 @@ SpurResult measure_spur_spectral(const OscCapture& cap, double fnoise) {
     SpurResult out;
     out.fnoise = fnoise;
     out.fc = cap.fc;
-    out.carrier_amp = dsp::tone_amplitude(ac, cap.fs, cap.fc, w);
-    out.left_amp = dsp::tone_amplitude(ac, cap.fs, cap.fc - fnoise, w);
-    out.right_amp = dsp::tone_amplitude(ac, cap.fs, cap.fc + fnoise, w);
+    // Three independent windowed Goertzel sums over the same multi-million
+    // sample capture; each writes its own slot, so the fan-out is
+    // deterministic for any thread count.
+    const double targets[3] = {cap.fc, cap.fc - fnoise, cap.fc + fnoise};
+    double amps[3];
+    util::ThreadPool().parallel_for_indexed(3, [&](size_t i) {
+        amps[i] = dsp::tone_amplitude(ac, cap.fs, targets[i], w);
+    });
+    out.carrier_amp = amps[0];
+    out.left_amp = amps[1];
+    out.right_amp = amps[2];
     // Back out the modulation depths assuming pure FM/AM split is unknown:
     // report the FM-equivalent deviation from the sideband average.
     const double avg = 0.5 * (out.left_amp + out.right_amp);

@@ -1,12 +1,25 @@
 #include "sim/ac.hpp"
 
+#include <algorithm>
+
 #include "numeric/sparse_lu.hpp"
+#include "obs/parallel.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "sim/mna.hpp"
+#include "util/thread_pool.hpp"
 #include "util/units.hpp"
 
 namespace snim::sim {
+
+namespace {
+
+/// Pivot-health guard for the sweep's shared symbolic analysis: a refactor
+/// whose smallest pivot drops below this fraction of the reference
+/// factorization's is discarded in favour of a fresh full factorization.
+constexpr double kRepivotTol = 1e-3;
+
+} // namespace
 
 std::complex<double> AcResult::at(size_t k, circuit::NodeId node) const {
     SNIM_ASSERT(k < x.size(), "sweep index %zu out of %zu", k, x.size());
@@ -22,25 +35,83 @@ AcResult ac_sweep(circuit::Netlist& netlist, const std::vector<double>& freqs,
     netlist.finalize();
     const size_t n = netlist.unknown_count();
     SNIM_ASSERT(xop.size() == n, "operating point size mismatch");
+    for (double f : freqs) SNIM_ASSERT(f >= 0, "negative frequency");
 
     AcResult out;
     out.freq = freqs;
-    out.x.reserve(freqs.size());
-    circuit::ComplexStamper s(n);
-    for (double f : freqs) {
-        SNIM_ASSERT(f >= 0, "negative frequency");
-        s.clear();
-        assemble_ac(netlist, s, xop, units::kTwoPi * f, opt.gmin, opt.exclude);
-        SparseLU<std::complex<double>> lu(s.matrix());
-        out.x.push_back(lu.solve(s.rhs()));
-        if (obs::enabled()) {
-            // Per-point pivot health over the sweep: a dip flags the
-            // frequency where the MNA system loses conditioning.
-            obs::ts_append("sim/ac/lu_min_pivot", f, lu.factor_stats().min_pivot, "1");
-            obs::ts_append("sim/ac/lu_fill_growth", f, lu.factor_stats().fill_growth,
-                           "x");
-        }
+    out.x.assign(freqs.size(), {});
+    if (freqs.empty()) return out;
+
+    // Serial prologue: fully factor the first point.  Its symbolic analysis
+    // (pattern + pivot sequence) and min-pivot reference are shared by every
+    // worker, which makes the per-point repivot decision a pure function of
+    // the point's matrix values — independent of thread count and chunking.
+    circuit::ComplexStamper s0(n);
+    s0.enable_compiled_assembly();
+    assemble_ac(netlist, s0, xop, units::kTwoPi * freqs[0], opt.gmin, opt.exclude);
+    SparseLU<std::complex<double>> ref_lu(s0.csc());
+    const double ref_min_pivot = ref_lu.factor_stats().min_pivot;
+    out.x[0] = ref_lu.solve(s0.rhs());
+    if (obs::enabled()) {
+        // Per-point pivot health over the sweep: a dip flags the
+        // frequency where the MNA system loses conditioning.
+        obs::ts_append("sim/ac/lu_min_pivot", freqs[0], ref_min_pivot, "1");
+        obs::ts_append("sim/ac/lu_fill_growth", freqs[0],
+                       ref_lu.factor_stats().fill_growth, "x");
     }
+
+    const size_t rest = freqs.size() - 1;
+    if (rest == 0) return out;
+
+    // One task per contiguous chunk of the remaining frequencies, so each
+    // worker pays for its copy of the reference factorization once.  Chunk
+    // boundaries depend on the thread count; per-point results and the
+    // (index-order merged) obs sequence do not.
+    util::ThreadPool pool(opt.threads);
+    const size_t chunks = std::min<size_t>(pool.thread_count(), rest);
+    obs::parallel_tasks(opt.threads, chunks, [&](size_t c) {
+        const size_t lo = 1 + c * rest / chunks;
+        const size_t hi = 1 + (c + 1) * rest / chunks;
+        circuit::ComplexStamper s(n);
+        s.enable_compiled_assembly();
+        SparseLU<std::complex<double>> lu = ref_lu;
+        for (size_t i = lo; i < hi; ++i) {
+            s.clear();
+            assemble_ac(netlist, s, xop, units::kTwoPi * freqs[i], opt.gmin,
+                        opt.exclude);
+            const auto& a = s.csc();
+            double min_pivot = 0.0;
+            double fill_growth = 1.0;
+            bool reused = false;
+            if (opt.reuse_lu) {
+                if (obs::enabled()) obs::count("numeric/lu_refactor");
+                const bool ok = lu.refactor(a);
+                if (ok && lu.factor_stats().min_pivot >=
+                              kRepivotTol * ref_min_pivot) {
+                    if (obs::enabled()) obs::count("numeric/lu_symbolic_reuse");
+                    out.x[i] = lu.solve(s.rhs());
+                    min_pivot = lu.factor_stats().min_pivot;
+                    fill_growth = lu.factor_stats().fill_growth;
+                    reused = true;
+                } else if (obs::enabled()) {
+                    obs::count("numeric/lu_repivot_fallbacks");
+                }
+            }
+            if (!reused) {
+                // A fresh local factorization; the worker's reusable copy is
+                // left alone — refactor() recomputes every value, so a
+                // discarded pass leaves no numeric residue for later points.
+                SparseLU<std::complex<double>> fresh(a);
+                out.x[i] = fresh.solve(s.rhs());
+                min_pivot = fresh.factor_stats().min_pivot;
+                fill_growth = fresh.factor_stats().fill_growth;
+            }
+            if (obs::enabled()) {
+                obs::ts_append("sim/ac/lu_min_pivot", freqs[i], min_pivot, "1");
+                obs::ts_append("sim/ac/lu_fill_growth", freqs[i], fill_growth, "x");
+            }
+        }
+    });
     return out;
 }
 

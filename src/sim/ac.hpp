@@ -19,6 +19,14 @@ struct AcOptions {
     double gmin = 1e-12;
     /// Devices skipped during assembly (coupling-path ablation).
     const std::vector<const circuit::Device*>* exclude = nullptr;
+    /// Worker threads for the frequency sweep; 0 -> util::default_thread_count()
+    /// (the SNIM_THREADS environment override).  Results and recorded obs
+    /// metrics are bit-identical for every thread count.
+    int threads = 0;
+    /// Reuse the first frequency point's symbolic LU analysis (pattern +
+    /// pivot sequence) across the sweep, refreshing numeric values per point
+    /// (pivot-health guarded).  OFF forces a full factorization per point.
+    bool reuse_lu = true;
 };
 
 /// Runs the AC sweep; `xop` is a converged operating point from

@@ -226,6 +226,9 @@ void validate_tran_options(const TranOptions& opt) {
               opt.lte_reltol, opt.lte_abstol);
     if (opt.retry_history <= 0)
         raise("TranOptions.retry_history must be > 0 (got %d)", opt.retry_history);
+    if (opt.dense_crossover < 0)
+        raise("TranOptions.dense_crossover must be >= 0 (got %d)",
+              opt.dense_crossover);
 }
 
 void validate_op_options(const OpOptions& opt) {

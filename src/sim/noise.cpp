@@ -102,14 +102,18 @@ NoiseResult noise_analysis(circuit::Netlist& netlist, const std::string& output_
     std::vector<double> last_contrib(sources.size(), 0.0);
 
     circuit::ComplexStamper st(n);
+    st.enable_compiled_assembly();
+    // The AC stamp sequence is frequency-independent in shape, so one
+    // symbolic analysis serves the whole sweep (pivot-health guarded).
+    ReusableLU<std::complex<double>> rlu;
     for (double f : freqs) {
         st.clear();
         assemble_ac(netlist, st, xop, units::kTwoPi * f, opt.gmin);
-        SparseLU<std::complex<double>> lu(st.matrix());
+        rlu.factor(st.csc());
         // Adjoint solve: y = A^-T e_out gives every transfer impedance at once.
         std::vector<std::complex<double>> e(n, {0.0, 0.0});
         e[static_cast<size_t>(out_id)] = {1.0, 0.0};
-        const auto y = lu.solve_transpose(e);
+        const auto y = rlu.solve_transpose(e);
 
         double total = 0.0;
         for (size_t k = 0; k < sources.size(); ++k) {

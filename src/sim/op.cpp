@@ -42,6 +42,13 @@ bool newton_dc(circuit::Netlist& netlist, std::vector<double>& x, double gmin,
     for (const auto& d : netlist.devices()) nonlinear |= d->is_nonlinear();
 
     circuit::RealStamper s(n);
+    s.enable_compiled_assembly();
+    // The stamp sequence (including the optional anchor entries) is fixed
+    // for the duration of this solve, so the symbolic analysis and pivot
+    // sequence of the first iteration carry across the whole Newton run.
+    ReusableLU<double>::Options lu_opt;
+    lu_opt.reuse = opt.reuse_lu;
+    ReusableLU<double> rlu(lu_opt);
     for (int it = 0; it < opt.max_iter; ++it) {
         obs::ScopedTimer obs_newton("sim/op/newton");
         StepTelemetry tel;
@@ -62,10 +69,10 @@ bool newton_dc(circuit::Netlist& netlist, std::vector<double>& x, double gmin,
         try {
             if (fault::fires("op.lu.singular"))
                 raise("fault injected: op.lu.singular");
-            SparseLU<double> lu(s.matrix());
-            xn = lu.solve(s.rhs());
-            tel.lu_min_pivot = lu.factor_stats().min_pivot;
-            tel.lu_fill_growth = lu.factor_stats().fill_growth;
+            rlu.factor(s.csc());
+            xn = rlu.solve(s.rhs());
+            tel.lu_min_pivot = rlu.factor_stats().min_pivot;
+            tel.lu_fill_growth = rlu.factor_stats().fill_growth;
         } catch (const Error&) {
             tel.converged = false;
             diag.ring.push(tel);
@@ -132,8 +139,8 @@ bool newton_dc(circuit::Netlist& netlist, std::vector<double>& x, double gmin,
                 }
             }
             try {
-                SparseLU<double> lu(s.matrix());
-                xn = lu.solve(s.rhs());
+                rlu.factor(s.csc());
+                xn = rlu.solve(s.rhs());
             } catch (const Error&) {
                 diag.ring.push(tel);
                 return false;
@@ -223,6 +230,7 @@ obs::JsonObject op_options_json(const OpOptions& opt) {
     o.emplace("ptran_growth", opt.ptran_growth);
     o.emplace("ptran_steps", opt.ptran_steps);
     o.emplace("ptran_g_floor", opt.ptran_g_floor);
+    o.emplace("reuse_lu", opt.reuse_lu);
     return o;
 }
 

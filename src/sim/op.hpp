@@ -55,6 +55,12 @@ struct OpOptions {
     /// Anchor level treated as "free": once g falls below this and the
     /// pseudo-state stops moving, the rung locks in with plain Newton.
     double ptran_g_floor = 1e-9;
+
+    /// Reuse one symbolic LU analysis (pattern + pivot sequence) across the
+    /// Newton iterations of each solve, refreshing only the numeric values
+    /// (pivot-health guarded).  OFF forces a full factorization per
+    /// iteration.
+    bool reuse_lu = true;
 };
 
 /// The operating point plus how it was won.

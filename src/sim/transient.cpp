@@ -44,6 +44,8 @@ obs::JsonObject tran_options_json(const TranOptions& opt) {
     o.emplace("max_step_retries", opt.max_step_retries);
     o.emplace("dt_recovery_accepts", opt.dt_recovery_accepts);
     o.emplace("lte_control", opt.lte_control);
+    o.emplace("reuse_lu", opt.reuse_lu);
+    o.emplace("dense_crossover", opt.dense_crossover);
     return o;
 }
 
@@ -173,11 +175,18 @@ TranResult transient(circuit::Netlist& netlist, const std::vector<std::string>& 
     long averaged = 0;
     if (opt.accumulate_average) out.average.assign(n, 0.0);
 
-    // Dense fast path: for the node counts typical of a reduced impact
-    // model (< ~160 unknowns) a dense LU beats the sparse solver's per-step
-    // allocation cost by a wide margin.
-    const bool use_dense = n <= 160;
+    // Default engine: one symbolic analysis + pivot sequence computed on
+    // the first iteration, then numeric-only refactors fed by the stamper's
+    // compiled in-place CSC scatter.  The dense fast path (which used to win
+    // below ~160 unknowns purely on the sparse path's per-iteration rebuild
+    // cost) is kept for the reuse_lu=off legacy configuration.
+    const bool use_dense =
+        !opt.reuse_lu && n <= static_cast<size_t>(opt.dense_crossover);
     DenseMatrix<double> dense(use_dense ? n : 0, use_dense ? n : 0);
+    ReusableLU<double>::Options lu_opt;
+    lu_opt.reuse = opt.reuse_lu;
+    ReusableLU<double> rlu(lu_opt);
+    if (!use_dense) s.enable_compiled_assembly();
 
     const double lte_reltol = opt.lte_reltol > 0.0 ? opt.lte_reltol : opt.reltol;
     const double lte_abstol = opt.lte_abstol > 0.0 ? opt.lte_abstol : opt.vntol;
@@ -231,8 +240,7 @@ TranResult transient(circuit::Netlist& netlist, const std::vector<std::string>& 
                     if (fault::fires("tran.lu.singular"))
                         raise("fault injected: tran.lu.singular");
                     if (use_dense) {
-                        for (size_t i = 0; i < n; ++i)
-                            for (size_t j = 0; j < n; ++j) dense(i, j) = 0.0;
+                        dense.fill(0.0);
                         const auto& tri = s.matrix();
                         const auto& rows = tri.rows();
                         const auto& cols = tri.cols();
@@ -245,10 +253,10 @@ TranResult transient(circuit::Netlist& netlist, const std::vector<std::string>& 
                         tel.lu_min_pivot = lu.min_pivot();
                         tel.lu_fill_growth = 1.0; // in-place, no fill
                     } else {
-                        SparseLU<double> lu(s.matrix());
-                        xn = lu.solve(s.rhs());
-                        tel.lu_min_pivot = lu.factor_stats().min_pivot;
-                        tel.lu_fill_growth = lu.factor_stats().fill_growth;
+                        rlu.factor(s.csc());
+                        xn = rlu.solve(s.rhs());
+                        tel.lu_min_pivot = rlu.factor_stats().min_pivot;
+                        tel.lu_fill_growth = rlu.factor_stats().fill_growth;
                     }
                 } catch (const Error&) {
                     reject = Reject::singular;

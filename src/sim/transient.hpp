@@ -81,6 +81,18 @@ struct TranOptions {
     double lte_abstol = 0.0; // 0 -> vntol
     /// Last-N retry events kept for the diagnosis bundle.
     int retry_history = 64;
+
+    // --- solver hot path ------------------------------------------------
+    /// Reuse one symbolic LU analysis (sparsity pattern + pivot sequence)
+    /// across Newton iterations and steps, refreshing only the numeric
+    /// values (in-place stamp scatter + ReusableLU refactor, guarded by
+    /// pivot-health fallback).  OFF restores the historical engine: a fresh
+    /// factorization per iteration, dense below dense_crossover unknowns.
+    bool reuse_lu = true;
+    /// Largest unknown count solved with the dense LU fast path when
+    /// reuse_lu is off.  The reusable sparse path beats dense at every size
+    /// measured, so this only matters for the legacy configuration.
+    int dense_crossover = 160;
 };
 
 struct TranResult {

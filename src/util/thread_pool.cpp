@@ -1,0 +1,86 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace snim::util {
+
+namespace {
+
+std::atomic<int> g_threads{0}; // 0 = not initialised yet
+
+int clamp_threads(int n) { return std::max(1, std::min(n, 256)); }
+
+int env_default() {
+    if (const char* env = std::getenv("SNIM_THREADS")) {
+        char* end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0') return clamp_threads(static_cast<int>(v));
+    }
+    return 1;
+}
+
+} // namespace
+
+int default_thread_count() {
+    int v = g_threads.load(std::memory_order_relaxed);
+    if (v == 0) {
+        // First use adopts SNIM_THREADS (or 1).  Benign race: every thread
+        // computes the same value.
+        v = env_default();
+        g_threads.store(v, std::memory_order_relaxed);
+    }
+    return v;
+}
+
+void set_default_thread_count(int n) {
+    g_threads.store(clamp_threads(n), std::memory_order_relaxed);
+}
+
+ThreadPool::ThreadPool(int threads)
+    : threads_(threads <= 0 ? default_thread_count() : clamp_threads(threads)) {}
+
+void ThreadPool::parallel_for_indexed(size_t count,
+                                      const std::function<void(size_t)>& fn) const {
+    if (count == 0) return;
+    const size_t workers = std::min(static_cast<size_t>(threads_), count);
+    if (workers <= 1) {
+        for (size_t i = 0; i < count; ++i) fn(i);
+        return;
+    }
+
+    std::atomic<size_t> next{0};
+    std::mutex err_mu;
+    size_t err_index = count; // lowest throwing index seen so far
+    std::exception_ptr err;
+
+    auto run = [&]() {
+        for (;;) {
+            const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count) return;
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(err_mu);
+                if (i < err_index) {
+                    err_index = i;
+                    err = std::current_exception();
+                }
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (size_t t = 1; t < workers; ++t) pool.emplace_back(run);
+    run(); // the caller participates
+    for (auto& th : pool) th.join();
+    if (err) std::rethrow_exception(err);
+}
+
+} // namespace snim::util

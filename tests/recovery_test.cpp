@@ -314,6 +314,7 @@ TEST_F(RecoveryTest, RetryCountersAndDtChannelLandInRegistry) {
 TEST_F(RecoveryTest, DensePathReportsUnitFillGrowth) {
     auto nl = sine_rc_netlist(); // 3 unknowns -> dense fast path
     auto opt = sine_options();
+    opt.reuse_lu = false; // legacy engine: dense LU below dense_crossover
     opt.observe = true;
     sim::transient(nl, {"out"}, opt);
     const auto fill = obs::ts_get("sim/transient/lu_fill_growth");
