@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "obs/bench.hpp"
+#include "obs/run_ledger.hpp"
 #include "obs/trace_export.hpp"
 #include "scenarios.hpp"
 #include "sim/diagnostics.hpp"
@@ -43,6 +44,7 @@ struct Args {
     std::string baseline_path;
     std::string wave_dir;
     std::string diag_dir;
+    std::string ledger_path;
 };
 
 void usage(std::FILE* to) {
@@ -66,7 +68,10 @@ void usage(std::FILE* to) {
         "  --dump-waves DIR       write per-scenario probe waveforms and solver-\n"
         "                         health channels as VCD + CSV into DIR\n"
         "  --diag-dir DIR         write Newton-failure diagnosis bundles\n"
-        "                         (snim_diag_*.json) into DIR instead of cwd\n",
+        "                         (snim_diag_*.json) into DIR instead of cwd\n"
+        "  --ledger FILE          append a one-line run summary (manifest +\n"
+        "                         per-scenario runtime/accuracy/RSS) to the\n"
+        "                         JSONL ledger; render with `snim_report trend`\n",
         to);
 }
 
@@ -90,6 +95,7 @@ bool parse_args(int argc, char** argv, Args& a) {
         else if (arg == "--fail-on-regress") a.fail_pct = std::atof(need_value(i, "--fail-on-regress"));
         else if (arg == "--dump-waves") a.wave_dir = need_value(i, "--dump-waves");
         else if (arg == "--diag-dir") a.diag_dir = need_value(i, "--diag-dir");
+        else if (arg == "--ledger") a.ledger_path = need_value(i, "--ledger");
         else if (arg == "--help" || arg == "-h") { usage(stdout); std::exit(0); }
         else raise("unknown option '%s'", arg.c_str());
     }
@@ -141,6 +147,13 @@ int run(const Args& a) {
     if (a.threads > 0) util::set_default_thread_count(a.threads);
     if (!a.diag_dir.empty()) sim::set_default_diag_dir(a.diag_dir);
 
+    // One manifest for the whole invocation, installed before the scenario
+    // loop so every artifact (report, traces, VCDs, diag bundles) carries
+    // the same run id and config digest.
+    obs::set_current_manifest(obs::make_run_manifest(
+        "snim_bench", obs::bench_config_digest(opt), opt.seed,
+        util::ThreadPool(opt.threads).thread_count()));
+
     std::vector<obs::ScenarioResult> results;
     for (const auto* s : scenarios) {
         std::printf("[%zu/%zu] %s ...\n", results.size() + 1, scenarios.size(),
@@ -170,6 +183,11 @@ int run(const Args& a) {
     if (!a.out_path.empty()) {
         obs::write_bench_report(a.out_path, obs::bench_report_json(results, opt));
         std::printf("wrote %s\n", a.out_path.c_str());
+    }
+    if (!a.ledger_path.empty()) {
+        obs::append_ledger(a.ledger_path, obs::ledger_entry_from_report(
+                                              obs::bench_report_json(results, opt)));
+        std::printf("appended run to %s\n", a.ledger_path.c_str());
     }
     if (!a.trace_path.empty()) {
         std::vector<obs::TraceLane> lanes;

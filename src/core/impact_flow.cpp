@@ -8,6 +8,7 @@
 #include "sim/diagnostics.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
+#include "util/rng.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
 
@@ -51,6 +52,30 @@ void validate_flow_options(const FlowOptions& opt) {
         raise("FlowOptions.threads must be >= 0 (got %d)", opt.threads);
 }
 
+void digest_options(obs::ConfigDigest& d, const FlowOptions& opt) {
+    const substrate::MeshOptions& m = opt.substrate.mesh;
+    d.add("flow.substrate.mesh.fine_pitch", m.fine_pitch);
+    d.add("flow.substrate.mesh.growth", m.growth);
+    d.add("flow.substrate.mesh.max_pitch", m.max_pitch);
+    d.add("flow.substrate.mesh.focus",
+          std::vector<double>{m.focus.x0, m.focus.y0, m.focus.x1, m.focus.y1});
+    d.add("flow.substrate.mesh.z_steps", m.z_steps);
+    d.add("flow.substrate.mesh.margin", m.margin);
+    d.add("flow.substrate.mesh.max_cells_per_axis", m.max_cells_per_axis);
+    d.add("flow.substrate.drop_tol", opt.substrate.drop_tol);
+    d.add("flow.substrate.unreduced_fallback", opt.substrate.unreduced_fallback);
+    d.add("flow.interconnect.extract_resistance", opt.interconnect.extract_resistance);
+    d.add("flow.interconnect.extract_capacitance", opt.interconnect.extract_capacitance);
+    d.add("flow.interconnect.touch_resistance", opt.interconnect.touch_resistance);
+    d.add("flow.interconnect.cap_floor", opt.interconnect.cap_floor);
+    d.add("flow.interconnect.cut_pitch", opt.interconnect.cut_pitch);
+    d.add("flow.interconnect.substrate_node_set",
+          static_cast<bool>(opt.interconnect.substrate_node));
+    d.add("flow.surface_patches", opt.surface_patches);
+    d.add("flow.auto_tap_ports", opt.auto_tap_ports);
+    d.add("flow.observe", opt.observe);
+}
+
 ImpactModel build_impact_model(FlowInputs inputs, const FlowOptions& opt) {
     SNIM_ASSERT(inputs.layout != nullptr && inputs.tech != nullptr,
                 "flow needs layout and technology");
@@ -58,7 +83,16 @@ ImpactModel build_impact_model(FlowInputs inputs, const FlowOptions& opt) {
     if (opt.observe) obs::set_enabled(true);
     if (!opt.diag_dir.empty()) sim::set_default_diag_dir(opt.diag_dir);
     if (opt.threads > 0) util::set_default_thread_count(opt.threads);
-    obs::ScopedTimer obs_flow("flow/build_impact_model");
+    // Adopt the enclosing run's identity (a bench scenario already set one)
+    // or establish this flow as its own run.
+    {
+        obs::ConfigDigest digest;
+        digest_options(digest, opt);
+        obs::ensure_current_manifest("impact_flow", digest, default_rng_seed(),
+                                     util::default_thread_count());
+    }
+    obs::ScopedTimer obs_flow("flow/build_impact_model", obs::Timing::WhenEnabled,
+                              obs::Rss::Track);
     const layout::Layout& lay = *inputs.layout;
     const tech::Technology& tech = *inputs.tech;
 
@@ -141,7 +175,8 @@ ImpactModel build_impact_model(FlowInputs inputs, const FlowOptions& opt) {
     // wiring (shares tap ports / surface patches by name), then the
     // schematic (shares pin nodes), then the package.
     {
-        obs::ScopedTimer obs_stitch("flow/stitch");
+        obs::ScopedTimer obs_stitch("flow/stitch", obs::Timing::WhenEnabled,
+                                    obs::Rss::Track);
         mor::instantiate(out.substrate.reduced, out.netlist, out.substrate.port_names,
                          "sub:");
         out.netlist.absorb(std::move(ic.netlist), "", {});

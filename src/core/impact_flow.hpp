@@ -10,6 +10,7 @@
 
 #include "circuit/netlist.hpp"
 #include "interconnect/extractor.hpp"
+#include "obs/provenance.hpp"
 #include "layout/layout.hpp"
 #include "package/package.hpp"
 #include "substrate/extractor.hpp"
@@ -48,6 +49,14 @@ struct FlowOptions {
 /// offending field (surface_patches >= 1, mesh pitches positive, ...).
 /// build_impact_model() calls this before any extraction work starts.
 void validate_flow_options(const FlowOptions& opt);
+
+/// Feeds every FlowOptions field — including the nested substrate mesh and
+/// interconnect extraction options — into a provenance config digest under
+/// "flow.*" names.  The interconnect substrate_node callback is hashed as a
+/// presence bit (callables have no stable value identity).  Environment
+/// (threads) and output paths (diag_dir) are excluded: they do not change
+/// results.
+void digest_options(obs::ConfigDigest& d, const FlowOptions& opt);
 
 struct FlowInputs {
     const layout::Layout* layout = nullptr;

@@ -49,7 +49,8 @@ InterconnectModel extract_interconnect(const std::vector<layout::Shape>& shapes,
                                        const ExtractOptions& opt) {
     SNIM_ASSERT(shapes.size() == nets.shape_net.size(), "shapes/nets size mismatch");
     // Always times: extract_seconds is a public result field.
-    obs::ScopedTimer obs_timer("flow/interconnect_extract", obs::Timing::Always);
+    obs::ScopedTimer obs_timer("flow/interconnect_extract", obs::Timing::Always,
+                               obs::Rss::Track);
 
     InterconnectModel out;
     circuit::Netlist& nl = out.netlist;

@@ -19,6 +19,8 @@ DenseLU<T>::DenseLU(DenseMatrix<T> a) : lu_(std::move(a)) {
                 lu_.rows(), lu_.cols());
     obs::ScopedTimer obs_timer("numeric/dense_lu_factor");
     const size_t n = lu_.rows();
+    if (obs::enabled())
+        obs::count("numeric/dense_bytes", n * n * sizeof(T) + n * sizeof(size_t));
     perm_.resize(n);
     for (size_t i = 0; i < n; ++i) perm_[i] = i;
 

@@ -258,6 +258,10 @@ SparseLU<T>::SparseLU(const SparseCSC<T>& a, double pivot_tol) : n_(a.size()) {
 
     if (obs::enabled()) {
         obs::count("numeric/lu_pivot_swaps", pivot_swaps);
+        // Factor storage for the memory-attribution report: L + U entries
+        // plus the three permutation vectors.
+        obs::count("numeric/sparse_lu_bytes",
+                   nnz() * sizeof(Entry) + 3 * n_ * sizeof(int));
         obs::record_value("numeric/lu_fill_nnz", static_cast<double>(nnz()));
         obs::record_value("numeric/lu_dim", static_cast<double>(n_));
         obs::record_value("numeric/lu_min_pivot", stats_.min_pivot);

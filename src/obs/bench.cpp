@@ -7,6 +7,7 @@
 #include "obs/parallel.hpp"
 #include "obs/registry.hpp"
 #include "obs/report.hpp"
+#include "obs/resources.hpp"
 #include "obs/timeseries.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -209,8 +210,19 @@ RuntimeStats runtime_stats(std::vector<double> runs) {
     return st;
 }
 
+ConfigDigest bench_config_digest(const BenchOptions& opt) {
+    ConfigDigest d;
+    d.add("bench.quick", opt.quick);
+    d.add("bench.repeat_override", opt.repeat_override);
+    d.add("bench.seed", opt.seed);
+    d.add("bench.wave_dir_set", !opt.wave_dir.empty());
+    return d;
+}
+
 ScenarioResult run_scenario(const Scenario& s, const BenchOptions& opt) {
     using Clock = std::chrono::steady_clock;
+    ensure_current_manifest("snim_bench", bench_config_digest(opt), opt.seed,
+                            util::ThreadPool(opt.threads).thread_count());
     ScenarioResult result;
     result.name = s.name;
     result.kind = s.kind;
@@ -261,6 +273,7 @@ ScenarioResult run_scenario(const Scenario& s, const BenchOptions& opt) {
     result.registry = report_json();
     result.lane = registry_trace_lane(s.name);
     result.runtime = runtime_stats(std::move(result.runtime.runs_s));
+    result.peak_rss_bytes = peak_rss_bytes();
 
     // Solver-health channels of the final repetition as a VCD next to the
     // scenario's own probe dumps (non-monotone channels fall back to a
@@ -288,6 +301,18 @@ Json bench_report_json(const std::vector<ScenarioResult>& results,
     // count the scenarios ran with.  Results are thread-count independent;
     // runtimes are not, so baselines should note it.
     root.emplace("threads", util::ThreadPool(opt.threads).thread_count());
+    // Schema 2: the run's provenance manifest.  The process-wide current
+    // manifest (set by run_scenario) wins so nested flows and the report
+    // agree on one run id; a fresh one is built when nothing ran yet.
+    RunManifest manifest;
+    if (auto cur = current_manifest()) {
+        manifest = *cur;
+    } else {
+        manifest = make_run_manifest("snim_bench", bench_config_digest(opt),
+                                     opt.seed,
+                                     util::ThreadPool(opt.threads).thread_count());
+    }
+    root.emplace("manifest", manifest_json(manifest));
     JsonArray scenarios;
     for (const auto& r : results) {
         JsonObject s;
@@ -310,6 +335,8 @@ Json bench_report_json(const std::vector<ScenarioResult>& results,
         for (const auto& note : r.notes) notes.push_back(note);
         s.emplace("notes", Json(std::move(notes)));
         s.emplace("registry", r.registry);
+        if (r.peak_rss_bytes > 0)
+            s.emplace("peak_rss_bytes", static_cast<double>(r.peak_rss_bytes));
         scenarios.push_back(Json(std::move(s)));
     }
     root.emplace("scenarios", Json(std::move(scenarios)));
@@ -317,13 +344,7 @@ Json bench_report_json(const std::vector<ScenarioResult>& results,
 }
 
 void write_bench_report(const std::string& path, const Json& report) {
-    const std::string doc = report.dump(2);
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (!f) raise("cannot open '%s' for writing", path.c_str());
-    const size_t n = std::fwrite(doc.data(), 1, doc.size(), f);
-    std::fputc('\n', f);
-    std::fclose(f);
-    if (n != doc.size()) raise("short write to '%s'", path.c_str());
+    write_json_file(path, report);
 }
 
 const char* verdict_name(VerdictKind kind) {
@@ -363,9 +384,10 @@ std::vector<Verdict> compare_to_baseline(const Json& baseline,
     if (!baseline.is_object() || !baseline.contains("schema_version"))
         raise("baseline is not a snim_bench report (no schema_version)");
     const int version = static_cast<int>(baseline.at("schema_version").as_number());
-    if (version != kBenchSchemaVersion)
-        raise("baseline schema_version %d does not match this tool's %d", version,
-              kBenchSchemaVersion);
+    if (version < 1 || version > kBenchSchemaVersion)
+        raise("baseline schema_version %d is outside this tool's supported range "
+              "1..%d",
+              version, kBenchSchemaVersion);
 
     std::vector<std::pair<std::string, double>> base_medians;
     for (const auto& s : baseline.at("scenarios").as_array())

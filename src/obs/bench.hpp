@@ -22,14 +22,18 @@
 #include <vector>
 
 #include "obs/json.hpp"
+#include "obs/provenance.hpp"
 #include "obs/trace_export.hpp"
 #include "obs/vcd.hpp"
 
 namespace snim::obs {
 
-/// Version of the BENCH_*.json document layout.  Bump on breaking changes;
-/// compare_to_baseline refuses mismatching baselines.
-inline constexpr int kBenchSchemaVersion = 1;
+/// Version of the BENCH_*.json document layout.  compare_to_baseline and
+/// snim_report accept any version in [1, kBenchSchemaVersion]; readers must
+/// treat newer-version members as absent-when-missing.  History:
+///   1 — initial layout (scenarios + runtime/accuracy/registry)
+///   2 — adds the run provenance manifest and per-scenario peak_rss_bytes
+inline constexpr int kBenchSchemaVersion = 2;
 
 /// One accuracy score: a dB delta against a reference with a pass/fail
 /// tolerance (the paper's quantitative claims: 2 dB VCO, 1 dB NMOS).
@@ -143,11 +147,22 @@ struct ScenarioResult {
     std::vector<std::string> notes;       // identical on every repetition
     Json registry;   // obs::report_json() snapshot of the final repetition
     TraceLane lane;  // phase tree + counters of the final repetition
+    /// Process peak RSS sampled after the final repetition; 0 when resource
+    /// sampling is unavailable (SNIM_ENABLE_OBS=OFF or no /proc).
+    uint64_t peak_rss_bytes = 0;
 };
+
+/// Configuration digest of the resolved bench options (quick, repetition
+/// override, seed, wave dir) — the digest stored in the run manifest.
+/// Environment (thread count) is deliberately excluded: scenario results
+/// are thread-count independent, so two runs differing only in --threads
+/// are the same configuration.
+ConfigDigest bench_config_digest(const BenchOptions& opt);
 
 /// Runs warmups then repetitions; raises when accuracy metrics differ
 /// between repetitions (broken determinism).  Leaves the obs registry
 /// disabled but intact (the final repetition's data stays readable).
+/// Installs the process-wide run manifest when none is set yet.
 ScenarioResult run_scenario(const Scenario& s, const BenchOptions& opt);
 
 /// The BENCH_*.json document.
@@ -183,8 +198,8 @@ struct Verdict {
 std::vector<Verdict> accuracy_verdicts(const std::vector<ScenarioResult>& results);
 
 /// Full gate: accuracy tolerances plus median-runtime comparison against a
-/// parsed baseline BENCH_*.json at `fail_pct` percent.  Raises on a
-/// baseline with a different schema_version.
+/// parsed baseline BENCH_*.json at `fail_pct` percent.  Accepts baselines
+/// with schema_version 1..kBenchSchemaVersion; raises on anything else.
 std::vector<Verdict> compare_to_baseline(const Json& baseline,
                                          const std::vector<ScenarioResult>& results,
                                          double fail_pct);

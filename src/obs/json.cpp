@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 
 #include "util/error.hpp"
@@ -30,6 +31,22 @@ std::string json_quote(std::string_view s) {
     return out;
 }
 
+std::string json_number(double v) {
+    if (!std::isfinite(v)) return "null"; // JSON has no inf/nan
+    if (v == std::floor(v) && std::fabs(v) < 1e15) return format("%.0f", v);
+    return format("%.17g", v);
+}
+
+void write_json_file(const std::string& path, const Json& doc, int indent) {
+    const std::string text = doc.dump(indent);
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) raise("cannot open '%s' for writing", path.c_str());
+    const size_t n = std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    if (n != text.size()) raise("short write to '%s'", path.c_str());
+}
+
 const Json& Json::at(const std::string& key) const {
     SNIM_ASSERT(is_object(), "json: at('%s') on a non-object", key.c_str());
     const auto& obj = as_object();
@@ -56,14 +73,7 @@ void dump_value(const Json& j, std::string& out, int indent, int depth) {
     } else if (j.is_bool()) {
         out += j.as_bool() ? "true" : "false";
     } else if (j.is_number()) {
-        const double v = j.as_number();
-        if (!std::isfinite(v)) {
-            out += "null"; // JSON has no inf/nan
-        } else if (v == std::floor(v) && std::fabs(v) < 1e15) {
-            out += format("%.0f", v);
-        } else {
-            out += format("%.17g", v);
-        }
+        out += json_number(j.as_number());
     } else if (j.is_string()) {
         out += json_quote(j.as_string());
     } else if (j.is_array()) {

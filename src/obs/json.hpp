@@ -66,4 +66,14 @@ private:
 /// Escapes a string for embedding in JSON output (adds the quotes).
 std::string json_quote(std::string_view s);
 
+/// The one number formatter every snim JSON writer uses: "null" for
+/// NaN/Inf (JSON has neither — a bare `nan` token corrupts the document),
+/// integral values without a fraction, everything else faithful %.17g.
+std::string json_number(double v);
+
+/// Serialises `doc` (plus a trailing newline) to `path`; raises on open or
+/// short-write failure.  Shared by the bench/trace/ledger writers so the
+/// I/O error handling exists once.
+void write_json_file(const std::string& path, const Json& doc, int indent = 2);
+
 } // namespace snim::obs

@@ -131,6 +131,10 @@ void TaskCapture::commit() {
         case Op::Count: count(op.name, op.delta); break;
         case Op::Value: record_value(op.name, op.a); break;
         case Op::Phase: record_phase(op.name, op.a); break;
+        case Op::PhaseRss:
+            record_phase_rss(op.name, static_cast<int64_t>(op.a),
+                             static_cast<uint64_t>(op.b));
+            break;
         case Op::Ts: ts_append(op.name, op.a, op.b, op.unit); break;
         }
     }
@@ -154,6 +158,15 @@ bool capture_value(std::string_view name, double value) {
 bool capture_phase(std::string_view name, double seconds) {
     if (!tl_capture) return false;
     CaptureAccess::push(*tl_capture, CaptureAccess::Op::Phase, name, seconds, 0.0, 0, {});
+    return true;
+}
+
+bool capture_phase_rss(std::string_view name, int64_t delta_bytes, uint64_t peak_bytes) {
+    if (!tl_capture) return false;
+    // Byte values fit a double exactly well past any realistic RSS (2^53).
+    CaptureAccess::push(*tl_capture, CaptureAccess::Op::PhaseRss, name,
+                        static_cast<double>(delta_bytes),
+                        static_cast<double>(peak_bytes), 0, {});
     return true;
 }
 
@@ -215,6 +228,19 @@ void record_phase(std::string_view name, double seconds) {
     if (it == r.phases.end()) it = r.phases.emplace(std::string(name), PhaseStats{}).first;
     ++it->second.calls;
     it->second.seconds += seconds;
+}
+
+void record_phase_rss(std::string_view name, int64_t delta_bytes,
+                      uint64_t peak_bytes) {
+    if (!enabled()) return;
+    if (detail::capture_phase_rss(name, delta_bytes, peak_bytes)) return;
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.phases.find(name);
+    if (it == r.phases.end()) it = r.phases.emplace(std::string(name), PhaseStats{}).first;
+    ++it->second.rss_samples;
+    it->second.rss_delta_bytes += delta_bytes;
+    it->second.rss_peak_bytes = std::max(it->second.rss_peak_bytes, peak_bytes);
 }
 
 uint64_t counter_value(std::string_view name) {
@@ -288,6 +314,9 @@ PhaseNode phase_tree() {
         }
         node->calls = stats.calls;
         node->seconds = stats.seconds;
+        node->rss_samples = stats.rss_samples;
+        node->rss_delta_bytes = stats.rss_delta_bytes;
+        node->rss_peak_bytes = stats.rss_peak_bytes;
     }
     return root;
 }

@@ -50,10 +50,15 @@ struct ValueStats {
     double p95 = 0.0;
 };
 
-/// One phase accumulator: inclusive wall time and number of enter/exit pairs.
+/// One phase accumulator: inclusive wall time and number of enter/exit
+/// pairs, plus resident-set attribution for phases whose ScopedTimer was
+/// constructed with Rss::Track (rss_samples == 0 means never sampled).
 struct PhaseStats {
     uint64_t calls = 0;
     double seconds = 0.0;
+    uint64_t rss_samples = 0;    // tracked enter/exit pairs
+    int64_t rss_delta_bytes = 0; // summed RSS growth across tracked calls
+    uint64_t rss_peak_bytes = 0; // max process high-water mark observed
 };
 
 /// Node of the phase tree derived from '/'-separated phase names.  A node
@@ -64,6 +69,9 @@ struct PhaseNode {
     std::string path;                // full '/'-joined path
     uint64_t calls = 0;
     double seconds = 0.0;            // inclusive wall time of this phase
+    uint64_t rss_samples = 0;        // memory attribution (see PhaseStats)
+    int64_t rss_delta_bytes = 0;
+    uint64_t rss_peak_bytes = 0;
     std::vector<PhaseNode> children; // sorted by name
 };
 
@@ -84,6 +92,12 @@ void record_value(std::string_view name, double value);
 
 /// Accumulates one completed phase interval (normally via ScopedTimer).
 void record_phase(std::string_view name, double seconds);
+
+/// Attributes one memory sample pair to a phase: the RSS growth over the
+/// interval and the process peak observed at its end (ScopedTimer with
+/// Rss::Track records this next to the wall time).
+void record_phase_rss(std::string_view name, int64_t delta_bytes,
+                      uint64_t peak_bytes);
 
 /// Current value of a counter; 0 when absent.
 uint64_t counter_value(std::string_view name);
@@ -131,11 +145,11 @@ private:
     friend class CaptureScope;
     friend struct CaptureAccess; // registry.cpp internals
     struct Op {
-        enum Kind : uint8_t { Count, Value, Phase, Ts };
+        enum Kind : uint8_t { Count, Value, Phase, PhaseRss, Ts };
         Kind kind = Count;
         std::string name;
-        double a = 0.0;     // value sample / phase seconds / ts time
-        double b = 0.0;     // ts value
+        double a = 0.0;     // value sample / phase seconds / rss delta / ts time
+        double b = 0.0;     // rss peak / ts value
         uint64_t delta = 0; // counter delta
         std::string unit;   // ts unit
     };
@@ -162,6 +176,7 @@ namespace detail {
 bool capture_count(std::string_view name, uint64_t delta);
 bool capture_value(std::string_view name, double value);
 bool capture_phase(std::string_view name, double seconds);
+bool capture_phase_rss(std::string_view name, int64_t delta_bytes, uint64_t peak_bytes);
 bool capture_ts(std::string_view channel, double t, double value, std::string_view unit);
 } // namespace detail
 
@@ -173,6 +188,7 @@ inline ReportMode report_mode() { return ReportMode::None; }
 inline void count(std::string_view, uint64_t = 1) {}
 inline void record_value(std::string_view, double) {}
 inline void record_phase(std::string_view, double) {}
+inline void record_phase_rss(std::string_view, int64_t, uint64_t) {}
 inline uint64_t counter_value(std::string_view) { return 0; }
 inline std::optional<ValueStats> value_stats(std::string_view) { return {}; }
 inline PhaseStats phase_stats(std::string_view) { return {}; }
@@ -201,6 +217,7 @@ namespace detail {
 inline bool capture_count(std::string_view, uint64_t) { return false; }
 inline bool capture_value(std::string_view, double) { return false; }
 inline bool capture_phase(std::string_view, double) { return false; }
+inline bool capture_phase_rss(std::string_view, int64_t, uint64_t) { return false; }
 inline bool capture_ts(std::string_view, double, double, std::string_view) { return false; }
 } // namespace detail
 

@@ -2,9 +2,11 @@
 
 #if SNIM_OBS_ENABLED
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/timeseries.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
@@ -19,6 +21,10 @@ Json phase_node_json(const PhaseNode& node) {
     out.emplace("path", node.path);
     out.emplace("calls", node.calls);
     out.emplace("seconds", node.seconds);
+    if (node.rss_samples > 0) {
+        out.emplace("rss_delta_bytes", static_cast<double>(node.rss_delta_bytes));
+        out.emplace("rss_peak_bytes", static_cast<double>(node.rss_peak_bytes));
+    }
     if (!node.children.empty()) {
         JsonArray kids;
         kids.reserve(node.children.size());
@@ -26,6 +32,11 @@ Json phase_node_json(const PhaseNode& node) {
         out.emplace("children", std::move(kids));
     }
     return Json(std::move(out));
+}
+
+std::string mb_string(double bytes, bool signed_fmt) {
+    const double mb = bytes / (1024.0 * 1024.0);
+    return format(signed_fmt ? "%+.1f" : "%.1f", mb);
 }
 
 void phase_rows(const PhaseNode& node, int depth, Table& t) {
@@ -36,6 +47,12 @@ void phase_rows(const PhaseNode& node, int depth, Table& t) {
                    node.calls ? format("%.4f", node.seconds) : "-",
                    node.calls && node.seconds > 0.0
                        ? format("%.3g", node.seconds / static_cast<double>(node.calls))
+                       : "-",
+                   node.rss_samples
+                       ? mb_string(static_cast<double>(node.rss_delta_bytes), true)
+                       : "-",
+                   node.rss_samples
+                       ? mb_string(static_cast<double>(node.rss_peak_bytes), false)
                        : "-"});
     }
     for (const auto& c : node.children) phase_rows(c, depth + 1, t);
@@ -57,6 +74,10 @@ Json report_json() {
         JsonObject p;
         p.emplace("calls", stats.calls);
         p.emplace("seconds", stats.seconds);
+        if (stats.rss_samples > 0) {
+            p.emplace("rss_delta_bytes", static_cast<double>(stats.rss_delta_bytes));
+            p.emplace("rss_peak_bytes", static_cast<double>(stats.rss_peak_bytes));
+        }
         flat.emplace(name, std::move(p));
     }
     root.emplace("phases_flat", std::move(flat));
@@ -79,6 +100,31 @@ Json report_json() {
     }
     root.emplace("values", std::move(values));
 
+    // Time-series channels as summaries (full samples stay in VCD/trace
+    // exports): enough for snim_report to align channels by name and spot a
+    // channel that vanished or changed shape between runs.
+    JsonObject channels;
+    for (const auto& ts : ts_snapshot()) {
+        JsonObject c;
+        c.emplace("unit", ts.unit);
+        c.emplace("offered", ts.offered);
+        c.emplace("kept", static_cast<uint64_t>(ts.value.size()));
+        if (!ts.value.empty()) {
+            double lo = ts.value.front(), hi = ts.value.front(), sum = 0.0;
+            for (const double v : ts.value) {
+                lo = std::min(lo, v);
+                hi = std::max(hi, v);
+                sum += v;
+            }
+            c.emplace("min", lo);
+            c.emplace("max", hi);
+            c.emplace("mean", sum / static_cast<double>(ts.value.size()));
+            c.emplace("last", ts.value.back());
+        }
+        channels.emplace(ts.name, std::move(c));
+    }
+    root.emplace("timeseries", std::move(channels));
+
     JsonObject log;
     log.emplace("warnings", log_emit_count(LogLevel::Warn));
     log.emplace("infos", log_emit_count(LogLevel::Info));
@@ -92,7 +138,7 @@ std::string report_text() {
 
     const PhaseNode tree = phase_tree();
     if (!tree.children.empty()) {
-        Table phases({"phase", "calls", "seconds", "s/call"});
+        Table phases({"phase", "calls", "seconds", "s/call", "rssΔ[MB]", "peak[MB]"});
         phase_rows(tree, -1, phases);
         out += phases.to_string();
     }

@@ -1,0 +1,111 @@
+#include "obs/run_ledger.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace snim::obs {
+
+namespace {
+
+/// Counters worth trending: solver effort and degradation markers.  The
+/// full registry stays in the BENCH_*.json; the ledger keeps the ones a
+/// regression hunt actually greps for.
+bool ledger_counter(const std::string& name) {
+    return name.find("newton") != std::string::npos ||
+           name.find("lu_") != std::string::npos ||
+           name.find("retries") != std::string::npos ||
+           name.find("fallback") != std::string::npos ||
+           name.find("degraded") != std::string::npos ||
+           name.find("bytes") != std::string::npos ||
+           name.find("skipped") != std::string::npos;
+}
+
+} // namespace
+
+Json ledger_entry_from_report(const Json& report) {
+    if (!report.is_object() || !report.contains("scenarios"))
+        raise("ledger: input is not a snim_bench report (no scenarios array)");
+    JsonObject entry;
+    entry.emplace("schema_version", kLedgerSchemaVersion);
+    if (report.contains("manifest")) entry.emplace("manifest", report.at("manifest"));
+
+    JsonArray scenarios;
+    scenarios.reserve(report.at("scenarios").as_array().size());
+    for (const auto& s : report.at("scenarios").as_array()) {
+        JsonObject o;
+        o.emplace("name", s.at("name"));
+        if (s.contains("kind")) o.emplace("kind", s.at("kind"));
+        const Json& rt = s.at("runtime");
+        o.emplace("median_s", rt.at("median_s"));
+        o.emplace("min_s", rt.at("min_s"));
+
+        double max_db = 0.0;
+        bool pass = true;
+        if (s.contains("accuracy")) {
+            o.emplace("accuracy", s.at("accuracy"));
+            for (const auto& m : s.at("accuracy").as_array()) {
+                max_db = std::max(max_db, m.at("delta_db").as_number());
+                if (m.contains("pass") && m.at("pass").is_bool() &&
+                    !m.at("pass").as_bool())
+                    pass = false;
+            }
+        }
+        o.emplace("accuracy_max_db", max_db);
+        o.emplace("accuracy_pass", pass);
+
+        if (s.contains("peak_rss_bytes")) o.emplace("peak_rss_bytes", s.at("peak_rss_bytes"));
+        if (s.contains("registry") && s.at("registry").is_object()) {
+            const Json& reg = s.at("registry");
+            if (reg.contains("counters")) {
+                JsonObject kept;
+                for (const auto& [name, v] : reg.at("counters").as_object())
+                    if (ledger_counter(name)) kept.emplace(name, v);
+                o.emplace("counters", Json(std::move(kept)));
+            }
+            if (reg.contains("phases")) o.emplace("phases", reg.at("phases"));
+        }
+        scenarios.push_back(Json(std::move(o)));
+    }
+    entry.emplace("scenarios", Json(std::move(scenarios)));
+    return Json(std::move(entry));
+}
+
+void append_ledger(const std::string& path, const Json& entry) {
+    if (!entry.is_object()) raise("ledger: entry must be a JSON object");
+    const std::string line = entry.dump(-1);
+    std::FILE* f = std::fopen(path.c_str(), "a");
+    if (!f) raise("cannot open ledger '%s' for append", path.c_str());
+    const size_t n = std::fwrite(line.data(), 1, line.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    if (n != line.size()) raise("short write to ledger '%s'", path.c_str());
+}
+
+std::vector<Json> read_ledger(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) raise("cannot open ledger '%s'", path.c_str());
+    std::vector<Json> out;
+    std::string line;
+    size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        bool blank = true;
+        for (const char c : line)
+            if (c != ' ' && c != '\t' && c != '\r') {
+                blank = false;
+                break;
+            }
+        if (blank) continue;
+        try {
+            out.push_back(Json::parse(line));
+        } catch (const Error& e) {
+            raise("ledger '%s' line %zu: %s", path.c_str(), lineno, e.what());
+        }
+    }
+    return out;
+}
+
+} // namespace snim::obs

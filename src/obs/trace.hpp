@@ -11,22 +11,33 @@
 //     real durations even when recording is off; recording still only
 //     happens when enabled.  Use this for coarse once-per-run phases whose
 //     duration feeds a public result field (extraction seconds).
+//
+// Resource attribution: constructing with Rss::Track additionally samples
+// the process RSS at entry and exit (obs/resources) and records the growth
+// and peak next to the phase's wall time, so the phase tree answers "which
+// stage allocated the memory".  Sampling reads /proc once per end, so only
+// coarse once-per-run phases should track — never per-step timers.
 #pragma once
 
 #include <chrono>
 
 #include "obs/registry.hpp"
+#include "obs/resources.hpp"
 
 namespace snim::obs {
 
 enum class Timing { WhenEnabled, Always };
+enum class Rss { Off, Track };
 
 #if SNIM_OBS_ENABLED
 
 class ScopedTimer {
 public:
-    explicit ScopedTimer(std::string_view phase, Timing timing = Timing::WhenEnabled)
-        : phase_(phase), record_(enabled()), timing_(record_ || timing == Timing::Always) {
+    explicit ScopedTimer(std::string_view phase, Timing timing = Timing::WhenEnabled,
+                         Rss rss = Rss::Off)
+        : phase_(phase), record_(enabled()), timing_(record_ || timing == Timing::Always),
+          track_rss_(record_ && rss == Rss::Track) {
+        if (track_rss_) rss_start_ = sample_resources().rss_bytes;
         if (timing_) start_ = Clock::now();
     }
 
@@ -47,6 +58,13 @@ public:
         stopped_ = true;
         last_ = elapsed();
         if (record_) record_phase(phase_, last_);
+        if (track_rss_) {
+            const ResourceSample end = sample_resources();
+            record_phase_rss(phase_,
+                             static_cast<int64_t>(end.rss_bytes) -
+                                 static_cast<int64_t>(rss_start_),
+                             end.peak_rss_bytes);
+        }
         return last_;
     }
 
@@ -57,15 +75,18 @@ private:
     Clock::time_point start_;
     bool record_;
     bool timing_;
+    bool track_rss_ = false;
     bool stopped_ = false;
     double last_ = 0.0;
+    uint64_t rss_start_ = 0;
 };
 
 #else // SNIM_OBS_ENABLED — compiled out.
 
 class ScopedTimer {
 public:
-    explicit ScopedTimer(std::string_view, Timing timing = Timing::WhenEnabled)
+    explicit ScopedTimer(std::string_view, Timing timing = Timing::WhenEnabled,
+                         Rss = Rss::Off)
         : timing_(timing == Timing::Always) {
         if (timing_) start_ = Clock::now();
     }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/provenance.hpp"
 #include "util/error.hpp"
 
 namespace snim::obs {
@@ -168,6 +169,10 @@ Json chrome_trace_json(const std::vector<TraceLane>& lanes) {
     JsonObject root;
     root.emplace("displayTimeUnit", "ms");
     root.emplace("traceEvents", Json(std::move(events)));
+    // about:tracing shows otherData in the metadata pane, so the manifest
+    // rides along with the trace it describes, next to the per-lane
+    // unmatched counters ("manifest" is reserved — not a valid lane name).
+    if (auto m = current_manifest()) unmatched.emplace("manifest", manifest_json(*m));
     if (!unmatched.empty()) root.emplace("otherData", Json(std::move(unmatched)));
     return Json(std::move(root));
 }
@@ -182,13 +187,7 @@ TraceLane registry_trace_lane(const std::string& name) {
 }
 
 void write_chrome_trace(const std::string& path, const std::vector<TraceLane>& lanes) {
-    const std::string doc = chrome_trace_json(lanes).dump(1);
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (!f) raise("cannot open '%s' for writing", path.c_str());
-    const size_t n = std::fwrite(doc.data(), 1, doc.size(), f);
-    std::fputc('\n', f);
-    std::fclose(f);
-    if (n != doc.size()) raise("short write to '%s'", path.c_str());
+    write_json_file(path, chrome_trace_json(lanes), 1);
 }
 
 } // namespace snim::obs

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/provenance.hpp"
 #include "util/error.hpp"
 
 namespace snim::obs {
@@ -80,6 +81,12 @@ std::string vcd_document(const std::vector<WaveSignal>& signals, double timescal
 
     std::ostringstream out;
     out << "$comment snim waveform export $end\n";
+    // Provenance comments: which run and configuration produced this dump.
+    // Parsers (including ours) skip $comment blocks, so this is additive.
+    if (auto m = current_manifest()) {
+        out << "$comment run " << m->run_id << " $end\n";
+        out << "$comment config " << m->config_digest << " $end\n";
+    }
     out << "$timescale " << label << " $end\n";
     out << "$scope module snim $end\n";
     for (size_t i = 0; i < signals.size(); ++i) {

@@ -30,7 +30,7 @@ std::complex<double> AcResult::at(size_t k, circuit::NodeId node) const {
 
 AcResult ac_sweep(circuit::Netlist& netlist, const std::vector<double>& freqs,
                   const std::vector<double>& xop, const AcOptions& opt) {
-    obs::ScopedTimer obs_run("sim/ac");
+    obs::ScopedTimer obs_run("sim/ac", obs::Timing::WhenEnabled, obs::Rss::Track);
     obs::count("sim/ac/points", freqs.size());
     netlist.finalize();
     const size_t n = netlist.unknown_count();

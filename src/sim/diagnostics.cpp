@@ -5,7 +5,6 @@
 #include <cmath>
 #include <cstdio>
 #include <limits>
-#include <sys/stat.h>
 
 #include "obs/report.hpp"
 #include "util/error.hpp"
@@ -56,11 +55,6 @@ obs::Json wave_tail_json(const TranResult& r, size_t tail) {
     return obs::Json(std::move(waves));
 }
 
-bool file_exists(const std::string& path) {
-    struct stat st;
-    return ::stat(path.c_str(), &st) == 0;
-}
-
 } // namespace
 
 StepTelemetryRing::StepTelemetryRing(size_t capacity)
@@ -86,10 +80,62 @@ void set_default_diag_dir(std::string dir) { diag_dir_store() = std::move(dir); 
 
 const std::string& default_diag_dir() { return diag_dir_store(); }
 
+void digest_options(obs::ConfigDigest& d, const TranOptions& opt) {
+    d.add("tran.tstop", opt.tstop);
+    d.add("tran.dt", opt.dt);
+    d.add("tran.order", opt.order);
+    d.add("tran.gmin", opt.gmin);
+    d.add("tran.max_newton", opt.max_newton);
+    d.add("tran.reltol", opt.reltol);
+    d.add("tran.vntol", opt.vntol);
+    d.add("tran.dv_max", opt.dv_max);
+    d.add("tran.record_start", opt.record_start);
+    d.add("tran.record_stride", opt.record_stride);
+    d.add("tran.initial", opt.initial);
+    d.add("tran.be_startup_steps", opt.be_startup_steps);
+    d.add("tran.accumulate_average", opt.accumulate_average);
+    d.add("tran.observe", opt.observe);
+    d.add("tran.diag_bundle", opt.diag_bundle);
+    d.add("tran.diag_tail", opt.diag_tail);
+    d.add("tran.diag_wave_tail", opt.diag_wave_tail);
+    d.add("tran.adaptive", opt.adaptive);
+    d.add("tran.dt_min", opt.dt_min);
+    d.add("tran.max_step_retries", opt.max_step_retries);
+    d.add("tran.dt_recovery_accepts", opt.dt_recovery_accepts);
+    d.add("tran.lte_control", opt.lte_control);
+    d.add("tran.lte_reltol", opt.lte_reltol);
+    d.add("tran.lte_abstol", opt.lte_abstol);
+    d.add("tran.retry_history", opt.retry_history);
+    d.add("tran.reuse_lu", opt.reuse_lu);
+    d.add("tran.dense_crossover", opt.dense_crossover);
+}
+
+void digest_options(obs::ConfigDigest& d, const OpOptions& opt) {
+    d.add("op.max_iter", opt.max_iter);
+    d.add("op.reltol", opt.reltol);
+    d.add("op.vntol", opt.vntol);
+    d.add("op.gmin", opt.gmin);
+    d.add("op.dv_max", opt.dv_max);
+    d.add("op.gmin_stepping", opt.gmin_stepping);
+    d.add("op.initial", opt.initial);
+    d.add("op.diag_bundle", opt.diag_bundle);
+    d.add("op.diag_tail", opt.diag_tail);
+    d.add("op.source_stepping", opt.source_stepping);
+    d.add("op.source_steps", opt.source_steps);
+    d.add("op.pseudo_transient", opt.pseudo_transient);
+    d.add("op.ptran_g0", opt.ptran_g0);
+    d.add("op.ptran_growth", opt.ptran_growth);
+    d.add("op.ptran_steps", opt.ptran_steps);
+    d.add("op.ptran_g_floor", opt.ptran_g_floor);
+    d.add("op.reuse_lu", opt.reuse_lu);
+}
+
 obs::Json diagnosis_json(const FailureDiagnosis& d) {
     obs::JsonObject root;
     root.emplace("schema_version", kDiagSchemaVersion);
     root.emplace("tool", "snim");
+    if (auto m = obs::current_manifest())
+        root.emplace("manifest", obs::manifest_json(*m));
     root.emplace("engine", d.engine);
     root.emplace("reason", d.reason);
     root.emplace("fail_time", d.fail_time);
@@ -135,14 +181,20 @@ std::string write_diagnosis_bundle(const FailureDiagnosis& d, const std::string&
     if (base.empty()) base = ".";
     try {
         const std::string doc = diagnosis_json(d).dump(1);
+        // Filenames carry the run id (or a process-unique token when no
+        // manifest is set yet) so parallel sweeps — and concurrent processes
+        // sharing the directory — never fight over a sequence number; "wx"
+        // (O_CREAT|O_EXCL) makes the claim atomic instead of the old
+        // stat-then-open race, which lost bundles under parallel workers.
+        std::string token;
+        if (auto m = obs::current_manifest()) token = m->run_id;
+        if (token.empty()) token = obs::process_run_token();
         std::string path;
         std::FILE* f = nullptr;
-        // The sequence counter is process-global; probe past files left by
-        // other processes sharing the directory.
         for (int attempt = 0; attempt < 10000 && !f; ++attempt) {
-            path = format("%s/snim_diag_%s_%04d.json", base.c_str(),
-                          d.engine.c_str(), seq.fetch_add(1));
-            if (!file_exists(path)) f = std::fopen(path.c_str(), "w");
+            path = format("%s/snim_diag_%s_%s_%04d.json", base.c_str(),
+                          d.engine.c_str(), token.c_str(), seq.fetch_add(1));
+            f = std::fopen(path.c_str(), "wx");
         }
         if (!f) return {};
         const size_t n = std::fwrite(doc.data(), 1, doc.size(), f);

@@ -21,6 +21,7 @@
 
 #include "circuit/netlist.hpp"
 #include "obs/json.hpp"
+#include "obs/provenance.hpp"
 #include "sim/op.hpp"
 #include "sim/transient.hpp"
 
@@ -106,7 +107,10 @@ const std::string& default_diag_dir();
 /// wave tails, obs registry snapshot).
 obs::Json diagnosis_json(const FailureDiagnosis& d);
 
-/// Serialises the bundle to `<dir>/snim_diag_<engine>_<seq>.json` (dir
+/// Serialises the bundle to `<dir>/snim_diag_<engine>_<run>_<seq>.json`
+/// where `<run>` is the current manifest's run id (or a process-unique
+/// token when no manifest is set) — parallel sweeps in separate processes
+/// cannot collide, and O_EXCL creation guards the remaining window (dir
 /// empty -> default_diag_dir() -> ".").  Returns the path, or an empty
 /// string when writing failed — never throws.
 std::string write_diagnosis_bundle(const FailureDiagnosis& d,
@@ -120,6 +124,15 @@ std::vector<std::pair<std::string, double>> worst_unknowns(
 
 /// Unknown index -> diagnostic name (node name or "branch:<k>"); -1 -> "".
 std::string unknown_name(const circuit::Netlist& netlist, int index);
+
+/// Feeds every TranOptions field into a provenance config digest under
+/// "tran.*" names.  Any option change — tolerance, integration order, the
+/// retry ladder, LU reuse — changes the digest, so artifacts from different
+/// configurations never compare as like-for-like.
+void digest_options(obs::ConfigDigest& d, const TranOptions& opt);
+
+/// Same for OpOptions under "op.*" names.
+void digest_options(obs::ConfigDigest& d, const OpOptions& opt);
 
 /// Validates every TranOptions field, raising an error that names the
 /// offending field.  transient() calls this; it is exposed so callers can

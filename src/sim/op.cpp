@@ -238,7 +238,7 @@ obs::JsonObject op_options_json(const OpOptions& opt) {
 
 OpResult operating_point_ex(circuit::Netlist& netlist, const OpOptions& opt) {
     validate_op_options(opt);
-    obs::ScopedTimer obs_run("sim/op");
+    obs::ScopedTimer obs_run("sim/op", obs::Timing::WhenEnabled, obs::Rss::Track);
     netlist.finalize();
     const size_t n = netlist.unknown_count();
     std::vector<double> x0 = opt.initial;

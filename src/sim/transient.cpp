@@ -125,7 +125,8 @@ TranResult transient(circuit::Netlist& netlist, const std::vector<std::string>& 
                      const TranOptions& opt) {
     validate_tran_options(opt);
     if (opt.observe) obs::set_enabled(true);
-    obs::ScopedTimer obs_run("sim/transient");
+    obs::ScopedTimer obs_run("sim/transient", obs::Timing::WhenEnabled,
+                             obs::Rss::Track);
     netlist.finalize();
     const size_t n = netlist.unknown_count();
 

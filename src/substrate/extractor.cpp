@@ -20,7 +20,8 @@ SubstrateModel extract_substrate(const geom::Rect& area,
     SNIM_ASSERT(!ports.empty(), "substrate extraction needs at least one port");
     // Always times (not just when obs is on): extract_seconds is a public
     // result field that predates the registry and stays populated.
-    obs::ScopedTimer obs_timer("flow/substrate_extract", obs::Timing::Always);
+    obs::ScopedTimer obs_timer("flow/substrate_extract", obs::Timing::Always,
+                               obs::Rss::Track);
 
     Mesh mesh(area, profile, opt.mesh);
 
@@ -29,6 +30,12 @@ SubstrateModel extract_substrate(const geom::Rect& area,
     if (obs::enabled()) {
         obs::record_value("substrate/mesh_nodes", static_cast<double>(mesh.node_count()));
         obs::count("substrate/ports", ports.size());
+        // Mesh footprint: the assembled RC network dominates (edge vectors
+        // are O(nx + ny)); this is what peak-RSS deltas attribute to here.
+        const auto& net = mesh.network();
+        obs::count("substrate/mesh_bytes",
+                   (net.conductances.size() + net.capacitances.size()) *
+                       sizeof(mor::RcNetwork::Elem));
     }
 
     std::vector<int> port_nodes;

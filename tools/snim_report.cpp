@@ -1,0 +1,161 @@
+// snim_report — cross-run comparison front-end.
+//
+//   snim_report diff  OLD.json NEW.json [--tol-runtime PCT] [--tol-accuracy DB]
+//                     [--tol-rss PCT] [--tol-counter PCT] [--limit N]
+//                     [--fail-on-regress]
+//   snim_report trend LEDGER.jsonl [--last N] [--html FILE]
+//   snim_report show  RUN.json
+//
+// `diff` aligns two BENCH_*.json reports (schema 1 or 2) by scenario and
+// metric name, prints the ranked regression table, and — only under
+// --fail-on-regress — exits 1 when any metric regressed beyond tolerance,
+// which is how CI gates on it.  `trend` renders a snim_bench --ledger
+// history as sparklines (text) or a self-contained HTML page with a
+// collapsible phase flame view.  `show` pretty-prints a single report's
+// manifest and scenarios.  Exit codes: 0 ok, 1 gated regression, 2 usage
+// or I/O error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/compare.hpp"
+#include "obs/json.hpp"
+#include "obs/run_ledger.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace snim;
+using namespace snim::obs;
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+    if (msg) std::fprintf(stderr, "snim_report: %s\n\n", msg);
+    std::fputs(
+        "usage:\n"
+        "  snim_report diff OLD.json NEW.json [options]\n"
+        "      --tol-runtime PCT   runtime noise tolerance, percent (default 25)\n"
+        "      --tol-accuracy DB   accuracy noise tolerance, dB (default 0.05)\n"
+        "      --tol-rss PCT       peak-RSS noise tolerance, percent (default 30)\n"
+        "      --tol-counter PCT   counter tolerance, percent (default 0)\n"
+        "      --limit N           show at most N non-regression rows\n"
+        "      --fail-on-regress   exit 1 when anything regressed beyond tolerance\n"
+        "  snim_report trend LEDGER.jsonl [--last N] [--html FILE]\n"
+        "  snim_report show RUN.json\n",
+        stderr);
+    std::exit(2);
+}
+
+double parse_double(const char* flag, const char* value) {
+    if (!value) usage(format("%s needs a value", flag).c_str());
+    char* end = nullptr;
+    const double v = std::strtod(value, &end);
+    if (end == value || *end != '\0')
+        usage(format("%s: bad number '%s'", flag, value).c_str());
+    return v;
+}
+
+Json load_json(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) raise("cannot open '%s'", path.c_str());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return Json::parse(ss.str());
+}
+
+int cmd_diff(int argc, char** argv) {
+    std::vector<std::string> files;
+    DiffTolerances tol;
+    size_t limit = 0;
+    bool fail_on_regress = false;
+    for (int i = 0; i < argc; ++i) {
+        const std::string a = argv[i];
+        const char* next = i + 1 < argc ? argv[i + 1] : nullptr;
+        if (a == "--tol-runtime") tol.runtime_pct = parse_double(argv[i], next), ++i;
+        else if (a == "--tol-accuracy") tol.accuracy_db = parse_double(argv[i], next), ++i;
+        else if (a == "--tol-rss") tol.rss_pct = parse_double(argv[i], next), ++i;
+        else if (a == "--tol-counter") tol.counter_pct = parse_double(argv[i], next), ++i;
+        else if (a == "--limit") limit = static_cast<size_t>(parse_double(argv[i], next)), ++i;
+        else if (a == "--fail-on-regress") fail_on_regress = true;
+        else if (!a.empty() && a[0] == '-') usage(format("unknown flag '%s'", a.c_str()).c_str());
+        else files.push_back(a);
+    }
+    if (files.size() != 2) usage("diff needs exactly two report files");
+
+    const ReportDiff d = diff_reports(load_json(files[0]), load_json(files[1]), tol);
+    std::fputs(diff_table(d, limit).c_str(), stdout);
+    if (diff_has_regression(d)) {
+        if (fail_on_regress) {
+            std::fputs("FAIL: regression beyond tolerance\n", stdout);
+            return 1;
+        }
+        std::fputs("note: regression beyond tolerance "
+                   "(pass --fail-on-regress to gate on it)\n",
+                   stdout);
+    }
+    return 0;
+}
+
+int cmd_trend(int argc, char** argv) {
+    std::string ledger_path, html_path;
+    size_t last = 0;
+    for (int i = 0; i < argc; ++i) {
+        const std::string a = argv[i];
+        const char* next = i + 1 < argc ? argv[i + 1] : nullptr;
+        if (a == "--last") last = static_cast<size_t>(parse_double(argv[i], next)), ++i;
+        else if (a == "--html") {
+            if (!next) usage("--html needs a file name");
+            html_path = next;
+            ++i;
+        } else if (!a.empty() && a[0] == '-') {
+            usage(format("unknown flag '%s'", a.c_str()).c_str());
+        } else if (ledger_path.empty()) {
+            ledger_path = a;
+        } else {
+            usage("trend takes one ledger file");
+        }
+    }
+    if (ledger_path.empty()) usage("trend needs a ledger file");
+
+    std::vector<Json> entries = read_ledger(ledger_path);
+    if (last > 0 && entries.size() > last)
+        entries.erase(entries.begin(),
+                      entries.begin() + static_cast<long>(entries.size() - last));
+
+    std::fputs(trend_text(entries).c_str(), stdout);
+    if (!html_path.empty()) {
+        const std::string doc = trend_html(entries);
+        std::FILE* f = std::fopen(html_path.c_str(), "w");
+        if (!f) raise("cannot open '%s' for writing", html_path.c_str());
+        const size_t n = std::fwrite(doc.data(), 1, doc.size(), f);
+        std::fclose(f);
+        if (n != doc.size()) raise("short write to '%s'", html_path.c_str());
+        std::printf("HTML trend written to %s\n", html_path.c_str());
+    }
+    return 0;
+}
+
+int cmd_show(int argc, char** argv) {
+    if (argc != 1 || argv[0][0] == '-') usage("show needs one report file");
+    std::fputs(show_report(load_json(argv[0])).c_str(), stdout);
+    return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) usage();
+    const std::string cmd = argv[1];
+    try {
+        if (cmd == "diff") return cmd_diff(argc - 2, argv + 2);
+        if (cmd == "trend") return cmd_trend(argc - 2, argv + 2);
+        if (cmd == "show") return cmd_show(argc - 2, argv + 2);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "snim_report: %s\n", e.what());
+        return 2;
+    }
+    usage(format("unknown command '%s'", cmd.c_str()).c_str());
+}
