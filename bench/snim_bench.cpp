@@ -10,6 +10,8 @@
 // and a Chrome trace, and gates against a baseline report.  Exit status:
 // 0 gate passes, 1 a scenario regressed or missed its accuracy tolerance,
 // 2 usage error.
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,11 +21,16 @@
 #include <vector>
 
 #include "obs/bench.hpp"
+#include "obs/events.hpp"
+#include "obs/profiler.hpp"
+#include "obs/progress.hpp"
 #include "obs/run_ledger.hpp"
 #include "obs/trace_export.hpp"
+#include "obs/watchdog.hpp"
 #include "scenarios.hpp"
 #include "sim/diagnostics.hpp"
 #include "util/error.hpp"
+#include "util/log.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -45,6 +52,12 @@ struct Args {
     std::string wave_dir;
     std::string diag_dir;
     std::string ledger_path;
+    std::string log_level;
+    std::string events_path;
+    std::string profile_path;
+    std::string watchdog_spec;
+    bool status = false;    // --status: force the live TTY line on
+    bool no_status = false; // --no-status: force it off
 };
 
 void usage(std::FILE* to) {
@@ -71,7 +84,18 @@ void usage(std::FILE* to) {
         "                         (snim_diag_*.json) into DIR instead of cwd\n"
         "  --ledger FILE          append a one-line run summary (manifest +\n"
         "                         per-scenario runtime/accuracy/RSS) to the\n"
-        "                         JSONL ledger; render with `snim_report trend`\n",
+        "                         JSONL ledger; render with `snim_report trend`\n"
+        "  --log-level LEVEL      debug|info|warn|quiet (default: SNIM_LOG, else warn)\n"
+        "  --events FILE          stream the live event journal as JSONL to FILE\n"
+        "                         (stderr or - select stderr); also SNIM_EVENTS\n"
+        "  --profile FILE         sample phase stacks (~200 Hz) and write folded\n"
+        "                         stacks for flamegraph.pl to FILE; also SNIM_PROFILE\n"
+        "  --watchdog SPEC        stall_s[,hang_s[,abort]] — warn after stall_s\n"
+        "                         quiet seconds, bundle (and optionally abort)\n"
+        "                         after hang_s; also SNIM_WATCHDOG\n"
+        "  --status / --no-status force the live one-line progress display on or\n"
+        "                         off (default: on when stderr is a terminal and\n"
+        "                         any live telemetry is active)\n",
         to);
 }
 
@@ -96,13 +120,68 @@ bool parse_args(int argc, char** argv, Args& a) {
         else if (arg == "--dump-waves") a.wave_dir = need_value(i, "--dump-waves");
         else if (arg == "--diag-dir") a.diag_dir = need_value(i, "--diag-dir");
         else if (arg == "--ledger") a.ledger_path = need_value(i, "--ledger");
+        else if (arg == "--log-level") a.log_level = need_value(i, "--log-level");
+        else if (arg == "--events") a.events_path = need_value(i, "--events");
+        else if (arg == "--profile") a.profile_path = need_value(i, "--profile");
+        else if (arg == "--watchdog") a.watchdog_spec = need_value(i, "--watchdog");
+        else if (arg == "--status") a.status = true;
+        else if (arg == "--no-status") a.no_status = true;
         else if (arg == "--help" || arg == "-h") { usage(stdout); std::exit(0); }
         else raise("unknown option '%s'", arg.c_str());
     }
     if (a.repeat < 0) raise("--repeat must be positive");
     if (a.threads < 0) raise("--threads must be >= 0");
     if (a.fail_pct <= 0) raise("--fail-on-regress must be a positive percentage");
+    if (!a.log_level.empty() && !parse_log_level(a.log_level))
+        raise("--log-level wants debug|info|warn|quiet, got '%s'",
+              a.log_level.c_str());
     return true;
+}
+
+obs::WatchdogOptions parse_watchdog_spec(const std::string& spec) {
+    obs::WatchdogOptions opt;
+    char* end = nullptr;
+    opt.stall_s = std::strtod(spec.c_str(), &end);
+    if (end == spec.c_str() || opt.stall_s <= 0.0)
+        raise("--watchdog wants stall_s[,hang_s[,abort]], got '%s'", spec.c_str());
+    if (*end == ',') {
+        const char* rest = end + 1;
+        opt.hang_s = std::strtod(rest, &end);
+        if (end == rest) opt.hang_s = 0.0;
+        if (*end == ',' && std::strcmp(end + 1, "abort") == 0)
+            opt.abort_on_hang = true;
+    }
+    return opt;
+}
+
+/// Live single-line status on stderr, rewritten in place on each heartbeat.
+void tty_status_observer(const obs::HeartbeatInfo& hb) {
+    char line[160];
+    int n;
+    if (hb.total > 0) {
+        n = std::snprintf(line, sizeof(line),
+                          "\r[%s] %5.1f%%  %llu/%llu  eta %.0fs  rss %.0f MB",
+                          hb.phase.c_str(), hb.percent,
+                          static_cast<unsigned long long>(hb.done),
+                          static_cast<unsigned long long>(hb.total),
+                          hb.eta_s < 0 ? 0.0 : hb.eta_s,
+                          static_cast<double>(hb.rss_bytes) / (1024.0 * 1024.0));
+    } else {
+        n = std::snprintf(line, sizeof(line), "\r[%s] %llu done  rss %.0f MB",
+                          hb.phase.c_str(),
+                          static_cast<unsigned long long>(hb.done),
+                          static_cast<double>(hb.rss_bytes) / (1024.0 * 1024.0));
+    }
+    if (n < 0) return;
+    // Pad to overwrite the previous (possibly longer) line.
+    while (n < 78 && n + 1 < static_cast<int>(sizeof(line))) line[n++] = ' ';
+    std::fwrite(line, 1, static_cast<size_t>(n), stderr);
+    std::fflush(stderr);
+}
+
+void clear_tty_status() {
+    std::fprintf(stderr, "\r%78s\r", "");
+    std::fflush(stderr);
 }
 
 obs::Json read_json_file(const std::string& path) {
@@ -147,6 +226,19 @@ int run(const Args& a) {
     if (a.threads > 0) util::set_default_thread_count(a.threads);
     if (!a.diag_dir.empty()) sim::set_default_diag_dir(a.diag_dir);
 
+    // Live telemetry: the env pieces (SNIM_EVENTS/SNIM_PROFILE/SNIM_WATCHDOG/
+    // SNIM_LASTGASP) first, then the explicit flags on top.
+    obs::init_live_from_env();
+    if (!a.log_level.empty()) set_log_level(*parse_log_level(a.log_level));
+    if (!a.events_path.empty()) obs::set_event_stream_path(a.events_path);
+    if (!a.profile_path.empty()) obs::start_profiler({});
+    if (!a.watchdog_spec.empty())
+        obs::start_watchdog(parse_watchdog_spec(a.watchdog_spec));
+    const bool live = obs::events_active() || obs::profiler_running();
+    const bool tty_status =
+        !a.no_status && (a.status || (live && isatty(STDERR_FILENO)));
+    if (tty_status) obs::set_heartbeat_observer(tty_status_observer);
+
     // One manifest for the whole invocation, installed before the scenario
     // loop so every artifact (report, traces, VCDs, diag bundles) carries
     // the same run id and config digest.
@@ -176,8 +268,22 @@ int run(const Args& a) {
                           s->name.c_str(), r.accuracy[i].name.c_str(),
                           r.accuracy[i].delta_db, r2.accuracy[i].delta_db);
         }
+        if (tty_status) clear_tty_status();
         print_scenario_result(r);
         results.push_back(std::move(r));
+    }
+    if (tty_status) {
+        obs::set_heartbeat_observer({});
+        clear_tty_status();
+    }
+
+    // Freeze the profiler before report/trace emission so both embed the
+    // same counts, then write the folded stacks for flamegraph.pl.
+    if (!a.profile_path.empty()) {
+        obs::stop_profiler();
+        obs::write_folded(a.profile_path, obs::profiler_snapshot());
+        std::printf("wrote %s (feed to flamegraph.pl or speedscope)\n",
+                    a.profile_path.c_str());
     }
 
     if (!a.out_path.empty()) {
@@ -192,7 +298,12 @@ int run(const Args& a) {
     if (!a.trace_path.empty()) {
         std::vector<obs::TraceLane> lanes;
         for (const auto& r : results) lanes.push_back(r.lane);
-        obs::write_chrome_trace(a.trace_path, lanes);
+        obs::Json trace = obs::chrome_trace_json(lanes);
+        // Sampled folded stacks ride along under a custom top-level key;
+        // Chrome/Perfetto ignore keys they don't know.
+        if (const obs::FoldedProfile p = obs::profiler_snapshot(); p.samples > 0)
+            trace.as_object().emplace("snimProfile", obs::profile_json(p));
+        obs::write_json_file(a.trace_path, trace);
         std::printf("wrote %s (load in chrome://tracing or ui.perfetto.dev)\n",
                     a.trace_path.c_str());
     }
@@ -225,9 +336,12 @@ int main(int argc, char** argv) {
         return 2;
     }
     try {
-        return run(a);
+        const int rc = run(a);
+        obs::shutdown_live();
+        return rc;
     } catch (const Error& e) {
         std::fprintf(stderr, "snim_bench: %s\n", e.what());
+        obs::shutdown_live();
         return 1;
     }
 }

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "circuit/sources.hpp"
+#include "obs/events.hpp"
 #include "rf/spur.hpp"
 #include "testcases/vco.hpp"
 #include "util/units.hpp"
@@ -11,6 +12,7 @@
 using namespace snim;
 
 int main() {
+    obs::init_live_from_env();
     auto vco = testcases::build_vco();
     auto model = testcases::build_model(std::move(vco), testcases::vco_flow_options());
     auto& nl = model.netlist;

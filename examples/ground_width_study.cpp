@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "core/impact_model.hpp"
+#include "obs/events.hpp"
 #include "testcases/vco.hpp"
 #include "util/table.hpp"
 
@@ -11,6 +12,7 @@ using namespace snim;
 using testcases::VcoTestcase;
 
 int main() {
+    obs::init_live_from_env();
     printf("=== ground strap width study (the paper's design advice) ===\n\n");
 
     Table t({"strap width [um]", "ground wiring [squares]", "K_src [Hz/V]",

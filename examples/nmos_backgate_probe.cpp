@@ -9,6 +9,7 @@
 #include "core/report.hpp"
 #include "layout/io.hpp"
 #include "numeric/vecops.hpp"
+#include "obs/events.hpp"
 #include "sim/op.hpp"
 #include "sim/transfer.hpp"
 #include "testcases/nmos_structure.hpp"
@@ -19,6 +20,7 @@ using namespace snim;
 using testcases::NmosStructure;
 
 int main() {
+    obs::init_live_from_env();
     auto structure = testcases::build_nmos_structure();
 
     // The layout is an ordinary artifact: dump it for inspection.

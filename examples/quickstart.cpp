@@ -6,6 +6,7 @@
 #include "circuit/spice_parser.hpp"
 #include "circuit/spice_writer.hpp"
 #include "numeric/vecops.hpp"
+#include "obs/events.hpp"
 #include "sim/ac.hpp"
 #include "sim/op.hpp"
 #include "sim/transfer.hpp"
@@ -18,6 +19,7 @@
 using namespace snim;
 
 int main() {
+    obs::init_live_from_env();
     // A common-source amplifier with an RC load, written as SPICE text.
     const std::string deck = R"(quickstart: common-source amplifier
 Vdd vdd 0 1.8

@@ -16,6 +16,7 @@
 #include "circuit/sources.hpp"
 #include "core/contribution.hpp"
 #include "obs/bench.hpp"
+#include "obs/events.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "obs/vcd.hpp"
@@ -118,6 +119,7 @@ void walk_through(obs::ScenarioContext& ctx) {
 } // namespace
 
 int main() {
+    obs::init_live_from_env();
     set_log_level(LogLevel::Info);
 
     obs::Scenario s;

@@ -4,7 +4,10 @@
 #include <chrono>
 #include <cstdio>
 
+#include "obs/events.hpp"
 #include "obs/parallel.hpp"
+#include "obs/profiler.hpp"
+#include "obs/progress.hpp"
 #include "obs/registry.hpp"
 #include "obs/report.hpp"
 #include "obs/resources.hpp"
@@ -152,7 +155,13 @@ void ScenarioContext::run_corners(
         c.threads = threads;
         c.wave_dir = wave_dir; // corner dumps write distinct slugged paths
     }
-    parallel_tasks(threads, count, [&](size_t i) { body(corners[i], i); });
+    // Corner-level heartbeats; the registry stays untouched (corner results
+    // merge deterministically below, independent of completion order).
+    ProgressScope progress("bench/corners", count);
+    parallel_tasks(threads, count, [&](size_t i) {
+        body(corners[i], i);
+        progress.advance();
+    });
     for (auto& c : corners) {
         for (auto& m : c.accuracy) accuracy.push_back(std::move(m));
         for (auto& n : c.notes) notes.push_back(std::move(n));
@@ -233,6 +242,12 @@ ScenarioResult run_scenario(const Scenario& s, const BenchOptions& opt) {
                                                  : s.repeat;
     result.warmup = opt.quick ? 0 : s.warmup;
 
+    // One progress unit per repetition (warmup included), so a multi-rep
+    // scenario heartbeats even when each repetition is fast.
+    ProgressScope progress("bench/" + s.name,
+                           static_cast<uint64_t>(result.warmup) +
+                               static_cast<uint64_t>(result.repetitions));
+
     auto one_rep = [&](int repetition, bool record) {
         set_default_rng_seed(opt.seed);
         reset();
@@ -265,8 +280,14 @@ ScenarioResult run_scenario(const Scenario& s, const BenchOptions& opt) {
         }
     };
 
-    for (int w = 0; w < result.warmup; ++w) one_rep(-1 - w, false);
-    for (int r = 0; r < result.repetitions; ++r) one_rep(r, true);
+    for (int w = 0; w < result.warmup; ++w) {
+        one_rep(-1 - w, false);
+        progress.advance();
+    }
+    for (int r = 0; r < result.repetitions; ++r) {
+        one_rep(r, true);
+        progress.advance();
+    }
 
     // The final repetition's registry is left intact (but disabled) so the
     // caller can still read phase_seconds()/report_text() after we return.
@@ -340,6 +361,20 @@ Json bench_report_json(const std::vector<ScenarioResult>& results,
         scenarios.push_back(Json(std::move(s)));
     }
     root.emplace("scenarios", Json(std::move(scenarios)));
+    // Schema 3: the event-journal tail (when live telemetry ran), so the
+    // report alone answers "what was the run saying near the end".
+    JsonArray events;
+    for (const std::string& line : event_tail()) {
+        try {
+            events.push_back(Json::parse(line));
+        } catch (const Error&) {
+            // Torn/overwritten ring record; skip.
+        }
+    }
+    if (!events.empty()) root.emplace("events", Json(std::move(events)));
+    // Schema 3: folded-stack sample counts when the sampling profiler ran.
+    if (const FoldedProfile profile = profiler_snapshot(); profile.samples > 0)
+        root.emplace("profile", profile_json(profile));
     return Json(std::move(root));
 }
 

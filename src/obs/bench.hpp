@@ -33,7 +33,10 @@ namespace snim::obs {
 /// treat newer-version members as absent-when-missing.  History:
 ///   1 — initial layout (scenarios + runtime/accuracy/registry)
 ///   2 — adds the run provenance manifest and per-scenario peak_rss_bytes
-inline constexpr int kBenchSchemaVersion = 2;
+///   3 — adds the live-telemetry tail: "events" (event-journal records,
+///       oldest first) and "profile" (folded-stack sample counts when the
+///       sampling profiler ran); both empty/absent when telemetry was off
+inline constexpr int kBenchSchemaVersion = 3;
 
 /// One accuracy score: a dB delta against a reference with a pass/fail
 /// tolerance (the paper's quantitative claims: 2 dB VCO, 1 dB NMOS).

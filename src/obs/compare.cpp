@@ -664,4 +664,62 @@ std::string show_report(const Json& report) {
     return out;
 }
 
+std::string show_events(const Json& report, size_t top_stacks) {
+    std::string out;
+    if (!report.contains("events") || !report.at("events").is_array() ||
+        report.at("events").as_array().empty()) {
+        out += "no event journal in this document (run with SNIM_EVENTS or "
+               "--events to record one)\n";
+    } else {
+        const JsonArray& events = report.at("events").as_array();
+        out += format("event journal tail (%zu records):\n", events.size());
+        Table t({"seq", "t[s]", "lvl", "comp", "code", "detail"});
+        for (const Json& e : events) {
+            if (!e.is_object()) continue;
+            // The kv payload, flattened to "k=v k=v" for one table cell.
+            std::string detail;
+            if (e.contains("kv") && e.at("kv").is_object()) {
+                for (const auto& [k, v] : e.at("kv").as_object()) {
+                    if (!detail.empty()) detail += ' ';
+                    detail += k + '=';
+                    if (v.is_string()) detail += v.as_string();
+                    else if (v.is_bool()) detail += v.as_bool() ? "true" : "false";
+                    else if (v.is_number()) detail += format("%.4g", v.as_number());
+                    else detail += "?";
+                }
+            }
+            if (num_or(e, "truncated", 0.0) != 0.0 ||
+                (e.contains("truncated") && e.at("truncated").is_bool() &&
+                 e.at("truncated").as_bool()))
+                detail = "(kv truncated)";
+            t.add_row({format("%.0f", num_or(e, "seq", 0.0)),
+                       format("%.3f", num_or(e, "ts", 0.0)),
+                       str_or(e, "lvl", "?"), str_or(e, "comp", "?"),
+                       str_or(e, "code", "?"), detail});
+        }
+        out += t.to_string();
+    }
+
+    if (report.contains("profile") && report.at("profile").is_object() &&
+        report.at("profile").contains("stacks")) {
+        const Json& profile = report.at("profile");
+        const double samples = num_or(profile, "samples", 0.0);
+        out += format("top sampled stacks (%.0f samples at %.0f Hz):\n", samples,
+                      num_or(profile, "hz", 0.0));
+        std::vector<std::pair<std::string, double>> stacks;
+        for (const auto& [stack, count] : profile.at("stacks").as_object())
+            if (count.is_number()) stacks.emplace_back(stack, count.as_number());
+        std::sort(stacks.begin(), stacks.end(),
+                  [](const auto& a, const auto& b) { return a.second > b.second; });
+        if (top_stacks > 0 && stacks.size() > top_stacks) stacks.resize(top_stacks);
+        Table t({"samples", "share", "stack"});
+        for (const auto& [stack, count] : stacks)
+            t.add_row({format("%.0f", count),
+                       samples > 0 ? format("%.1f%%", 100.0 * count / samples) : "-",
+                       stack});
+        out += t.to_string();
+    }
+    return out;
+}
+
 } // namespace snim::obs

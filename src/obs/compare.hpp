@@ -99,4 +99,11 @@ std::string trend_html(const std::vector<Json>& ledger);
 /// accuracy table, and the phase tree (with RSS columns when present).
 std::string show_report(const Json& report);
 
+/// Pretty-prints a document's live-telemetry tail: the "events" array
+/// (schema-3 BENCH reports, v3 diag bundles, watchdog bundles) as a
+/// time/level/component table, followed by the top sampled stacks when a
+/// "profile" member is present.  Works on any of the three document kinds;
+/// says so when the document carries no events.
+std::string show_events(const Json& report, size_t top_stacks = 10);
+
 } // namespace snim::obs

@@ -1,0 +1,88 @@
+// Per-thread live phase stacks: who is doing what, right now.
+//
+// The obs registry stores *aggregated* phase times; this module tracks the
+// *current* stack of open ScopedTimer phases per thread, in a form that two
+// asynchronous consumers can read safely:
+//
+//   * the sampling profiler (obs/profiler) reads all stacks at ~200 Hz and
+//     folds them into flamegraph counts,
+//   * the crash last-gasp handler (obs/lastgasp) dumps them with nothing
+//     but write(2) from inside a signal handler.
+//
+// To make both possible, frames are COPIED into fixed per-slot char arrays
+// on push (names can point at dying stack strings otherwise) and all
+// indices are atomics.  A thread claims one of kMaxThreads slots on its
+// first push and releases it at thread exit, so short-lived pool workers
+// recycle slots.
+//
+// Tracking is off by default: push() is one relaxed load when disabled, so
+// per-Newton-iteration timers stay cheap.  start_profiler / start_watchdog
+// / install_last_gasp enable it.  Reader caveat: a sampler can observe a
+// frame mid-overwrite and read a garbled (but always NUL-bounded) name;
+// for a statistical profiler one bad sample in millions is noise, and the
+// seq-checked event ring is used where exactness matters.
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef SNIM_OBS_ENABLED
+#define SNIM_OBS_ENABLED 1
+#endif
+
+namespace snim::obs::phase_stack {
+
+inline constexpr int kMaxDepth = 32;    // frames per thread
+inline constexpr int kMaxThreads = 64;  // concurrently tracked threads
+inline constexpr int kFrameBytes = 64;  // frame name bytes incl. NUL
+
+/// One thread's stack as copied out by sample_all().
+struct ThreadStack {
+    int slot = -1;
+    std::vector<std::string> frames; // outermost first
+};
+
+#if SNIM_OBS_ENABLED
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}
+
+/// One relaxed load; ScopedTimer checks this before calling push().
+inline bool enabled() { return detail::g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on);
+
+/// Pushes one frame onto the calling thread's stack.  Returns false (and
+/// records nothing) when disabled, out of slots, or past kMaxDepth — the
+/// caller must pop() only after a true return.
+bool push(std::string_view frame);
+void pop();
+
+/// Depth of the calling thread's stack (0 when it never pushed).
+int depth();
+
+/// Snapshot of every live thread stack (slots with depth > 0).  Not
+/// async-signal-safe; profiler/watchdog threads use this.
+std::vector<ThreadStack> sample_all();
+
+/// Async-signal-safe: writes every live stack to `fd` as one JSONL line per
+/// thread: {"phase_stack":{"slot":3,"stack":"a;b;c"}}.  Returns the number
+/// of stacks written.  Only write(2) and byte copies — last-gasp safe.
+size_t write_stacks_fd(int fd);
+
+#else // SNIM_OBS_ENABLED — compiled out: inline no-ops.
+
+inline bool enabled() { return false; }
+inline void set_enabled(bool) {}
+inline bool push(std::string_view) { return false; }
+inline void pop() {}
+inline int depth() { return 0; }
+inline std::vector<ThreadStack> sample_all() { return {}; }
+inline size_t write_stacks_fd(int) { return 0; }
+
+#endif // SNIM_OBS_ENABLED
+
+} // namespace snim::obs::phase_stack

@@ -1,0 +1,93 @@
+// Phase-stack sampling profiler: a wall-clock flamegraph of a run, built
+// from the instrumentation the codebase already has.
+//
+// A timer thread wakes ~200 times a second, snapshots every live per-thread
+// ScopedTimer stack (obs/phasestack), and folds each into a semicolon-joined
+// key under a common "snim" root:
+//
+//   snim;bench/scenario;sim/transient;sim/transient/newton 1831
+//
+// That is exactly the "folded stacks" format flamegraph.pl and speedscope
+// ingest, so `write_folded()` output feeds standard tooling directly; the
+// same counts are embedded in Chrome traces (top-level "snimProfile" key,
+// ignored by the viewers) and in BENCH reports.
+//
+// Compared to the registry's phase tree (exact inclusive timings of every
+// phase), sampling answers a different question — "where was the time when
+// I looked?" — and keeps working when a phase never exits, which is what
+// the watchdog cares about.  Sampling is statistical: a tick that lands
+// mid-push may read one garbled frame; with thousands of samples that is
+// noise by construction.
+//
+// Cost when running: one sample_all() per tick on the profiler thread; the
+// solver threads pay only the (relaxed-load-gated) phase-stack pushes.
+// Idle cost: zero — starting the profiler is what enables stack tracking.
+// Env: SNIM_PROFILE=out.folded (see init_live_from_env).  Inline no-ops
+// under -DSNIM_ENABLE_OBS=OFF.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/json.hpp"
+
+#ifndef SNIM_OBS_ENABLED
+#define SNIM_OBS_ENABLED 1
+#endif
+
+namespace snim::obs {
+
+struct ProfilerOptions {
+    double hz = 200.0; // sampling rate, clamped to [1, 1000]
+};
+
+/// Accumulated folded-stack counts.  `samples` counts every tick (idle
+/// ticks fold to the bare "snim" root), so sum(counts) == samples.
+struct FoldedProfile {
+    double hz = 0.0;
+    uint64_t samples = 0;
+    std::map<std::string, uint64_t> counts; // "snim;a;b" -> ticks observed
+};
+
+#if SNIM_OBS_ENABLED
+
+/// Starts the sampler thread (idempotent; restarting keeps accumulating
+/// into the same counts) and enables phase-stack tracking.
+void start_profiler(const ProfilerOptions& options = {});
+
+/// Stops and joins the sampler thread.  Counts are kept for snapshotting.
+void stop_profiler();
+
+bool profiler_running();
+
+/// Copy of the counts accumulated so far (callable while running).
+FoldedProfile profiler_snapshot();
+
+/// Drops all accumulated counts.  Test isolation / per-scenario resets.
+void reset_profiler();
+
+/// flamegraph.pl input: one "stack count" line per entry, sorted by stack.
+std::string folded_text(const FoldedProfile& profile);
+
+/// Writes folded_text() to `path`; raises snim::Error on I/O failure.
+void write_folded(const std::string& path, const FoldedProfile& profile);
+
+/// {"hz":...,"samples":...,"stacks":{"snim;a;b":n,...}} — the form merged
+/// into Chrome traces and BENCH reports.
+Json profile_json(const FoldedProfile& profile);
+
+#else // SNIM_OBS_ENABLED — compiled out: inline no-ops.
+
+inline void start_profiler(const ProfilerOptions& = {}) {}
+inline void stop_profiler() {}
+inline bool profiler_running() { return false; }
+inline FoldedProfile profiler_snapshot() { return {}; }
+inline void reset_profiler() {}
+inline std::string folded_text(const FoldedProfile&) { return {}; }
+inline void write_folded(const std::string&, const FoldedProfile&) {}
+inline Json profile_json(const FoldedProfile&) { return Json(); }
+
+#endif // SNIM_OBS_ENABLED
+
+} // namespace snim::obs

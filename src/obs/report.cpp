@@ -179,15 +179,14 @@ void write_env_report() {
             const std::string path = env && *env ? env : "snim_obs_report.json";
             FILE* f = std::fopen(path.c_str(), "w");
             if (!f) {
-                std::fprintf(stderr, "[snim obs] cannot write report to '%s'\n",
-                             path.c_str());
+                log_warn("obs: cannot write report to '%s'", path.c_str());
                 return;
             }
             const std::string doc = report_json().dump(2);
             std::fwrite(doc.data(), 1, doc.size(), f);
             std::fputc('\n', f);
             std::fclose(f);
-            std::fprintf(stderr, "[snim obs] run report written to %s\n", path.c_str());
+            log_info("obs: run report written to %s", path.c_str());
             return;
         }
     }

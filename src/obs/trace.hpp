@@ -21,6 +21,7 @@
 
 #include <chrono>
 
+#include "obs/phasestack.hpp"
 #include "obs/registry.hpp"
 #include "obs/resources.hpp"
 
@@ -39,6 +40,9 @@ public:
           track_rss_(record_ && rss == Rss::Track) {
         if (track_rss_) rss_start_ = sample_resources().rss_bytes;
         if (timing_) start_ = Clock::now();
+        // Live phase stack for the sampling profiler / watchdog / crash
+        // handler; one relaxed load when nothing live is running.
+        if (phase_stack::enabled()) stack_pushed_ = phase_stack::push(phase);
     }
 
     ScopedTimer(const ScopedTimer&) = delete;
@@ -57,6 +61,10 @@ public:
         if (stopped_) return last_;
         stopped_ = true;
         last_ = elapsed();
+        if (stack_pushed_) {
+            phase_stack::pop();
+            stack_pushed_ = false;
+        }
         if (record_) record_phase(phase_, last_);
         if (track_rss_) {
             const ResourceSample end = sample_resources();
@@ -76,6 +84,7 @@ private:
     bool record_;
     bool timing_;
     bool track_rss_ = false;
+    bool stack_pushed_ = false;
     bool stopped_ = false;
     double last_ = 0.0;
     uint64_t rss_start_ = 0;

@@ -4,6 +4,7 @@
 
 #include "numeric/sparse_lu.hpp"
 #include "obs/parallel.hpp"
+#include "obs/progress.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "sim/mna.hpp"
@@ -46,12 +47,14 @@ AcResult ac_sweep(circuit::Netlist& netlist, const std::vector<double>& freqs,
     // (pattern + pivot sequence) and min-pivot reference are shared by every
     // worker, which makes the per-point repivot decision a pure function of
     // the point's matrix values — independent of thread count and chunking.
+    obs::ProgressScope progress("sim/ac", freqs.size());
     circuit::ComplexStamper s0(n);
     s0.enable_compiled_assembly();
     assemble_ac(netlist, s0, xop, units::kTwoPi * freqs[0], opt.gmin, opt.exclude);
     SparseLU<std::complex<double>> ref_lu(s0.csc());
     const double ref_min_pivot = ref_lu.factor_stats().min_pivot;
     out.x[0] = ref_lu.solve(s0.rhs());
+    progress.advance();
     if (obs::enabled()) {
         // Per-point pivot health over the sweep: a dip flags the
         // frequency where the MNA system loses conditioning.
@@ -110,6 +113,9 @@ AcResult ac_sweep(circuit::Netlist& netlist, const std::vector<double>& freqs,
                 obs::ts_append("sim/ac/lu_min_pivot", freqs[i], min_pivot, "1");
                 obs::ts_append("sim/ac/lu_fill_growth", freqs[i], fill_growth, "x");
             }
+            // Heartbeat bookkeeping only — never the obs registry, so the
+            // merged observation sequence stays thread-count independent.
+            progress.advance();
         }
     });
     return out;

@@ -1,6 +1,7 @@
 #include "sim/dc_sweep.hpp"
 
 #include "circuit/sources.hpp"
+#include "obs/progress.hpp"
 #include "obs/registry.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -17,6 +18,7 @@ DcSweepResult dc_sweep(circuit::Netlist& netlist, const std::string& source_name
     out.values = values;
     out.x.reserve(values.size());
     OpOptions o = opt;
+    obs::ProgressScope progress("sim/dc_sweep", values.size());
     try {
         for (size_t k = 0; k < values.size(); ++k) {
             src->set_waveform(circuit::Waveform::dc(values[k]));
@@ -38,6 +40,7 @@ DcSweepResult dc_sweep(circuit::Netlist& netlist, const std::string& source_name
             }
             o.initial = x; // continuation
             out.x.push_back(std::move(x));
+            progress.advance();
         }
     } catch (...) {
         src->set_waveform(saved);

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <limits>
 
+#include "obs/events.hpp"
 #include "obs/report.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -172,6 +173,17 @@ obs::Json diagnosis_json(const FailureDiagnosis& d) {
 
     if (d.partial) root.emplace("waves", wave_tail_json(*d.partial, d.wave_tail));
     root.emplace("registry", obs::report_json());
+    // Schema 3: the event-journal tail, when live telemetry was on — the
+    // run's last heartbeats and warnings right next to the failure.
+    obs::JsonArray events;
+    for (const std::string& line : obs::event_tail()) {
+        try {
+            events.push_back(obs::Json::parse(line));
+        } catch (const Error&) {
+            // Torn/overwritten ring record; skip.
+        }
+    }
+    if (!events.empty()) root.emplace("events", obs::Json(std::move(events)));
     return obs::Json(std::move(root));
 }
 

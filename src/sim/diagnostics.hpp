@@ -30,7 +30,9 @@ namespace snim::sim {
 /// Version of the snim_diag_*.json document layout.
 /// v2: telemetry rows gained "dt", bundles gained "retry_history" /
 /// "total_step_retries" (transient) and "rungs" (op).
-inline constexpr int kDiagSchemaVersion = 2;
+/// v3: bundles gained "events" — the live event-journal tail (absent when
+/// telemetry was off).
+inline constexpr int kDiagSchemaVersion = 3;
 
 /// Telemetry of one solver step (a transient step attempt, a DC Newton
 /// attempt, an AC frequency point).

@@ -1,11 +1,14 @@
 #include "sim/transient.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
+#include <thread>
 
 #include "numeric/sparse_lu.hpp"
 #include "numeric/vecops.hpp"
+#include "obs/progress.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "sim/diagnostics.hpp"
@@ -199,6 +202,10 @@ TranResult transient(circuit::Netlist& netlist, const std::vector<std::string>& 
     double dt_prev = 0.0;      // accepted step before the current one (LTE)
     bool lte_ok = true;        // last accepted step passed the LTE gate
 
+    // Live progress over the nominal grid (heartbeats/ETA); inert unless
+    // the event journal or a heartbeat observer is active.
+    obs::ProgressScope progress("sim/transient", static_cast<uint64_t>(nsteps));
+
     for (long step = 1; step <= nsteps; ++step) {
         // Position within the nominal step in units of dt / 2^level.  The
         // step completes when k reaches 2^level; regrowth halves both the
@@ -305,9 +312,16 @@ TranResult transient(circuit::Netlist& netlist, const std::vector<std::string>& 
             ring.push(tel);
             // A fired slow-step fault marks the attempt as pathologically
             // slow in the health lanes (queried unconditionally so firing
-            // positions don't depend on whether the registry is on).
-            if (fault::fires("tran.slow_step"))
+            // positions don't depend on whether the registry is on) and
+            // actually stalls the thread, so watchdog tests can induce a
+            // real hang.  Sleeping cannot change numeric results.
+            if (fault::fires("tran.slow_step")) {
                 obs::record_value("sim/transient/slow_step_s", 1.0);
+                const double stall_s = fault::slow_step_seconds();
+                if (stall_s > 0.0)
+                    std::this_thread::sleep_for(
+                        std::chrono::duration<double>(stall_s));
+            }
             if (obs::enabled()) {
                 obs::count("sim/transient/steps");
                 obs::record_value("sim/transient/newton_per_step", tel.newton_iters);
@@ -410,6 +424,7 @@ TranResult transient(circuit::Netlist& netlist, const std::vector<std::string>& 
                 ++averaged;
             }
         }
+        progress.advance();
     }
     if (averaged > 0)
         for (auto& v : out.average) v /= static_cast<double>(averaged);

@@ -173,6 +173,33 @@ std::vector<FaultSpec> armed() {
     return out;
 }
 
+namespace {
+
+double initial_slow_step_seconds() {
+    if (const char* env = std::getenv("SNIM_FAULT_SLOW_MS"); env && *env) {
+        char* end = nullptr;
+        const double ms = std::strtod(env, &end);
+        if (end != env && ms >= 0.0) return ms / 1000.0;
+        log_warn("ignoring malformed SNIM_FAULT_SLOW_MS '%s'", env);
+    }
+    return 0.25;
+}
+
+std::atomic<double>& slow_step_store() {
+    static std::atomic<double>* s = new std::atomic<double>(initial_slow_step_seconds());
+    return *s;
+}
+
+} // namespace
+
+double slow_step_seconds() {
+    return slow_step_store().load(std::memory_order_relaxed);
+}
+
+void set_slow_step_seconds(double seconds) {
+    slow_step_store().store(seconds < 0.0 ? 0.0 : seconds, std::memory_order_relaxed);
+}
+
 } // namespace snim::fault
 
 #endif // SNIM_FAULTS_ENABLED

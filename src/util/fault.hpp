@@ -69,6 +69,14 @@ long trips(std::string_view point);
 /// Every armed window (for diagnostics output and tests).
 std::vector<FaultSpec> armed();
 
+/// How long a fired "tran.slow_step" fault stalls the solver thread, in
+/// seconds.  Default 0.25 s, overridable via SNIM_FAULT_SLOW_MS (read once)
+/// or set_slow_step_seconds(); the watchdog tests shrink their stall budget
+/// below this so one fired window reliably trips a stall.  Sleeping never
+/// changes numeric results — only wall time.
+double slow_step_seconds();
+void set_slow_step_seconds(double seconds);
+
 #else // SNIM_FAULTS_ENABLED — compiled out: inline no-ops.
 
 inline FaultSpec parse_spec(std::string_view) { return {}; }
@@ -79,6 +87,8 @@ inline constexpr bool fires(std::string_view) { return false; }
 inline long queries(std::string_view) { return 0; }
 inline long trips(std::string_view) { return 0; }
 inline std::vector<FaultSpec> armed() { return {}; }
+inline double slow_step_seconds() { return 0.0; }
+inline void set_slow_step_seconds(double) {}
 
 #endif // SNIM_FAULTS_ENABLED
 

@@ -3,15 +3,33 @@
 #include <atomic>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 namespace snim {
 
 namespace {
 
-LogLevel g_level = LogLevel::Warn;
-LogSink g_sink; // empty -> default stderr sink
+LogSink g_sink;   // empty -> default stderr sink
+LogSink g_mirror; // empty -> no mirror tap
 std::atomic<size_t> g_emitted[4] = {};
+
+char ascii_lower(char c) { return c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c; }
+
+/// SNIM_LOG is consulted exactly once, on the first level read; a malformed
+/// value falls back to the Warn default (and cannot warn about itself
+/// without recursing into the logger, so it is silently ignored).
+LogLevel initial_level() {
+    const char* env = std::getenv("SNIM_LOG");
+    if (env && *env)
+        if (auto lvl = parse_log_level(env)) return *lvl;
+    return LogLevel::Warn;
+}
+
+LogLevel& level_ref() {
+    static LogLevel level = initial_level();
+    return level;
+}
 
 const char* tag_of(LogLevel level) {
     switch (level) {
@@ -25,29 +43,49 @@ const char* tag_of(LogLevel level) {
 
 void emit(LogLevel level, const char* fmt, va_list ap) {
     g_emitted[static_cast<size_t>(level)].fetch_add(1, std::memory_order_relaxed);
-    if (!g_sink) {
-        std::fprintf(stderr, "[snim %s] ", tag_of(level));
-        std::vfprintf(stderr, fmt, ap);
-        std::fputc('\n', stderr);
-        return;
-    }
+    // Compose once: the sink, the default stderr path and the mirror all
+    // need the formatted text.
     va_list ap2;
     va_copy(ap2, ap);
     const int need = std::vsnprintf(nullptr, 0, fmt, ap2);
     va_end(ap2);
     std::vector<char> buf(static_cast<size_t>(need < 0 ? 0 : need) + 1);
     std::vsnprintf(buf.data(), buf.size(), fmt, ap);
-    g_sink(level, std::string_view(buf.data(), static_cast<size_t>(need < 0 ? 0 : need)));
+    const std::string_view msg(buf.data(), static_cast<size_t>(need < 0 ? 0 : need));
+    if (g_sink) {
+        g_sink(level, msg);
+    } else {
+        std::fprintf(stderr, "[snim %s] %.*s\n", tag_of(level),
+                     static_cast<int>(msg.size()), msg.data());
+    }
+    if (g_mirror) g_mirror(level, msg);
 }
 
 } // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { level_ref() = level; }
+LogLevel log_level() { return level_ref(); }
+
+std::optional<LogLevel> parse_log_level(std::string_view text) {
+    std::string lower;
+    lower.reserve(text.size());
+    for (char c : text) lower += ascii_lower(c);
+    if (lower == "debug") return LogLevel::Debug;
+    if (lower == "info") return LogLevel::Info;
+    if (lower == "warn" || lower == "warning") return LogLevel::Warn;
+    if (lower == "quiet" || lower == "off") return LogLevel::Quiet;
+    return std::nullopt;
+}
 
 LogSink set_log_sink(LogSink sink) {
     LogSink prev = std::move(g_sink);
     g_sink = std::move(sink);
+    return prev;
+}
+
+LogSink set_log_mirror(LogSink mirror) {
+    LogSink prev = std::move(g_mirror);
+    g_mirror = std::move(mirror);
     return prev;
 }
 
@@ -56,7 +94,7 @@ size_t log_emit_count(LogLevel level) {
 }
 
 void log_debug(const char* fmt, ...) {
-    if (g_level > LogLevel::Debug) return;
+    if (log_level() > LogLevel::Debug) return;
     va_list ap;
     va_start(ap, fmt);
     emit(LogLevel::Debug, fmt, ap);
@@ -64,7 +102,7 @@ void log_debug(const char* fmt, ...) {
 }
 
 void log_info(const char* fmt, ...) {
-    if (g_level > LogLevel::Info) return;
+    if (log_level() > LogLevel::Info) return;
     va_list ap;
     va_start(ap, fmt);
     emit(LogLevel::Info, fmt, ap);
@@ -72,7 +110,7 @@ void log_info(const char* fmt, ...) {
 }
 
 void log_warn(const char* fmt, ...) {
-    if (g_level > LogLevel::Warn) return;
+    if (log_level() > LogLevel::Warn) return;
     va_list ap;
     va_start(ap, fmt);
     emit(LogLevel::Warn, fmt, ap);

@@ -3,11 +3,18 @@
 //
 // Output goes through a pluggable sink so tests and the observability
 // report can capture messages instead of losing them to stderr; the
-// printf-style call sites are unchanged.
+// printf-style call sites are unchanged.  A secondary *mirror* tap sees
+// every emitted message regardless of the sink in effect — the structured
+// event journal (obs/events) installs one so every Warn/Info also lands in
+// the live-run telemetry stream without call-site changes.
+//
+// The initial level comes from SNIM_LOG=debug|info|warn|quiet (read once,
+// on the first level query); set_log_level() overrides it at any time.
 #pragma once
 
 #include <cstddef>
 #include <functional>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -18,6 +25,10 @@ enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Quiet = 3 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+/// "debug" / "info" / "warn" / "quiet" (case-insensitive); nullopt on
+/// anything else.  The SNIM_LOG and --log-level syntax.
+std::optional<LogLevel> parse_log_level(std::string_view text);
+
 /// Receives every emitted (level-passing) message, already formatted and
 /// without a trailing newline.
 using LogSink = std::function<void(LogLevel, std::string_view)>;
@@ -25,6 +36,12 @@ using LogSink = std::function<void(LogLevel, std::string_view)>;
 /// Replaces the sink; an empty function restores the default stderr sink.
 /// Returns the previous sink so scoped captures can restore it.
 LogSink set_log_sink(LogSink sink);
+
+/// Installs the mirror tap: called for every emitted message AFTER the sink
+/// (default or custom) handled it.  Unlike the sink, replacing it never
+/// redirects output — it only adds an observer.  Returns the previous
+/// mirror.  The mirror must not call log_* (no re-entrancy guard).
+LogSink set_log_mirror(LogSink mirror);
 
 /// Number of messages emitted at `level` since process start (messages
 /// suppressed by the level filter are not counted).

@@ -44,7 +44,9 @@ using namespace snim::obs;
         "      --limit N           show at most N non-regression rows\n"
         "      --fail-on-regress   exit 1 when anything regressed beyond tolerance\n"
         "  snim_report trend LEDGER.jsonl [--last N] [--html FILE]\n"
-        "  snim_report show RUN.json\n",
+        "  snim_report show RUN.json [--events]\n"
+        "      --events            print the live event-journal tail and top\n"
+        "                          sampled stacks instead of the summary\n",
         stderr);
     std::exit(2);
 }
@@ -139,8 +141,23 @@ int cmd_trend(int argc, char** argv) {
 }
 
 int cmd_show(int argc, char** argv) {
-    if (argc != 1 || argv[0][0] == '-') usage("show needs one report file");
-    std::fputs(show_report(load_json(argv[0])).c_str(), stdout);
+    std::string path;
+    bool events = false;
+    for (int i = 0; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--events") events = true;
+        else if (!a.empty() && a[0] == '-')
+            usage(format("unknown flag '%s'", a.c_str()).c_str());
+        else if (path.empty()) path = a;
+        else usage("show takes one report file");
+    }
+    if (path.empty()) usage("show needs one report file");
+    const Json report = load_json(path);
+    if (events) {
+        std::fputs(show_events(report).c_str(), stdout);
+        return 0;
+    }
+    std::fputs(show_report(report).c_str(), stdout);
     return 0;
 }
 
