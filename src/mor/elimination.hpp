@@ -60,4 +60,20 @@ std::vector<std::vector<double>> dense_port_conductance(const RcNetwork& net,
 RcNetwork reduce_by_solve(const RcNetwork& net, const std::vector<int>& ports,
                           double cg_tol = 1e-9, int max_iter = 20000);
 
+/// Reduction-error probe for the accuracy budget: drives both networks with
+/// `probes` deterministic random +-1 port-voltage excitations and returns
+/// the worst relative port-current error
+///
+///     max over probes of ||i_reduced - i_full||_2 / ||i_full||_2
+///
+/// where the full-side response comes from one CG solve per probe on the
+/// internal block (same solver and assembly as reduce_by_solve, so the
+/// comparison isolates the reduction itself).  `reduced` must follow the
+/// ports-first convention (node i == ports[i]); conductances only — the
+/// capacitance lumping is a modelling choice, not a solve, and is validated
+/// by the tier-1 MOR tests instead.  Deterministic: fixed probe seed.
+double probe_reduction_error(const RcNetwork& full, const RcNetwork& reduced,
+                             const std::vector<int>& ports, int probes = 3,
+                             double cg_tol = 1e-9, int max_iter = 20000);
+
 } // namespace snim::mor

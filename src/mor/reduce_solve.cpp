@@ -1,4 +1,6 @@
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <unordered_map>
 
 #include "mor/elimination.hpp"
@@ -73,47 +75,62 @@ bool pcg(const Csr& a, const std::vector<double>& b, std::vector<double>& x,
     return false;
 }
 
-} // namespace
+/// The conductance network partitioned into port/internal blocks:
+/// Gii (CSR), Gip (per-port sparse columns), dense Gpp, ground legs.
+/// Shared by the Schur reduction and the reduction-error probes so both
+/// sides of the comparison see the identical assembly (regularisation
+/// included).
+struct PartitionedG {
+    size_t np = 0, ni = 0;
+    std::vector<int> port_of, internal_of; // global node -> block index or -1
+    Csr a;                                 // Gii, Jacobi-ready
+    std::vector<std::vector<std::pair<int, double>>> gip; // port -> (internal, g)
+    std::vector<std::vector<double>> gpp;
+    std::vector<double> gnd_int, gnd_port;
+};
 
-RcNetwork reduce_by_solve(const RcNetwork& net, const std::vector<int>& ports,
-                          double cg_tol, int max_iter) {
-    obs::ScopedTimer obs_timer("mor/reduce_by_solve");
-    if (fault::fires("mor.cg.fail"))
-        raise("substrate reduction: CG failed to converge for port 0 "
-              "(fault injected)");
+PartitionedG partition_conductance(const RcNetwork& net,
+                                   const std::vector<int>& ports) {
     const size_t n = net.node_count;
     const size_t np = ports.size();
     SNIM_ASSERT(np >= 1, "need at least one port");
 
+    PartitionedG out;
+    out.np = np;
     // Index maps: global -> internal index or port index.
-    std::vector<int> port_of(n, -1), internal_of(n, -1);
+    out.port_of.assign(n, -1);
+    out.internal_of.assign(n, -1);
     for (size_t j = 0; j < np; ++j) {
         const int p = ports[j];
         SNIM_ASSERT(p >= 0 && static_cast<size_t>(p) < n, "bad port %d", p);
-        SNIM_ASSERT(port_of[static_cast<size_t>(p)] < 0, "duplicate port %d", p);
-        port_of[static_cast<size_t>(p)] = static_cast<int>(j);
+        SNIM_ASSERT(out.port_of[static_cast<size_t>(p)] < 0, "duplicate port %d", p);
+        out.port_of[static_cast<size_t>(p)] = static_cast<int>(j);
     }
     size_t ni = 0;
     for (size_t i = 0; i < n; ++i)
-        if (port_of[i] < 0) internal_of[i] = static_cast<int>(ni++);
+        if (out.port_of[i] < 0) out.internal_of[i] = static_cast<int>(ni++);
+    out.ni = ni;
 
     // Assemble Gii (CSR), Gip (per-port sparse rhs), Gpp, ground terms.
     std::vector<std::vector<std::pair<int, double>>> rows(ni);
     std::vector<double> diag(ni, 0.0);
-    std::vector<std::vector<std::pair<int, double>>> gip(np); // (internal, g)
-    std::vector<std::vector<double>> gpp(np, std::vector<double>(np, 0.0));
-    std::vector<double> gnd_int(ni, 0.0), gnd_port(np, 0.0);
+    out.gip.assign(np, {});
+    out.gpp.assign(np, std::vector<double>(np, 0.0));
+    out.gnd_int.assign(ni, 0.0);
+    out.gnd_port.assign(np, 0.0);
+    auto& gip = out.gip;
+    auto& gpp = out.gpp;
 
     for (const auto& e : net.conductances) {
-        const int pa = port_of[static_cast<size_t>(e.a)];
-        const int pb = e.b < 0 ? -2 : port_of[static_cast<size_t>(e.b)];
-        const int ia = internal_of[static_cast<size_t>(e.a)];
-        const int ib = e.b < 0 ? -2 : internal_of[static_cast<size_t>(e.b)];
+        const int pa = out.port_of[static_cast<size_t>(e.a)];
+        const int pb = e.b < 0 ? -2 : out.port_of[static_cast<size_t>(e.b)];
+        const int ia = out.internal_of[static_cast<size_t>(e.a)];
+        const int ib = e.b < 0 ? -2 : out.internal_of[static_cast<size_t>(e.b)];
         if (e.b < 0) {
             if (pa >= 0)
-                gnd_port[static_cast<size_t>(pa)] += e.value;
+                out.gnd_port[static_cast<size_t>(pa)] += e.value;
             else
-                gnd_int[static_cast<size_t>(ia)] += e.value;
+                out.gnd_int[static_cast<size_t>(ia)] += e.value;
             continue;
         }
         if (pa >= 0 && pb >= 0) {
@@ -137,14 +154,14 @@ RcNetwork reduce_by_solve(const RcNetwork& net, const std::vector<int>& ports,
         }
     }
     for (size_t i = 0; i < ni; ++i) {
-        diag[i] += gnd_int[i];
+        diag[i] += out.gnd_int[i];
         // Regularise isolated internal nodes.
         if (diag[i] <= 0.0) diag[i] = 1e-15;
     }
 
-    Csr a;
+    Csr& a = out.a;
     a.n = ni;
-    a.diag = diag;
+    a.diag = std::move(diag);
     a.ptr.resize(ni + 1, 0);
     for (size_t i = 0; i < ni; ++i)
         a.ptr[i + 1] = a.ptr[i] + static_cast<int>(rows[i].size());
@@ -158,6 +175,26 @@ RcNetwork reduce_by_solve(const RcNetwork& net, const std::vector<int>& ports,
             ++p;
         }
     }
+    return out;
+}
+
+} // namespace
+
+RcNetwork reduce_by_solve(const RcNetwork& net, const std::vector<int>& ports,
+                          double cg_tol, int max_iter) {
+    obs::ScopedTimer obs_timer("mor/reduce_by_solve");
+    if (fault::fires("mor.cg.fail"))
+        raise("substrate reduction: CG failed to converge for port 0 "
+              "(fault injected)");
+    const size_t np = ports.size();
+    PartitionedG part = partition_conductance(net, ports);
+    const size_t ni = part.ni;
+    const Csr& a = part.a;
+    const auto& gip = part.gip;
+    const auto& gpp = part.gpp;
+    const auto& gnd_port = part.gnd_port;
+    const auto& port_of = part.port_of;
+    const auto& internal_of = part.internal_of;
 
     // Influence solves: Gii w_j = Gip(:,j); M[k][j] = w_j[k] in [0,1].
     std::vector<std::vector<double>> w(np);
@@ -265,6 +302,96 @@ RcNetwork reduce_by_solve(const RcNetwork& net, const std::vector<int>& ports,
         out.add_c(i, j, c);
     }
     return out;
+}
+
+double probe_reduction_error(const RcNetwork& full, const RcNetwork& reduced,
+                             const std::vector<int>& ports, int probes,
+                             double cg_tol, int max_iter) {
+    obs::ScopedTimer obs_timer("mor/probe_reduction_error");
+    const size_t np = ports.size();
+    SNIM_ASSERT(reduced.node_count == np,
+                "reduced network has %zu nodes for %zu ports",
+                reduced.node_count, np);
+    if (probes <= 0 || np == 0) return 0.0;
+    PartitionedG part = partition_conductance(full, ports);
+
+    // Fixed-seed xorshift64 so the probe excitations — hence the reported
+    // error — are identical run to run and thread-count independent.
+    uint64_t state = 0x9e3779b97f4a7c15ull;
+    auto next_sign = [&state]() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        return (state >> 32) & 1 ? 1.0 : -1.0;
+    };
+
+    double worst = 0.0;
+    std::vector<double> u; // internal response, reused across probes
+    for (int t = 0; t < probes; ++t) {
+        std::vector<double> v(np);
+        for (double& vi : v) vi = next_sign();
+        // Remove the common mode (np > 1): an equal-potential excitation of
+        // a weakly grounded substrate drives almost no current, so both
+        // sides of the comparison would be CG-tolerance noise and the ratio
+        // meaningless.  The differential response is what the reduction must
+        // preserve; for a single port the ground admittance IS the model.
+        if (np > 1) {
+            double mean = 0.0;
+            for (double vi : v) mean += vi;
+            mean /= static_cast<double>(np);
+            if (mean == 1.0 || mean == -1.0) {
+                v[0] = -v[0]; // all-equal pattern: flip one to keep a signal
+                mean += 2.0 * v[0] / static_cast<double>(np);
+            }
+            for (double& vi : v) vi -= mean;
+        }
+
+        // Full-side port currents: i = (Gpp + diag(gnd)) v - Gip^T Gii^-1 Gip v.
+        std::vector<double> rhs(part.ni, 0.0);
+        for (size_t j = 0; j < np; ++j)
+            for (const auto& [k, g] : part.gip[j])
+                rhs[static_cast<size_t>(k)] += g * v[j];
+        if (part.ni > 0) {
+            obs::count("mor/probe_cg_solves");
+            if (!pcg(part.a, rhs, u, cg_tol, max_iter))
+                raise("substrate reduction probe: CG failed to converge");
+        } else {
+            u.clear();
+        }
+        std::vector<double> ifull(np, 0.0);
+        for (size_t j = 0; j < np; ++j) {
+            double s = part.gnd_port[j] * v[j];
+            for (size_t q = 0; q < np; ++q) s += part.gpp[j][q] * v[q];
+            for (const auto& [k, g] : part.gip[j])
+                s -= g * u[static_cast<size_t>(k)];
+            ifull[j] = s;
+        }
+
+        // Reduced-side currents straight from the macromodel's elements
+        // (every reduced node IS a port by the ports-first convention).
+        std::vector<double> ired(np, 0.0);
+        for (const auto& e : reduced.conductances) {
+            const double va = v[static_cast<size_t>(e.a)];
+            const double vb = e.b < 0 ? 0.0 : v[static_cast<size_t>(e.b)];
+            ired[static_cast<size_t>(e.a)] += e.value * (va - vb);
+            if (e.b >= 0) ired[static_cast<size_t>(e.b)] += e.value * (vb - va);
+        }
+
+        double dn = 0.0, fn = 0.0;
+        for (size_t j = 0; j < np; ++j) {
+            dn += (ired[j] - ifull[j]) * (ired[j] - ifull[j]);
+            fn += ifull[j] * ifull[j];
+        }
+        double rel;
+        if (fn > 0.0)
+            rel = std::sqrt(dn / fn);
+        else
+            rel = dn > 0.0 ? std::numeric_limits<double>::infinity() : 0.0;
+        if (!(rel <= worst)) // NaN ranks worst instead of vanishing
+            worst = std::isfinite(rel) ? rel
+                                       : std::numeric_limits<double>::infinity();
+    }
+    return worst;
 }
 
 } // namespace snim::mor

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "numeric/condest.hpp"
 #include "obs/trace.hpp"
 
 namespace snim {
@@ -19,6 +20,7 @@ DenseLU<T>::DenseLU(DenseMatrix<T> a) : lu_(std::move(a)) {
                 lu_.rows(), lu_.cols());
     obs::ScopedTimer obs_timer("numeric/dense_lu_factor");
     const size_t n = lu_.rows();
+    a_norm1_ = snim::norm1(lu_); // lu_ still holds A; factored in place below
     if (obs::enabled())
         obs::count("numeric/dense_bytes", n * n * sizeof(T) + n * sizeof(size_t));
     perm_.resize(n);
@@ -74,6 +76,33 @@ std::vector<T> DenseLU<T>::solve(std::vector<T> b) const {
         x[ii] /= lu_(ii, ii);
     }
     return x;
+}
+
+template <class T>
+std::vector<T> DenseLU<T>::solve_transpose(const std::vector<T>& b) const {
+    const size_t n = lu_.rows();
+    SNIM_ASSERT(b.size() == n, "rhs size %zu != %zu", b.size(), n);
+    // A = P^T L U, so A^T x = b means U^T y = b, L^T z = y, x = P^T z.
+    std::vector<T> x = b;
+    // U^T y = b: forward substitution over U's rows used as columns.
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < i; ++j) x[i] -= lu_(j, i) * x[j];
+        x[i] /= lu_(i, i);
+    }
+    // L^T z = y: back substitution (unit diagonal).
+    for (size_t ii = n; ii-- > 0;)
+        for (size_t j = ii + 1; j < n; ++j) x[ii] -= lu_(j, ii) * x[j];
+    // Undo the row permutation: (P^T z)[perm_[i]] = z[i].
+    std::vector<T> out(n);
+    for (size_t i = 0; i < n; ++i) out[perm_[i]] = x[i];
+    return out;
+}
+
+template <class T>
+double DenseLU<T>::rcond_estimate() const {
+    if (rcond_cache_ >= 0.0) return rcond_cache_;
+    rcond_cache_ = rcond_from_norm1<T>(*this, lu_.rows(), a_norm1_);
+    return rcond_cache_;
 }
 
 template <class T>

@@ -100,15 +100,27 @@ public:
 
     std::vector<T> solve(std::vector<T> b) const;
     DenseMatrix<T> solve(const DenseMatrix<T>& b) const;
+    /// Solves A^T x = b on the same factors (U^T then L^T, permute out).
+    std::vector<T> solve_transpose(const std::vector<T>& b) const;
     size_t size() const { return lu_.rows(); }
 
     /// Smallest |U(k,k)| of the factorization: the dense counterpart of
     /// SparseLU::factor_stats().min_pivot for solver-health telemetry.
     double min_pivot() const;
 
+    /// Reciprocal 1-norm condition estimate, the dense counterpart of
+    /// SparseLU::rcond_estimate() (same Hager/Higham estimator, cached per
+    /// factorization) so both solve paths report conditioning uniformly.
+    double rcond_estimate() const;
+
+    /// ||A||_1 of the matrix this factorization was built from.
+    double norm1() const { return a_norm1_; }
+
 private:
     DenseMatrix<T> lu_;
     std::vector<size_t> perm_;
+    double a_norm1_ = 0.0;
+    mutable double rcond_cache_ = -1.0; // < 0: not yet estimated
 };
 
 extern template class DenseLU<double>;

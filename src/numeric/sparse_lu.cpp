@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "numeric/condest.hpp"
 #include "obs/trace.hpp"
 #include "util/fault.hpp"
 
@@ -255,6 +256,7 @@ SparseLU<T>::SparseLU(const SparseCSC<T>& a, double pivot_tol) : n_(a.size()) {
     stats_.pivot_swaps = pivot_swaps;
     stats_.fill_growth =
         a.nnz() > 0 ? static_cast<double>(nnz()) / static_cast<double>(a.nnz()) : 0.0;
+    a_norm1_ = snim::norm1(a);
 
     if (obs::enabled()) {
         obs::count("numeric/lu_pivot_swaps", pivot_swaps);
@@ -330,8 +332,20 @@ bool SparseLU<T>::refactor(const SparseCSC<T>& a) {
     // pivot_swaps carry over; only the pivot magnitudes move.
     stats_.min_pivot = minp;
     stats_.max_pivot = maxp;
+    stats_.rcond = 0.0;
+    a_norm1_ = snim::norm1(a);
+    rcond_cache_ = -1.0; // new values: the cached condition estimate is stale
     if (obs::enabled()) obs::record_value("numeric/lu_min_pivot", stats_.min_pivot);
     return true;
+}
+
+template <class T>
+double SparseLU<T>::rcond_estimate() const {
+    if (rcond_cache_ >= 0.0) return rcond_cache_;
+    rcond_cache_ = rcond_from_norm1<T>(*this, n_, a_norm1_);
+    stats_.rcond = rcond_cache_;
+    if (obs::enabled()) obs::record_value("numeric/lu_rcond", rcond_cache_);
+    return rcond_cache_;
 }
 
 template <class T>

@@ -38,6 +38,10 @@ struct LuFactorStats {
     double max_pivot = 0.0;   // largest |pivot|
     double fill_growth = 0.0; // nnz(L+U) / nnz(A)
     size_t pivot_swaps = 0;   // off-diagonal pivots chosen
+    /// Hager/Higham reciprocal 1-norm condition estimate.  Computed lazily —
+    /// it costs a few extra triangular solves — so it is 0 until the first
+    /// rcond_estimate() call after a (re)factorization fills it in.
+    double rcond = 0.0;
 };
 
 template <class T>
@@ -69,6 +73,16 @@ public:
     /// Health of this factorization (valid once the constructor returns).
     const LuFactorStats& factor_stats() const { return stats_; }
 
+    /// Reciprocal 1-norm condition estimate 1 / (||A||_1 * est ||A^{-1}||_1)
+    /// on the current factors (Hager/Higham, a few solve/solve_transpose
+    /// sweeps).  Cached per factorization — refactor() invalidates it — and
+    /// mirrored into factor_stats().rcond on first computation.
+    double rcond_estimate() const;
+
+    /// ||A||_1 of the matrix this factorization was built from (refreshed by
+    /// refactor()); the certificate layer reuses it for error scaling.
+    double norm1() const { return a_norm1_; }
+
 private:
     struct Entry {
         int row;
@@ -82,7 +96,9 @@ private:
     std::vector<int> perm_;  // min-degree order: perm_[k] = original index factored k-th
     std::vector<int> iperm_; // original index -> permuted position
     std::vector<int> pinv_;  // permuted row -> pivot position
-    LuFactorStats stats_;
+    mutable LuFactorStats stats_;     // mutable: rcond is filled lazily
+    double a_norm1_ = 0.0;            // ||A||_1 of the factored matrix
+    mutable double rcond_cache_ = -1.0; // < 0: not yet estimated
 };
 
 /// Owns a SparseLU and decides, per factor() call, between the cheap numeric
@@ -126,6 +142,7 @@ public:
         return lu().solve_transpose(b);
     }
     const LuFactorStats& factor_stats() const { return lu().factor_stats(); }
+    double rcond_estimate() const { return lu().rcond_estimate(); }
 
     const Options& options() const { return opt_; }
 

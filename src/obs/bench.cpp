@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "obs/certify.hpp"
 #include "obs/events.hpp"
 #include "obs/parallel.hpp"
 #include "obs/profiler.hpp"
@@ -292,6 +293,18 @@ ScenarioResult run_scenario(const Scenario& s, const BenchOptions& opt) {
     // The final repetition's registry is left intact (but disabled) so the
     // caller can still read phase_seconds()/report_text() after we return.
     result.registry = report_json();
+    // Schema 4: fold the figure accuracy deltas into the ledger as
+    // "figure/..." stages (briefly re-enabling the registry — one ranked
+    // budget view covers solver health and figure reproduction alike), then
+    // snapshot ledger and certificate summary.
+    set_enabled(true);
+    for (const AccuracyMetric& m : result.accuracy)
+        budget_update("figure/" + s.name + "/" + m.name, m.delta_db,
+                      m.tolerance_db, "dB", /*higher_is_worse=*/true,
+                      m.reference);
+    set_enabled(false);
+    result.budget = budget_json();
+    result.certificates = certificate_summary_json();
     result.lane = registry_trace_lane(s.name);
     result.runtime = runtime_stats(std::move(result.runtime.runs_s));
     result.peak_rss_bytes = peak_rss_bytes();
@@ -356,6 +369,9 @@ Json bench_report_json(const std::vector<ScenarioResult>& results,
         for (const auto& note : r.notes) notes.push_back(note);
         s.emplace("notes", Json(std::move(notes)));
         s.emplace("registry", r.registry);
+        // Schema 4: the accuracy-budget ledger and certificate summary.
+        s.emplace("budget", r.budget);
+        s.emplace("certificates", r.certificates);
         if (r.peak_rss_bytes > 0)
             s.emplace("peak_rss_bytes", static_cast<double>(r.peak_rss_bytes));
         scenarios.push_back(Json(std::move(s)));

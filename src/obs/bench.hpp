@@ -36,7 +36,11 @@ namespace snim::obs {
 ///   3 — adds the live-telemetry tail: "events" (event-journal records,
 ///       oldest first) and "profile" (folded-stack sample counts when the
 ///       sampling profiler ran); both empty/absent when telemetry was off
-inline constexpr int kBenchSchemaVersion = 3;
+///   4 — adds per-scenario "budget" (the accuracy-budget ledger snapshot,
+///       figure accuracy deltas folded in as "figure/..." stages) and
+///       "certificates" (the solve-certificate summary); both empty under
+///       -DSNIM_ENABLE_OBS=OFF
+inline constexpr int kBenchSchemaVersion = 4;
 
 /// One accuracy score: a dB delta against a reference with a pass/fail
 /// tolerance (the paper's quantitative claims: 2 dB VCO, 1 dB NMOS).
@@ -149,6 +153,13 @@ struct ScenarioResult {
     std::vector<AccuracyMetric> accuracy; // identical on every repetition
     std::vector<std::string> notes;       // identical on every repetition
     Json registry;   // obs::report_json() snapshot of the final repetition
+    /// Accuracy-budget ledger of the final repetition (schema 4), the
+    /// scenario's figure accuracy deltas folded in as "figure/<scenario>/
+    /// <metric>" stages so one ranked view covers the whole error pipeline.
+    Json budget = Json(JsonArray{});
+    /// Solve-certificate summary of the final repetition (schema 4); empty
+    /// object when no solve was certified.
+    Json certificates = Json(JsonObject{});
     TraceLane lane;  // phase tree + counters of the final repetition
     /// Process peak RSS sampled after the final repetition; 0 when resource
     /// sampling is unavailable (SNIM_ENABLE_OBS=OFF or no /proc).

@@ -1,0 +1,245 @@
+#include "obs/certify.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <mutex>
+
+#include "util/error.hpp"
+
+#if SNIM_OBS_ENABLED
+#include <atomic>
+
+#include "obs/events.hpp"
+#include "obs/registry.hpp"
+#endif
+
+namespace snim::obs {
+
+void validate_certify_options(const CertifyOptions& opt, const char* engine) {
+    if (!(opt.omega_max > 0.0) || !std::isfinite(opt.omega_max))
+        raise("%s options: certify.omega_max must be finite and > 0 (got %g)",
+              engine, opt.omega_max);
+    if (!(opt.rcond_min >= 0.0) || !std::isfinite(opt.rcond_min))
+        raise("%s options: certify.rcond_min must be finite and >= 0 (got %g)",
+              engine, opt.rcond_min);
+    if (opt.rcond_min >= 1.0)
+        raise("%s options: certify.rcond_min must be < 1 (got %g) — rcond is "
+              "a reciprocal condition number",
+              engine, opt.rcond_min);
+    if (opt.max_refine_steps < 0 || opt.max_refine_steps > 16)
+        raise("%s options: certify.max_refine_steps must be in [0, 16] (got %d)",
+              engine, opt.max_refine_steps);
+    if (opt.stride < 1)
+        raise("%s options: certify.stride must be >= 1 (got %d)", engine,
+              opt.stride);
+}
+
+#if SNIM_OBS_ENABLED
+
+namespace {
+
+/// Margins are clamped to +-400 dB so exact zeros (a stage that contributed
+/// no error at all) stay plottable and diffable instead of going to -inf.
+constexpr double kMarginClampDb = 400.0;
+
+double margin_db_of(double value, double threshold, bool higher_is_worse) {
+    const double num = higher_is_worse ? value : threshold;
+    const double den = higher_is_worse ? threshold : value;
+    if (!(num > 0.0)) return -kMarginClampDb; // no error contribution (or NaN)
+    if (!(den > 0.0)) return kMarginClampDb;  // zero/invalid budget: over by definition
+    const double db = 20.0 * std::log10(num / den);
+    if (!std::isfinite(db)) return db > 0.0 ? kMarginClampDb : -kMarginClampDb;
+    return std::clamp(db, -kMarginClampDb, kMarginClampDb);
+}
+
+/// One mutable ledger row; threshold/unit/direction are fixed by the first
+/// update of a stage so concurrent updates stay commutative.
+struct LedgerRow {
+    std::string unit;
+    double worst = 0.0;
+    double threshold = 0.0;
+    bool higher_is_worse = true;
+    uint64_t samples = 0;
+    uint64_t breaches = 0;
+    std::string detail;
+};
+
+struct Ledger {
+    std::mutex mu;
+    std::map<std::string, LedgerRow> rows;
+
+    // Aggregate certificate summary across every certified solve.
+    uint64_t cert_solves = 0;
+    uint64_t cert_breaches = 0;
+    uint64_t cert_refine_steps = 0;
+    double worst_omega = 0.0;
+    double min_rcond = std::numeric_limits<double>::infinity();
+};
+
+Ledger& ledger() {
+    static Ledger l;
+    return l;
+}
+
+std::atomic<uint64_t> g_breach_count{0};
+
+} // namespace
+
+void budget_update(std::string_view stage, double value, double threshold,
+                   std::string_view unit, bool higher_is_worse,
+                   std::string_view detail) {
+    if (!enabled()) return;
+    Ledger& l = ledger();
+    std::lock_guard<std::mutex> lock(l.mu);
+    auto [it, fresh] = l.rows.try_emplace(std::string(stage));
+    LedgerRow& row = it->second;
+    if (fresh) {
+        row.unit = std::string(unit);
+        row.threshold = threshold;
+        row.higher_is_worse = higher_is_worse;
+        row.worst = value;
+        row.detail = std::string(detail);
+    } else {
+        // Strict improvement replaces; an exact tie keeps the lexicographically
+        // smaller detail, so the aggregate is independent of update order.
+        const bool worse = row.higher_is_worse ? value > row.worst
+                                               : value < row.worst;
+        if (worse || (value == row.worst && detail < row.detail)) {
+            row.worst = value;
+            row.detail = std::string(detail);
+        }
+    }
+    ++row.samples;
+    if (margin_db_of(value, row.threshold, row.higher_is_worse) > 0.0)
+        ++row.breaches;
+}
+
+std::vector<BudgetEntry> budget_snapshot() {
+    std::vector<BudgetEntry> out;
+    Ledger& l = ledger();
+    std::lock_guard<std::mutex> lock(l.mu);
+    out.reserve(l.rows.size());
+    for (const auto& [stage, row] : l.rows) {
+        BudgetEntry e;
+        e.stage = stage;
+        e.unit = row.unit;
+        e.worst = row.worst;
+        e.threshold = row.threshold;
+        e.higher_is_worse = row.higher_is_worse;
+        e.margin_db = margin_db_of(row.worst, row.threshold, row.higher_is_worse);
+        e.samples = row.samples;
+        e.breaches = row.breaches;
+        e.detail = row.detail;
+        out.push_back(std::move(e));
+    }
+    std::sort(out.begin(), out.end(), [](const BudgetEntry& a, const BudgetEntry& b) {
+        if (a.margin_db != b.margin_db) return a.margin_db > b.margin_db;
+        return a.stage < b.stage;
+    });
+    return out;
+}
+
+Json budget_json() {
+    JsonArray arr;
+    for (const BudgetEntry& e : budget_snapshot()) {
+        JsonObject o;
+        o.emplace("stage", e.stage);
+        o.emplace("unit", e.unit);
+        o.emplace("worst", e.worst);
+        o.emplace("threshold", e.threshold);
+        o.emplace("margin_db", e.margin_db);
+        o.emplace("higher_is_worse", e.higher_is_worse);
+        o.emplace("samples", e.samples);
+        o.emplace("breaches", e.breaches);
+        if (!e.detail.empty()) o.emplace("detail", e.detail);
+        arr.emplace_back(std::move(o));
+    }
+    return Json(std::move(arr));
+}
+
+Json certificate_summary_json() {
+    Ledger& l = ledger();
+    std::lock_guard<std::mutex> lock(l.mu);
+    JsonObject o;
+    if (l.cert_solves == 0) return Json(std::move(o));
+    o.emplace("solves", l.cert_solves);
+    o.emplace("breaches", l.cert_breaches);
+    o.emplace("refinement_steps", l.cert_refine_steps);
+    o.emplace("worst_omega", l.worst_omega);
+    o.emplace("min_rcond",
+              std::isfinite(l.min_rcond) ? l.min_rcond : 0.0);
+    return Json(std::move(o));
+}
+
+void budget_reset() {
+    Ledger& l = ledger();
+    std::lock_guard<std::mutex> lock(l.mu);
+    l.rows.clear();
+    l.cert_solves = 0;
+    l.cert_breaches = 0;
+    l.cert_refine_steps = 0;
+    l.worst_omega = 0.0;
+    l.min_rcond = std::numeric_limits<double>::infinity();
+    g_breach_count.store(0, std::memory_order_relaxed);
+}
+
+void record_certificate(const char* component, const SolveCertificate& cert,
+                        const CertifyOptions& opt) {
+    if (!enabled()) return;
+    // A non-finite omega (inconsistent zero row, NaN residual) is folded in
+    // as "worst representable" so it ranks at the top instead of vanishing.
+    const double omega = std::isfinite(cert.omega)
+                             ? cert.omega
+                             : std::numeric_limits<double>::max();
+    count("numeric/solve_certificates");
+    if (cert.refine_steps > 0)
+        count("numeric/ir_refinement_steps",
+              static_cast<uint64_t>(cert.refine_steps));
+    record_value("numeric/cert_omega", omega);
+    record_value("numeric/cert_rcond", cert.rcond);
+
+    const std::string site(component);
+    budget_update("numeric/" + site + "/omega", omega, opt.omega_max, "1",
+                  /*higher_is_worse=*/true,
+                  cert.fault_injected ? "fault_injected" : std::string_view{});
+    // rcond_min == 0 means the caller disabled the condition gate (ablation
+    // runs whose conductance spread collapses the estimate by construction);
+    // a disabled gate makes no budget claim, so those samples must not drag
+    // the stage's worst below the threshold the gated solves are held to.
+    if (opt.rcond_min > 0.0)
+        budget_update("numeric/" + site + "/rcond", cert.rcond, opt.rcond_min,
+                      "1", /*higher_is_worse=*/false);
+
+    {
+        Ledger& l = ledger();
+        std::lock_guard<std::mutex> lock(l.mu);
+        ++l.cert_solves;
+        if (cert.breach) ++l.cert_breaches;
+        l.cert_refine_steps += static_cast<uint64_t>(cert.refine_steps);
+        l.worst_omega = std::max(l.worst_omega, omega);
+        l.min_rcond = std::min(l.min_rcond, cert.rcond);
+    }
+
+    if (cert.breach) {
+        count("numeric/cert_breaches");
+        g_breach_count.fetch_add(1, std::memory_order_relaxed);
+        event(EventLevel::Warn, "numeric", "cert_breach",
+              {{"site", component},
+               {"omega", omega},
+               {"omega_max", opt.omega_max},
+               {"rcond", cert.rcond},
+               {"rcond_min", opt.rcond_min},
+               {"refine_steps", cert.refine_steps},
+               {"fault_injected", cert.fault_injected}});
+    }
+}
+
+uint64_t certificate_breach_count() {
+    return g_breach_count.load(std::memory_order_relaxed);
+}
+
+#endif // SNIM_OBS_ENABLED
+
+} // namespace snim::obs

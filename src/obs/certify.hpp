@@ -1,0 +1,144 @@
+// Numerical-health observability: solve certificates and the accuracy-budget
+// ledger.
+//
+// Every pipeline stage that loses accuracy — LU solves, transient KCL
+// conservation, MOR reduction, figure reproduction — registers its worst
+// error contribution against a stage-specific threshold.  The ledger turns
+// those into a uniform "margin" expressed in dB:
+//
+//   margin_db = 20 log10(worst / threshold)   (higher-is-worse quantities)
+//   margin_db = 20 log10(threshold / worst)   (lower-is-worse, e.g. rcond)
+//
+// so 0 dB means "exactly at budget", negative means headroom, positive means
+// breach.  snim_report budget ranks stages by margin; BENCH reports (schema
+// 4) embed the per-scenario snapshot so budgets diff across runs like any
+// other metric.
+//
+// Solve certificates (SolveCertificate) are produced by the templated
+// helpers in numeric/certify.hpp — this header stays numeric-free so the
+// obs library never depends on the numeric one (it is the other way round).
+// record_certificate() folds one certificate into counters
+// (numeric/solve_certificates, numeric/ir_refinement_steps,
+// numeric/cert_breaches), value histograms, the ledger, and — on breach — a
+// {"comp":"numeric","code":"cert_breach"} journal event.
+//
+// Determinism: ledger updates are max/sum aggregations, hence commutative;
+// parallel AC workers may update it directly and the snapshot is still
+// independent of thread count.  Everything below collapses to inline no-ops
+// under -DSNIM_ENABLE_OBS=OFF; options structs and their validation stay
+// real so configuration errors are caught in every build flavour.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+
+#ifndef SNIM_OBS_ENABLED
+#define SNIM_OBS_ENABLED 1
+#endif
+
+namespace snim::obs {
+
+/// Per-engine certificate knobs, carried inside TranOptions / OpOptions /
+/// AcOptions and validated by validate_certify_options (raise-style, like
+/// the other option validators).
+struct CertifyOptions {
+    /// Master switch; certificates additionally require obs::enabled().
+    bool enabled = true;
+    /// Componentwise backward-error acceptance threshold.  Healthy solves
+    /// sit near machine epsilon (~1e-16); 1e-8 flags a solve that lost half
+    /// the mantissa before it can bend a figure.
+    double omega_max = 1e-8;
+    /// Reciprocal-condition floor: below this the linear system itself has
+    /// fewer trustworthy digits than the figure tolerances assume.
+    double rcond_min = 1e-14;
+    /// One (counted) step of iterative refinement when omega breaches.
+    /// false keeps runs bit-identical to a certificate-free build.
+    bool refine = true;
+    /// Refinement budget per certified solve.
+    int max_refine_steps = 1;
+    /// Certify every stride-th site (accepted transient micro-step, AC
+    /// frequency point).  1 = every site; the condition estimate costs a few
+    /// triangular solves, so sweeps amortise it.
+    int stride = 8;
+};
+
+/// Raises on out-of-range knobs, naming the offending field and engine.
+void validate_certify_options(const CertifyOptions& opt, const char* engine);
+
+/// The result of certifying one linear solve (see numeric/certify.hpp).
+/// Plain data so it crosses the obs/numeric layering freely.
+struct SolveCertificate {
+    double omega = 0.0;     // componentwise backward error after refinement
+    double rcond = 0.0;     // reciprocal 1-norm condition estimate
+    int refine_steps = 0;   // iterative-refinement steps actually taken
+    bool breach = false;    // omega or rcond violated its threshold
+    bool fault_injected = false; // numeric.cert.breach forced this breach
+};
+
+/// One ledger row.  `worst` is the extreme raw value seen (max for
+/// higher-is-worse stages, min otherwise); margin_db is derived from it.
+struct BudgetEntry {
+    std::string stage;      // e.g. "numeric/transient/omega", "figure/fig7"
+    std::string unit;       // unit of `worst` ("1", "V", "A", "dB")
+    double worst = 0.0;
+    double threshold = 0.0;
+    double margin_db = 0.0; // > 0 means over budget
+    bool higher_is_worse = true;
+    uint64_t samples = 0;
+    uint64_t breaches = 0;  // samples whose margin was positive
+    std::string detail;     // attribution for the worst sample (node name...)
+};
+
+#if SNIM_OBS_ENABLED
+
+/// Folds one sample into the named ledger stage.  Thread-safe and
+/// commutative (max/min + sums), so parallel workers call it directly.
+/// `detail` is kept for the sample that defines `worst`.
+void budget_update(std::string_view stage, double value, double threshold,
+                   std::string_view unit, bool higher_is_worse = true,
+                   std::string_view detail = {});
+
+/// Snapshot sorted by descending margin (worst stage first).
+std::vector<BudgetEntry> budget_snapshot();
+
+/// The snapshot as a JSON array (the BENCH "budget" member).
+Json budget_json();
+
+/// Aggregate certificate summary as JSON: {"solves","breaches",
+/// "refinement_steps","worst_omega","min_rcond"} (the BENCH "certificates"
+/// member).  Null-equivalent empty object when no solve was certified.
+Json certificate_summary_json();
+
+/// Clears the ledger and the certificate summary (obs::reset() calls this).
+void budget_reset();
+
+/// Records one solve certificate: counters, histograms, ledger stages
+/// "numeric/<component>/omega" and "numeric/<component>/rcond", and a Warn
+/// journal event on breach.  `component` names the engine site ("transient",
+/// "op", "ac").
+void record_certificate(const char* component, const SolveCertificate& cert,
+                        const CertifyOptions& opt);
+
+/// Breaches recorded since the last budget_reset(); cheap (one relaxed
+/// load), surfaced by progress heartbeats and watchdog stall events.
+uint64_t certificate_breach_count();
+
+#else // SNIM_OBS_ENABLED — compiled out: inline no-ops.
+
+inline void budget_update(std::string_view, double, double, std::string_view,
+                          bool = true, std::string_view = {}) {}
+inline std::vector<BudgetEntry> budget_snapshot() { return {}; }
+inline Json budget_json() { return Json(JsonArray{}); }
+inline Json certificate_summary_json() { return Json(JsonObject{}); }
+inline void budget_reset() {}
+inline void record_certificate(const char*, const SolveCertificate&,
+                               const CertifyOptions&) {}
+inline uint64_t certificate_breach_count() { return 0; }
+
+#endif // SNIM_OBS_ENABLED
+
+} // namespace snim::obs

@@ -118,6 +118,17 @@ std::map<std::string, double> timeseries_map(const Json& scenario) {
     return out;
 }
 
+/// budget array (schema 4) keyed by stage -> margin_db.
+std::map<std::string, double> budget_map(const Json& scenario) {
+    std::map<std::string, double> out;
+    if (!scenario.contains("budget") || !scenario.at("budget").is_array())
+        return out;
+    for (const auto& e : scenario.at("budget").as_array())
+        if (e.is_object() && e.contains("stage") && e.at("stage").is_string())
+            out.emplace(e.at("stage").as_string(), num_or(e, "margin_db", 0.0));
+    return out;
+}
+
 void diff_scenario(ReportDiff& d, const std::string& name, const Json& sa,
                    const Json& sb, const DiffTolerances& tol) {
     // Runtime: median is the headline number; min backs it up when the
@@ -203,6 +214,35 @@ void diff_scenario(ReportDiff& d, const std::string& name, const Json& sa,
         if (!ts_a.count(tname))
             push_metric(d, name, "ts/" + tname, 0.0, vb, DiffVerdict::OnlyB,
                         "channel new in this run");
+
+    // Accuracy-budget stages (schema 4), aligned by stage name on margin_db
+    // (lower is better: negative = headroom).  A margin crossing 0 dB flips
+    // the verdict to Regress/Improve regardless of the dB tolerance.
+    const auto bud_a = budget_map(sa);
+    const auto bud_b = budget_map(sb);
+    for (const auto& [stage, ma] : bud_a) {
+        const auto it = bud_b.find(stage);
+        if (it == bud_b.end()) {
+            push_metric(d, name, "budget/" + stage, ma, 0.0, DiffVerdict::OnlyA,
+                        "budget stage missing from new run");
+            continue;
+        }
+        const double mb = it->second;
+        DiffVerdict v = classify_abs(ma, mb, tol.budget_db);
+        std::string detail;
+        if (ma <= 0.0 && mb > 0.0) {
+            v = DiffVerdict::Regress;
+            detail = "budget crossed into breach";
+        } else if (ma > 0.0 && mb <= 0.0) {
+            v = DiffVerdict::Improve;
+            detail = "budget breach cleared";
+        }
+        push_metric(d, name, "budget/" + stage, ma, mb, v, std::move(detail));
+    }
+    for (const auto& [stage, mb] : bud_b)
+        if (!bud_a.count(stage))
+            push_metric(d, name, "budget/" + stage, 0.0, mb, DiffVerdict::OnlyB,
+                        "budget stage new in this run");
 }
 
 int verdict_rank(DiffVerdict v) {
@@ -222,6 +262,7 @@ std::string metric_value(const std::string& metric, double v) {
     if (metric.rfind("accuracy/", 0) == 0) return format("%.3f", v);
     if (metric.rfind("rss/", 0) == 0)
         return format("%.1fM", v / (1024.0 * 1024.0));
+    if (metric.rfind("budget/", 0) == 0) return format("%+.2fdB", v);
     return format("%.6g", v);
 }
 
@@ -439,6 +480,95 @@ std::string diff_table(const ReportDiff& d, size_t limit) {
                   "%zu equal, %zu unmatched\n",
                   regress, improve, within, equal, only);
     return out;
+}
+
+std::string budget_table(const Json& report, size_t limit) {
+    if (!report.is_object() || !report.contains("scenarios") ||
+        !report.at("scenarios").is_array())
+        raise("budget: input is not a snim_bench report (no scenarios array)");
+
+    struct Row {
+        std::string scenario;
+        std::string stage;
+        const Json* e;
+        double margin;
+    };
+    std::vector<Row> rows;
+    for (const auto& s : report.at("scenarios").as_array()) {
+        if (!s.is_object() || !s.contains("budget") || !s.at("budget").is_array())
+            continue;
+        const std::string sname = str_or(s, "name", "?");
+        for (const auto& e : s.at("budget").as_array())
+            if (e.is_object())
+                rows.push_back({sname, str_or(e, "stage", "?"), &e,
+                                num_or(e, "margin_db", 0.0)});
+    }
+    if (rows.empty())
+        return "no accuracy-budget data (schema < 4 report or obs-off build)\n";
+    std::stable_sort(rows.begin(), rows.end(), [](const Row& x, const Row& y) {
+        if (x.margin != y.margin) return x.margin > y.margin;
+        if (x.scenario != y.scenario) return x.scenario < y.scenario;
+        return x.stage < y.stage;
+    });
+
+    std::string out;
+    Table t({"scenario", "stage", "worst", "threshold", "margin", "samples",
+             "breaches", "detail"});
+    size_t shown = 0, hidden = 0, breached = 0;
+    for (const Row& r : rows) {
+        const bool breach = r.margin > 0.0;
+        if (breach) ++breached;
+        // Breached stages always survive the cut, like diff regressions.
+        if (limit > 0 && shown >= limit && !breach) {
+            ++hidden;
+            continue;
+        }
+        const std::string unit = str_or(*r.e, "unit", "");
+        t.add_row({r.scenario, r.stage,
+                   format("%.4g %s", num_or(*r.e, "worst", 0.0), unit.c_str()),
+                   format("%.4g %s", num_or(*r.e, "threshold", 0.0), unit.c_str()),
+                   format("%+.2f dB%s", r.margin, breach ? " OVER" : ""),
+                   format("%.0f", num_or(*r.e, "samples", 0.0)),
+                   format("%.0f", num_or(*r.e, "breaches", 0.0)),
+                   str_or(*r.e, "detail", "")});
+        ++shown;
+    }
+    out += t.to_string();
+    if (hidden > 0) out += format("(%zu rows hidden by --limit)\n", hidden);
+
+    for (const auto& s : report.at("scenarios").as_array()) {
+        if (!s.is_object() || !s.contains("certificates") ||
+            !s.at("certificates").is_object())
+            continue;
+        const Json& c = s.at("certificates");
+        if (!c.contains("solves")) continue; // empty summary: nothing certified
+        out += format("certificates[%s]: %.0f solves, %.0f breaches, %.0f "
+                      "refinement steps, worst omega %.3g, min rcond %.3g\n",
+                      str_or(s, "name", "?").c_str(), num_or(c, "solves", 0.0),
+                      num_or(c, "breaches", 0.0),
+                      num_or(c, "refinement_steps", 0.0),
+                      num_or(c, "worst_omega", 0.0), num_or(c, "min_rcond", 0.0));
+    }
+    out += format("summary: %zu budget stages, %zu over budget\n", rows.size(),
+                  breached);
+    return out;
+}
+
+bool budget_has_breach(const Json& report) {
+    if (!report.is_object() || !report.contains("scenarios") ||
+        !report.at("scenarios").is_array())
+        return false;
+    for (const auto& s : report.at("scenarios").as_array()) {
+        if (!s.is_object()) continue;
+        if (s.contains("budget") && s.at("budget").is_array())
+            for (const auto& e : s.at("budget").as_array())
+                if (e.is_object() && num_or(e, "margin_db", 0.0) > 0.0)
+                    return true;
+        if (s.contains("certificates") && s.at("certificates").is_object() &&
+            num_or(s.at("certificates"), "breaches", 0.0) > 0.0)
+            return true;
+    }
+    return false;
 }
 
 std::string sparkline(const std::vector<double>& values) {

@@ -37,6 +37,9 @@ struct DiffTolerances {
     double counter_pct = 0.0;
     /// Time-series offered-sample-count change treated as noise [percent].
     double timeseries_pct = 0.0;
+    /// Accuracy-budget margin change treated as noise [dB, absolute].  A
+    /// margin crossing 0 dB (headroom -> breach) regresses regardless.
+    double budget_db = 0.5;
 };
 
 enum class DiffVerdict {
@@ -53,7 +56,8 @@ const char* diff_verdict_name(DiffVerdict v);
 struct MetricDiff {
     std::string scenario;
     std::string metric;  // "runtime/median_s", "accuracy/<name>",
-                         // "rss/peak_bytes", "counter/<name>", "ts/<name>"
+                         // "rss/peak_bytes", "counter/<name>", "ts/<name>",
+                         // "budget/<stage>" (schema-4 margin_db)
     double a = 0.0;      // old value (undefined under OnlyB)
     double b = 0.0;      // new value (undefined under OnlyA)
     double change_pct = 0.0; // (b - a) / a * 100 when a != 0
@@ -98,6 +102,17 @@ std::string trend_html(const std::vector<Json>& ledger);
 /// Pretty-prints one report: manifest fields, per-scenario runtime and
 /// accuracy table, and the phase tree (with RSS columns when present).
 std::string show_report(const Json& report);
+
+/// Ranked accuracy-budget view of one schema-4 report: every scenario's
+/// budget stages sorted worst-margin-first (breaches on top), followed by
+/// the per-scenario solve-certificate summaries.  Says so when the report
+/// carries no budget (older schema or obs-off build).  `limit` > 0
+/// truncates after ranking; breached stages always survive the cut.
+std::string budget_table(const Json& report, size_t limit = 0);
+
+/// True when any budget stage is over budget (margin_db > 0) or any
+/// scenario's certificate summary counts a breach.
+bool budget_has_breach(const Json& report);
 
 /// Pretty-prints a document's live-telemetry tail: the "events" array
 /// (schema-3 BENCH reports, v3 diag bundles, watchdog bundles) as a

@@ -8,6 +8,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/certify.hpp"
 #include "obs/events.hpp"
 #include "obs/resources.hpp"
 
@@ -122,7 +123,10 @@ void maybe_heartbeat() {
            {"elapsed_s", info.elapsed_s},
            {"eta_s", info.eta_s},
            {"rss_mb", static_cast<double>(info.rss_bytes) / (1024.0 * 1024.0)},
-           {"depth", info.depth}});
+           {"depth", info.depth},
+           // Numerical health at a glance: certificate breaches since the
+           // last registry reset (0 on a clean run).
+           {"cert_breaches", certificate_breach_count()}});
 
     HeartbeatObserver observer;
     {

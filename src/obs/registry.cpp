@@ -8,6 +8,7 @@
 #include <map>
 #include <mutex>
 
+#include "obs/certify.hpp"
 #include "obs/report.hpp"
 #include "obs/timeseries.hpp"
 
@@ -329,7 +330,8 @@ void reset() {
         r.values.clear();
         r.phases.clear();
     }
-    ts_reset(); // the time-series channels are part of the registry too
+    ts_reset();     // the time-series channels are part of the registry too
+    budget_reset(); // and so is the accuracy-budget ledger
 }
 
 } // namespace snim::obs

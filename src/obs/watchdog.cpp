@@ -10,6 +10,7 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/certify.hpp"
 #include "obs/events.hpp"
 #include "obs/json.hpp"
 #include "obs/phasestack.hpp"
@@ -181,6 +182,9 @@ void monitor_loop() {
                    {"done", progress.done},
                    {"total", progress.total},
                    {"pool_threads", util::default_thread_count()},
+                   // A stall with breached solve certificates usually means
+                   // the solver is grinding on an ill-conditioned system.
+                   {"cert_breaches", certificate_breach_count()},
                    {"stacks", stacks}});
             log_warn("watchdog: no forward progress for %.1f s (budget %.1f s), "
                      "innermost phase '%s'",

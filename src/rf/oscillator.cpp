@@ -19,6 +19,7 @@ OscCapture capture_oscillator(circuit::Netlist& netlist, const OscOptions& opt) 
     to.gmin = opt.gmin;
     to.record_start = opt.settle;
     to.accumulate_average = true;
+    to.certify = opt.certify;
 
     std::vector<std::string> probes{opt.probe_p};
     if (!opt.probe_n.empty()) probes.push_back(opt.probe_n);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "numeric/certify.hpp"
 #include "numeric/sparse_lu.hpp"
 #include "obs/parallel.hpp"
 #include "obs/progress.hpp"
@@ -31,6 +32,7 @@ std::complex<double> AcResult::at(size_t k, circuit::NodeId node) const {
 
 AcResult ac_sweep(circuit::Netlist& netlist, const std::vector<double>& freqs,
                   const std::vector<double>& xop, const AcOptions& opt) {
+    obs::validate_certify_options(opt.certify, "AcOptions");
     obs::ScopedTimer obs_run("sim/ac", obs::Timing::WhenEnabled, obs::Rss::Track);
     obs::count("sim/ac/points", freqs.size());
     netlist.finalize();
@@ -54,6 +56,15 @@ AcResult ac_sweep(circuit::Netlist& netlist, const std::vector<double>& freqs,
     SparseLU<std::complex<double>> ref_lu(s0.csc());
     const double ref_min_pivot = ref_lu.factor_stats().min_pivot;
     out.x[0] = ref_lu.solve(s0.rhs());
+    // The serial reference point is the sweep's only certificate site where
+    // fault queries are allowed (fault order is part of the determinism
+    // contract; worker scheduling is not).
+    const bool certify = opt.certify.enabled && obs::enabled();
+    if (certify) {
+        const obs::SolveCertificate cert = certify_solve(
+            ref_lu, s0.csc(), out.x[0], s0.rhs(), opt.certify);
+        obs::record_certificate("ac", cert, opt.certify);
+    }
     progress.advance();
     if (obs::enabled()) {
         // Per-point pivot health over the sweep: a dip flags the
@@ -96,6 +107,12 @@ AcResult ac_sweep(circuit::Netlist& netlist, const std::vector<double>& freqs,
                     min_pivot = lu.factor_stats().min_pivot;
                     fill_growth = lu.factor_stats().fill_growth;
                     reused = true;
+                    if (certify && i % static_cast<size_t>(opt.certify.stride) == 0) {
+                        const obs::SolveCertificate cert =
+                            certify_solve(lu, a, out.x[i], s.rhs(), opt.certify,
+                                          /*allow_fault=*/false);
+                        obs::record_certificate("ac", cert, opt.certify);
+                    }
                 } else if (obs::enabled()) {
                     obs::count("numeric/lu_repivot_fallbacks");
                 }
@@ -108,6 +125,12 @@ AcResult ac_sweep(circuit::Netlist& netlist, const std::vector<double>& freqs,
                 out.x[i] = fresh.solve(s.rhs());
                 min_pivot = fresh.factor_stats().min_pivot;
                 fill_growth = fresh.factor_stats().fill_growth;
+                if (certify && i % static_cast<size_t>(opt.certify.stride) == 0) {
+                    const obs::SolveCertificate cert =
+                        certify_solve(fresh, a, out.x[i], s.rhs(), opt.certify,
+                                      /*allow_fault=*/false);
+                    obs::record_certificate("ac", cert, opt.certify);
+                }
             }
             if (obs::enabled()) {
                 obs::ts_append("sim/ac/lu_min_pivot", freqs[i], min_pivot, "1");

@@ -4,6 +4,7 @@
 #include <complex>
 
 #include "circuit/netlist.hpp"
+#include "obs/certify.hpp"
 
 namespace snim::sim {
 
@@ -27,6 +28,13 @@ struct AcOptions {
     /// pivot sequence) across the sweep, refreshing numeric values per point
     /// (pivot-health guarded).  OFF forces a full factorization per point.
     bool reuse_lu = true;
+
+    /// Per-solve certificates on every certify.stride-th frequency point
+    /// (backward error on the complex system, condition estimate, counted
+    /// refinement).  Active only while the obs registry is enabled; workers
+    /// certify their own points, the ledger aggregation is commutative so
+    /// results stay thread-count independent.
+    obs::CertifyOptions certify;
 };
 
 /// Runs the AC sweep; `xop` is a converged operating point from

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <limits>
 
+#include "obs/certify.hpp"
 #include "obs/events.hpp"
 #include "obs/report.hpp"
 #include "util/error.hpp"
@@ -32,7 +33,22 @@ obs::Json telemetry_json(const StepTelemetry& t) {
     o.emplace("lu_min_pivot", t.lu_min_pivot);
     o.emplace("lu_fill_growth", t.lu_fill_growth);
     o.emplace("converged", t.converged);
+    // Schema 4: certificate columns; -1 = the site was not audited.
+    o.emplace("kcl_residual", t.kcl_residual);
+    o.emplace("cert_omega", t.cert_omega);
+    o.emplace("cert_rcond", t.cert_rcond);
     return obs::Json(std::move(o));
+}
+
+void digest_certify_options(obs::ConfigDigest& d, const char* prefix,
+                            const obs::CertifyOptions& c) {
+    const std::string p = std::string(prefix) + ".certify.";
+    d.add(p + "enabled", c.enabled);
+    d.add(p + "omega_max", c.omega_max);
+    d.add(p + "rcond_min", c.rcond_min);
+    d.add(p + "refine", c.refine);
+    d.add(p + "max_refine_steps", c.max_refine_steps);
+    d.add(p + "stride", c.stride);
 }
 
 obs::Json wave_tail_json(const TranResult& r, size_t tail) {
@@ -109,6 +125,8 @@ void digest_options(obs::ConfigDigest& d, const TranOptions& opt) {
     d.add("tran.retry_history", opt.retry_history);
     d.add("tran.reuse_lu", opt.reuse_lu);
     d.add("tran.dense_crossover", opt.dense_crossover);
+    digest_certify_options(d, "tran", opt.certify);
+    d.add("tran.kcl_max", opt.kcl_max);
 }
 
 void digest_options(obs::ConfigDigest& d, const OpOptions& opt) {
@@ -129,6 +147,7 @@ void digest_options(obs::ConfigDigest& d, const OpOptions& opt) {
     d.add("op.ptran_steps", opt.ptran_steps);
     d.add("op.ptran_g_floor", opt.ptran_g_floor);
     d.add("op.reuse_lu", opt.reuse_lu);
+    digest_certify_options(d, "op", opt.certify);
 }
 
 obs::Json diagnosis_json(const FailureDiagnosis& d) {
@@ -293,6 +312,9 @@ void validate_tran_options(const TranOptions& opt) {
     if (opt.dense_crossover < 0)
         raise("TranOptions.dense_crossover must be >= 0 (got %d)",
               opt.dense_crossover);
+    if (!(opt.kcl_max > 0.0))
+        raise("TranOptions.kcl_max must be > 0 (got %g)", opt.kcl_max);
+    obs::validate_certify_options(opt.certify, "TranOptions");
 }
 
 void validate_op_options(const OpOptions& opt) {
@@ -316,6 +338,7 @@ void validate_op_options(const OpOptions& opt) {
     if (!(opt.ptran_g_floor > 0.0) || opt.ptran_g_floor > opt.ptran_g0)
         raise("OpOptions.ptran_g_floor must be in (0, ptran_g0] (got %g, g0 %g)",
               opt.ptran_g_floor, opt.ptran_g0);
+    obs::validate_certify_options(opt.certify, "OpOptions");
 }
 
 } // namespace snim::sim

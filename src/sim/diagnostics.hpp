@@ -32,7 +32,9 @@ namespace snim::sim {
 /// "total_step_retries" (transient) and "rungs" (op).
 /// v3: bundles gained "events" — the live event-journal tail (absent when
 /// telemetry was off).
-inline constexpr int kDiagSchemaVersion = 3;
+/// v4: telemetry rows gained the numerical-health certificate columns
+/// "kcl_residual", "cert_omega", "cert_rcond" (-1 = site not audited).
+inline constexpr int kDiagSchemaVersion = 4;
 
 /// Telemetry of one solver step (a transient step attempt, a DC Newton
 /// attempt, an AC frequency point).
@@ -48,6 +50,11 @@ struct StepTelemetry {
     double lu_fill_growth = 0.0; // nnz(L+U)/nnz(A); 1 on the dense path
                                  // (in-place factorisation, no fill)
     bool converged = true;
+    // Numerical-health certificate of the step, when the site was audited
+    // (certify stride + obs enabled); -1 = not audited.
+    double kcl_residual = -1.0; // worst per-node KCL current residual [A]
+    double cert_omega = -1.0;   // componentwise backward error of the solve
+    double cert_rcond = -1.0;   // reciprocal 1-norm condition estimate
 };
 
 /// One rejected transient step attempt: what failed and how dt backed off.

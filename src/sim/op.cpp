@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 
+#include "numeric/certify.hpp"
 #include "numeric/sparse_lu.hpp"
 #include "numeric/vecops.hpp"
 #include "obs/timeseries.hpp"
@@ -114,6 +115,15 @@ bool newton_dc(circuit::Netlist& netlist, std::vector<double>& x, double gmin,
         if (!nonlinear) {
             tel.converged = !nonfinite && std::isfinite(max_dx) &&
                             !fault::fires("op.newton.stall");
+            // A linear solve is exact Newton: x == xn, so the certificate
+            // covers the solution the caller receives.
+            if (tel.converged && opt.certify.enabled && obs::enabled()) {
+                const obs::SolveCertificate cert =
+                    certify_solve(rlu.lu(), s.csc(), x, s.rhs(), opt.certify);
+                tel.cert_omega = cert.omega;
+                tel.cert_rcond = cert.rcond;
+                obs::record_certificate("op", cert, opt.certify);
+            }
             diag.ring.push(tel);
             return tel.converged;
         }
@@ -147,6 +157,16 @@ bool newton_dc(circuit::Netlist& netlist, std::vector<double>& x, double gmin,
             }
             tel.converged =
                 max_abs_diff(xn, x) < 10 * (opt.vntol + opt.reltol * norm_inf(x));
+            // Certify the accepted fixpoint against the verification system
+            // (still held by the stamper and rlu).  A refinement step, if one
+            // fires, is one extra chord iteration on the returned iterate.
+            if (tel.converged && opt.certify.enabled && obs::enabled()) {
+                const obs::SolveCertificate cert =
+                    certify_solve(rlu.lu(), s.csc(), x, s.rhs(), opt.certify);
+                tel.cert_omega = cert.omega;
+                tel.cert_rcond = cert.rcond;
+                obs::record_certificate("op", cert, opt.certify);
+            }
             diag.ring.push(tel);
             return tel.converged;
         }
@@ -231,6 +251,11 @@ obs::JsonObject op_options_json(const OpOptions& opt) {
     o.emplace("ptran_steps", opt.ptran_steps);
     o.emplace("ptran_g_floor", opt.ptran_g_floor);
     o.emplace("reuse_lu", opt.reuse_lu);
+    o.emplace("certify_enabled", opt.certify.enabled);
+    o.emplace("certify_omega_max", opt.certify.omega_max);
+    o.emplace("certify_rcond_min", opt.certify.rcond_min);
+    o.emplace("certify_refine", opt.certify.refine);
+    o.emplace("certify_stride", opt.certify.stride);
     return o;
 }
 

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "circuit/netlist.hpp"
+#include "obs/certify.hpp"
 
 namespace snim::sim {
 
@@ -61,6 +62,12 @@ struct OpOptions {
     /// (pivot-health guarded).  OFF forces a full factorization per
     /// iteration.
     bool reuse_lu = true;
+
+    /// Per-solve certificate on the converged verification solve of each
+    /// Newton run (backward error, condition estimate, counted refinement).
+    /// Active only while the obs registry is enabled.  The stride knob is
+    /// ignored here: op solves are rare, every one is certified.
+    obs::CertifyOptions certify;
 };
 
 /// The operating point plus how it was won.

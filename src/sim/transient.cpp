@@ -6,6 +6,7 @@
 #include <limits>
 #include <thread>
 
+#include "numeric/certify.hpp"
 #include "numeric/sparse_lu.hpp"
 #include "numeric/vecops.hpp"
 #include "obs/progress.hpp"
@@ -49,7 +50,36 @@ obs::JsonObject tran_options_json(const TranOptions& opt) {
     o.emplace("lte_control", opt.lte_control);
     o.emplace("reuse_lu", opt.reuse_lu);
     o.emplace("dense_crossover", opt.dense_crossover);
+    o.emplace("certify_enabled", opt.certify.enabled);
+    o.emplace("certify_omega_max", opt.certify.omega_max);
+    o.emplace("certify_rcond_min", opt.certify.rcond_min);
+    o.emplace("certify_refine", opt.certify.refine);
+    o.emplace("certify_stride", opt.certify.stride);
+    o.emplace("kcl_max", opt.kcl_max);
     return o;
+}
+
+/// Post-accept KCL conservation audit: the worst per-node current-sum
+/// residual |A x - b|_i over the node rows of the freshly assembled system
+/// at the accepted solution.  In MNA companion form that residual IS the
+/// net device current left sitting on the node, so a healthy accepted step
+/// reads near the Newton tolerance and a drifting charge model reads hot.
+/// Returns the worst residual and its node index through the out-params.
+/// Mat is SparseCSC<double> or DenseMatrix<double> (the legacy dense path).
+template <class Mat>
+void kcl_audit(const circuit::Netlist& netlist, const Mat& a,
+               const std::vector<double>& b, const std::vector<double>& x,
+               double& worst, int& worst_node) {
+    const std::vector<double> ax = a.multiply(x);
+    worst = 0.0;
+    worst_node = -1;
+    for (size_t i = 0; i < netlist.node_count(); ++i) {
+        const double r = std::fabs(ax[i] - b[i]);
+        if (!(r <= worst)) { // NaN ranks worst
+            worst = std::isfinite(r) ? r : std::numeric_limits<double>::infinity();
+            worst_node = static_cast<int>(i);
+        }
+    }
 }
 
 /// Bounded FIFO of retry events for the diagnosis bundle.
@@ -137,6 +167,9 @@ TranResult transient(circuit::Netlist& netlist, const std::vector<std::string>& 
     if (x.empty()) {
         OpOptions oo;
         oo.gmin = opt.gmin;
+        // The embedded op inherits the transient's certificate policy so a
+        // caller that relaxes thresholds (ablation runs) relaxes both solves.
+        oo.certify = opt.certify;
         x = operating_point(netlist, oo);
     }
     SNIM_ASSERT(x.size() == n, "initial point size mismatch");
@@ -309,6 +342,54 @@ TranResult transient(circuit::Netlist& netlist, const std::vector<std::string>& 
             if (!converged && reject == Reject::none) reject = Reject::no_convergence;
             tel.residual = max_dx;
             tel.converged = converged;
+
+            // Numerical-health audit of accepted attempts, every
+            // certify.stride-th accepted micro-step (be_steps_done counts
+            // accepts, so the gate is deterministic).  The certificate covers
+            // the final Newton solve whose system is still in the stamper —
+            // refinement (if it fires) lands before the LTE gate and commit.
+            // Entirely obs-gated: an unobserved run does no extra work.
+            if (converged && opt.certify.enabled && obs::enabled() &&
+                be_steps_done % opt.certify.stride == 0) {
+                obs::ScopedTimer obs_cert("sim/transient/certify");
+                obs::SolveCertificate cert;
+                if (use_dense) {
+                    // Legacy path: the factor was loop-local, so certify on a
+                    // fresh factorization of the last assembled matrix
+                    // (n <= dense_crossover, stride-gated — cheap enough).
+                    DenseLU<double> clu(dense);
+                    cert = certify_solve(clu, dense, xit, s.rhs(), opt.certify);
+                } else {
+                    cert = certify_solve(rlu.lu(), s.csc(), xit, s.rhs(),
+                                         opt.certify);
+                }
+                tel.cert_omega = cert.omega;
+                tel.cert_rcond = cert.rcond;
+                obs::record_certificate("transient", cert, opt.certify);
+
+                // Conservation audit at the (possibly refined) accepted
+                // solution: re-assemble there and read the node-row residual.
+                s.clear();
+                assemble_tran(netlist, s, xit, tp, opt.gmin);
+                double kcl = 0.0;
+                int kcl_node = -1;
+                if (use_dense) {
+                    dense.fill(0.0);
+                    const auto& tri = s.matrix();
+                    for (size_t e = 0; e < tri.rows().size(); ++e)
+                        dense(static_cast<size_t>(tri.rows()[e]),
+                              static_cast<size_t>(tri.cols()[e])) += tri.values()[e];
+                    kcl_audit(netlist, dense, s.rhs(), xit, kcl, kcl_node);
+                } else {
+                    kcl_audit(netlist, s.csc(), s.rhs(), xit, kcl, kcl_node);
+                }
+                tel.kcl_residual = kcl;
+                obs::ts_append("sim/transient/kcl_residual", tp.time, kcl, "A");
+                obs::record_value("sim/kcl_worst_residual", kcl);
+                obs::budget_update("sim/kcl", kcl, opt.kcl_max, "A",
+                                   /*higher_is_worse=*/true,
+                                   unknown_name(netlist, kcl_node));
+            }
             ring.push(tel);
             // A fired slow-step fault marks the attempt as pathologically
             // slow in the health lanes (queried unconditionally so firing

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "circuit/netlist.hpp"
+#include "obs/certify.hpp"
 
 namespace snim::sim {
 
@@ -93,6 +94,18 @@ struct TranOptions {
     /// reuse_lu is off.  The reusable sparse path beats dense at every size
     /// measured, so this only matters for the legacy configuration.
     int dense_crossover = 160;
+
+    // --- numerical-health certificates ----------------------------------
+    /// Per-solve certificates on accepted steps (backward error, condition
+    /// estimate, counted iterative refinement).  Active only while the obs
+    /// registry is enabled; see obs::CertifyOptions for the knobs.
+    obs::CertifyOptions certify;
+    /// Post-accept KCL conservation audit threshold: worst per-node current
+    /// residual |A(x) x - b(x)|_i over the node rows of the accepted system
+    /// [A].  Audited every certify.stride-th accepted micro-step, recorded
+    /// as the sim/transient/kcl_residual channel and the
+    /// sim/kcl_worst_residual histogram, budgeted as stage "sim/kcl".
+    double kcl_max = 1e-6;
 };
 
 struct TranResult {

@@ -1,5 +1,8 @@
 #include "substrate/extractor.hpp"
 
+#include <cmath>
+
+#include "obs/certify.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -112,6 +115,22 @@ SubstrateModel extract_substrate(const geom::Rect& area,
         obs::count("substrate/mor_fallbacks");
         out.reduced = mor::ports_first(mesh.network(), port_nodes);
         out.mor_fallback = true;
+    }
+
+    // Accuracy-budget probe: how much port admittance the reduction lost,
+    // measured against the still-live unreduced mesh network.  Observability
+    // only — the model itself is unaffected.
+    if (obs::enabled() && !out.mor_fallback && opt.mor_probes > 0) {
+        const double rel = mor::probe_reduction_error(
+            mesh.network(), out.reduced, port_nodes, opt.mor_probes);
+        const double rel_db =
+            rel > 0.0 ? 20.0 * std::log10(rel) : -400.0; // exact -> floor
+        obs::record_value("mor/reduction_error_db", rel_db);
+        obs::budget_update("mor/reduction", rel, opt.mor_error_max, "1",
+                           /*higher_is_worse=*/true,
+                           format("%d probes", opt.mor_probes));
+        log_info("substrate: reduction-error probe %.1f dB over %d excitations",
+                 rel_db, opt.mor_probes);
     }
     out.extract_seconds = obs_timer.stop();
     log_info("substrate: %zu mesh nodes -> %zu ports in %.2fs%s",

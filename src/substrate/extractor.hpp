@@ -42,6 +42,15 @@ struct ExtractOptions {
     /// stitched model is larger and slower but exact.  OFF propagates the
     /// reduction error.
     bool unreduced_fallback = true;
+    /// Reduction-error probes for the accuracy budget: after a successful
+    /// reduction, drive reduced and unreduced networks with this many random
+    /// port excitations and ledger the worst relative port-current error as
+    /// budget stage "mor/reduction" (see mor::probe_reduction_error).  Runs
+    /// only while obs is enabled; 0 disables.
+    int mor_probes = 3;
+    /// Accuracy budget for the probe error (relative port-current error; the
+    /// ledger reports the margin against it in dB).
+    double mor_error_max = 1e-6;
 };
 
 struct SubstrateModel {

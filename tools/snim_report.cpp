@@ -5,15 +5,21 @@
 //                     [--fail-on-regress]
 //   snim_report trend LEDGER.jsonl [--last N] [--html FILE]
 //   snim_report show  RUN.json
+//   snim_report budget RUN.json [OLD.json] [--limit N] [--fail-on-breach]
+//                      [--fail-on-regress] [--tol-budget DB]
 //
-// `diff` aligns two BENCH_*.json reports (schema 1 or 2) by scenario and
-// metric name, prints the ranked regression table, and — only under
-// --fail-on-regress — exits 1 when any metric regressed beyond tolerance,
-// which is how CI gates on it.  `trend` renders a snim_bench --ledger
-// history as sparklines (text) or a self-contained HTML page with a
-// collapsible phase flame view.  `show` pretty-prints a single report's
-// manifest and scenarios.  Exit codes: 0 ok, 1 gated regression, 2 usage
-// or I/O error.
+// `diff` aligns two BENCH_*.json reports by scenario and metric name
+// (schema-4 accuracy-budget stages included), prints the ranked regression
+// table, and — only under --fail-on-regress — exits 1 when any metric
+// regressed beyond tolerance, which is how CI gates on it.  `trend` renders
+// a snim_bench --ledger history as sparklines (text) or a self-contained
+// HTML page with a collapsible phase flame view.  `show` pretty-prints a
+// single report's manifest and scenarios.  `budget` prints one report's
+// ranked accuracy-budget ledger (worst margin first) with the per-scenario
+// solve-certificate summaries; with a second file it additionally diffs the
+// budget stages against that baseline.  Exit codes: 0 ok, 1 gated
+// regression/breach, 2 usage or I/O error.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -46,7 +52,15 @@ using namespace snim::obs;
         "  snim_report trend LEDGER.jsonl [--last N] [--html FILE]\n"
         "  snim_report show RUN.json [--events]\n"
         "      --events            print the live event-journal tail and top\n"
-        "                          sampled stacks instead of the summary\n",
+        "                          sampled stacks instead of the summary\n"
+        "  snim_report budget RUN.json [OLD.json] [options]\n"
+        "      --limit N           show at most N unbreached budget rows\n"
+        "      --fail-on-breach    exit 1 when any stage is over budget or a\n"
+        "                          solve certificate recorded a breach\n"
+        "      --tol-budget DB     margin noise tolerance for the baseline\n"
+        "                          diff, dB (default 0.5)\n"
+        "      --fail-on-regress   exit 1 when a budget margin regressed\n"
+        "                          against OLD.json beyond tolerance\n",
         stderr);
     std::exit(2);
 }
@@ -80,6 +94,7 @@ int cmd_diff(int argc, char** argv) {
         else if (a == "--tol-accuracy") tol.accuracy_db = parse_double(argv[i], next), ++i;
         else if (a == "--tol-rss") tol.rss_pct = parse_double(argv[i], next), ++i;
         else if (a == "--tol-counter") tol.counter_pct = parse_double(argv[i], next), ++i;
+        else if (a == "--tol-budget") tol.budget_db = parse_double(argv[i], next), ++i;
         else if (a == "--limit") limit = static_cast<size_t>(parse_double(argv[i], next)), ++i;
         else if (a == "--fail-on-regress") fail_on_regress = true;
         else if (!a.empty() && a[0] == '-') usage(format("unknown flag '%s'", a.c_str()).c_str());
@@ -161,6 +176,65 @@ int cmd_show(int argc, char** argv) {
     return 0;
 }
 
+int cmd_budget(int argc, char** argv) {
+    std::vector<std::string> files;
+    DiffTolerances tol;
+    size_t limit = 0;
+    bool fail_on_breach = false;
+    bool fail_on_regress = false;
+    for (int i = 0; i < argc; ++i) {
+        const std::string a = argv[i];
+        const char* next = i + 1 < argc ? argv[i + 1] : nullptr;
+        if (a == "--limit") limit = static_cast<size_t>(parse_double(argv[i], next)), ++i;
+        else if (a == "--tol-budget") tol.budget_db = parse_double(argv[i], next), ++i;
+        else if (a == "--fail-on-breach") fail_on_breach = true;
+        else if (a == "--fail-on-regress") fail_on_regress = true;
+        else if (!a.empty() && a[0] == '-') usage(format("unknown flag '%s'", a.c_str()).c_str());
+        else files.push_back(a);
+    }
+    if (files.empty() || files.size() > 2)
+        usage("budget needs a report file (plus at most one baseline)");
+
+    const Json report = load_json(files[0]);
+    std::fputs(budget_table(report, limit).c_str(), stdout);
+
+    int rc = 0;
+    if (files.size() == 2) {
+        // Baseline comparison restricted to the budget/<stage> margins; the
+        // full metric diff is `snim_report diff`'s job.
+        const Json baseline = load_json(files[1]);
+        ReportDiff d = diff_reports(baseline, report, tol);
+        d.metrics.erase(std::remove_if(d.metrics.begin(), d.metrics.end(),
+                                       [](const MetricDiff& m) {
+                                           return m.metric.rfind("budget/", 0) != 0;
+                                       }),
+                        d.metrics.end());
+        std::fputs("\nbudget vs baseline:\n", stdout);
+        std::fputs(diff_table(d, limit).c_str(), stdout);
+        if (diff_has_regression(d)) {
+            if (fail_on_regress) {
+                std::fputs("FAIL: budget margin regressed beyond tolerance\n", stdout);
+                rc = 1;
+            } else {
+                std::fputs("note: budget margin regressed beyond tolerance "
+                           "(pass --fail-on-regress to gate on it)\n",
+                           stdout);
+            }
+        }
+    }
+    if (budget_has_breach(report)) {
+        if (fail_on_breach) {
+            std::fputs("FAIL: accuracy budget breached\n", stdout);
+            rc = 1;
+        } else {
+            std::fputs("note: accuracy budget breached "
+                       "(pass --fail-on-breach to gate on it)\n",
+                       stdout);
+        }
+    }
+    return rc;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -170,6 +244,7 @@ int main(int argc, char** argv) {
         if (cmd == "diff") return cmd_diff(argc - 2, argv + 2);
         if (cmd == "trend") return cmd_trend(argc - 2, argv + 2);
         if (cmd == "show") return cmd_show(argc - 2, argv + 2);
+        if (cmd == "budget") return cmd_budget(argc - 2, argv + 2);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "snim_report: %s\n", e.what());
         return 2;
