@@ -144,7 +144,21 @@ void run_fig7(obs::ScenarioContext& ctx) {
         ->set_waveform(circuit::Waveform::sin(0.0, 0.356, fn));
     rf::OscOptions osc = testcases::vco_osc_options();
     osc.capture = 1.0e-6; // must equal the reference run: identical FFT bins
+    osc.checkpoint.tag = "fig7";
     auto cap = rf::capture_oscillator(nl, osc);
+
+    if (!ctx.wave_dir.empty()) {
+        // The raw capture rides into the wave dump so kill-and-resume checks
+        // can bit-compare the probe waveform, not just the derived metrics.
+        obs::WaveSignal probe;
+        probe.name = "vco_diff";
+        probe.unit = "V";
+        probe.time.resize(cap.wave.size());
+        for (size_t k = 0; k < cap.wave.size(); ++k)
+            probe.time[k] = osc.settle + static_cast<double>(k) / cap.fs;
+        probe.value = cap.wave;
+        ctx.dump_waves("fig7_vco_spectrum.probes", {probe});
+    }
 
     auto spec = dsp::amplitude_spectrum(cap.wave, cap.fs);
     std::vector<double> keys, dbc;
@@ -182,6 +196,9 @@ void run_fig8(obs::ScenarioContext& ctx) {
                 ->set_waveform(circuit::Waveform::dc(vt));
             core::AnalyzerOptions aopt;
             aopt.osc = testcases::vco_osc_options();
+            // Per-corner checkpoint tag: a killed fig8 sweep resumes at the
+            // first corner whose snapshots are incomplete.
+            aopt.osc.checkpoint.tag = format("fig8_vt%s", vt_label.c_str());
             core::ImpactAnalyzer analyzer(model, VcoTestcase::kNoiseSource,
                                           testcases::vco_noise_entries(), aopt);
             analyzer.calibrate();
@@ -224,6 +241,7 @@ void run_fig9(obs::ScenarioContext& ctx) {
 
     core::AnalyzerOptions aopt;
     aopt.osc = testcases::vco_osc_options();
+    aopt.osc.checkpoint.tag = "fig9";
     core::ImpactAnalyzer analyzer(model, VcoTestcase::kNoiseSource, entries, aopt);
     analyzer.calibrate();
     analyzer.calibrate_paths();
@@ -265,6 +283,7 @@ void run_fig10(obs::ScenarioContext& ctx) {
 
             core::AnalyzerOptions aopt;
             aopt.osc = testcases::vco_osc_options();
+            aopt.osc.checkpoint.tag = format("fig10_c%zu", ci);
             core::ImpactAnalyzer analyzer(model, VcoTestcase::kNoiseSource,
                                           testcases::vco_noise_entries(), aopt);
             analyzer.calibrate();
@@ -345,6 +364,7 @@ void run_transient_ladder(obs::ScenarioContext& ctx) {
     sim::TranOptions opt;
     opt.dt = 10e-12;
     opt.tstop = 10e-9; // 1000 steps
+    opt.checkpoint.tag = "kernel_transient";
     auto res = sim::transient(nl, {format("n%d", stages)}, opt);
     if (!ctx.wave_dir.empty()) {
         obs::WaveSignal probe;

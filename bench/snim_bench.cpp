@@ -10,6 +10,7 @@
 // and a Chrome trace, and gates against a baseline report.  Exit status:
 // 0 gate passes, 1 a scenario regressed or missed its accuracy tolerance,
 // 2 usage error.
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cstdio>
@@ -28,6 +29,7 @@
 #include "obs/trace_export.hpp"
 #include "obs/watchdog.hpp"
 #include "scenarios.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/diagnostics.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -51,6 +53,9 @@ struct Args {
     std::string baseline_path;
     std::string wave_dir;
     std::string diag_dir;
+    std::string checkpoint_dir;
+    std::string checkpoint_every;
+    bool resume = false;
     std::string ledger_path;
     std::string log_level;
     std::string events_path;
@@ -82,6 +87,15 @@ void usage(std::FILE* to) {
         "                         health channels as VCD + CSV into DIR\n"
         "  --diag-dir DIR         write Newton-failure diagnosis bundles\n"
         "                         (snim_diag_*.json) into DIR instead of cwd\n"
+        "  --checkpoint-dir DIR   snapshot every transient's state into DIR\n"
+        "                         (crash-consistent, double-buffered; one file\n"
+        "                         per scenario corner)\n"
+        "  --checkpoint-every SPEC  snapshot cadence: '2s' = every 2 wall-clock\n"
+        "                         seconds, plain N = every N accepted steps\n"
+        "                         (default 5s)\n"
+        "  --resume               continue from the snapshots in --checkpoint-dir;\n"
+        "                         finished corners replay instantly, a corner\n"
+        "                         killed mid-transient resumes bit-identically\n"
         "  --ledger FILE          append a one-line run summary (manifest +\n"
         "                         per-scenario runtime/accuracy/RSS) to the\n"
         "                         JSONL ledger; render with `snim_report trend`\n"
@@ -119,6 +133,9 @@ bool parse_args(int argc, char** argv, Args& a) {
         else if (arg == "--fail-on-regress") a.fail_pct = std::atof(need_value(i, "--fail-on-regress"));
         else if (arg == "--dump-waves") a.wave_dir = need_value(i, "--dump-waves");
         else if (arg == "--diag-dir") a.diag_dir = need_value(i, "--diag-dir");
+        else if (arg == "--checkpoint-dir") a.checkpoint_dir = need_value(i, "--checkpoint-dir");
+        else if (arg == "--checkpoint-every") a.checkpoint_every = need_value(i, "--checkpoint-every");
+        else if (arg == "--resume") a.resume = true;
         else if (arg == "--ledger") a.ledger_path = need_value(i, "--ledger");
         else if (arg == "--log-level") a.log_level = need_value(i, "--log-level");
         else if (arg == "--events") a.events_path = need_value(i, "--events");
@@ -135,7 +152,33 @@ bool parse_args(int argc, char** argv, Args& a) {
     if (!a.log_level.empty() && !parse_log_level(a.log_level))
         raise("--log-level wants debug|info|warn|quiet, got '%s'",
               a.log_level.c_str());
+    if (a.resume && a.checkpoint_dir.empty())
+        raise("--resume needs --checkpoint-dir");
+    if (!a.checkpoint_every.empty() && a.checkpoint_dir.empty())
+        raise("--checkpoint-every needs --checkpoint-dir");
     return true;
+}
+
+/// "2s" / "1.5s" -> wall-clock seconds; plain "500" -> accepted steps.
+sim::CheckpointOptions parse_checkpoint_args(const Args& a) {
+    sim::CheckpointOptions ck;
+    ck.dir = a.checkpoint_dir;
+    ck.resume = a.resume;
+    if (!a.checkpoint_every.empty()) {
+        char* end = nullptr;
+        const double v = std::strtod(a.checkpoint_every.c_str(), &end);
+        if (end == a.checkpoint_every.c_str() || v <= 0.0)
+            raise("--checkpoint-every wants '<seconds>s' or '<steps>', got '%s'",
+                  a.checkpoint_every.c_str());
+        if (std::strcmp(end, "s") == 0)
+            ck.every_s = v;
+        else if (*end == '\0')
+            ck.every_steps = static_cast<long>(v);
+        else
+            raise("--checkpoint-every wants '<seconds>s' or '<steps>', got '%s'",
+                  a.checkpoint_every.c_str());
+    }
+    return ck;
 }
 
 obs::WatchdogOptions parse_watchdog_spec(const std::string& spec) {
@@ -225,6 +268,16 @@ int run(const Args& a) {
     // same width without plumbing it through every options struct.
     if (a.threads > 0) util::set_default_thread_count(a.threads);
     if (!a.diag_dir.empty()) sim::set_default_diag_dir(a.diag_dir);
+    // Checkpointing installs as a process default: scenarios stamp their own
+    // per-corner tags on top, so a killed sweep resumes at the first
+    // unfinished corner.  The dir is created here because transient()
+    // downgrades snapshot-write failures to warnings — a missing directory
+    // would otherwise silently disable checkpointing.
+    if (!a.checkpoint_dir.empty()) {
+        ::mkdir(a.checkpoint_dir.c_str(), 0755);
+        sim::set_default_checkpoint(parse_checkpoint_args(a));
+    }
+    if (!a.wave_dir.empty()) ::mkdir(a.wave_dir.c_str(), 0755);
 
     // Live telemetry: the env pieces (SNIM_EVENTS/SNIM_PROFILE/SNIM_WATCHDOG/
     // SNIM_LASTGASP) first, then the explicit flags on top.

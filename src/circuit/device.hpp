@@ -23,6 +23,16 @@ using NodeNamer = std::function<std::string(NodeId)>;
 /// "Cload" for a capacitor).
 std::string spice_head(char kind, const std::string& name);
 
+/// Bounds-checked read used by Device::load_tran_state implementations: a
+/// checkpoint whose device-state blob is shorter than the netlist expects
+/// must surface as a named error, never an out-of-range read.
+inline double take_tran_state(const std::vector<double>& in, size_t& pos,
+                              const char* device) {
+    if (pos >= in.size())
+        raise("checkpoint device-state underrun at device '%s'", device);
+    return in[pos++];
+}
+
 class Device {
 public:
     Device(std::string name, std::vector<NodeId> terminals)
@@ -71,6 +81,20 @@ public:
     virtual void commit_tran(const std::vector<double>& x, const TranParams& tp) {
         (void)x;
         (void)tp;
+    }
+
+    /// Appends this device's transient integration state (the values
+    /// init_tran/commit_tran maintain) to `out` as raw doubles, for
+    /// checkpointing.  Memoryless devices append nothing.
+    virtual void save_tran_state(std::vector<double>& out) const { (void)out; }
+
+    /// Restores state written by save_tran_state, consuming values from
+    /// `in` starting at `pos` (advanced past what was read).  Used by
+    /// checkpoint resume INSTEAD of init_tran — the restored state must
+    /// reproduce the killed run bit-for-bit.
+    virtual void load_tran_state(const std::vector<double>& in, size_t& pos) {
+        (void)in;
+        (void)pos;
     }
 
     /// Small-signal stamp around operating point `xop` at angular

@@ -85,6 +85,16 @@ void Diode::commit_tran(const std::vector<double>& x, const TranParams& tp) {
     v_prev_ = v;
 }
 
+void Diode::save_tran_state(std::vector<double>& out) const {
+    out.push_back(v_prev_);
+    out.push_back(i_prev_);
+}
+
+void Diode::load_tran_state(const std::vector<double>& in, size_t& pos) {
+    v_prev_ = take_tran_state(in, pos, name().c_str());
+    i_prev_ = take_tran_state(in, pos, name().c_str());
+}
+
 void Diode::stamp_ac(ComplexStamper& s, const std::vector<double>& xop,
                      double omega) const {
     const double v = volt(xop, term(kAnode)) - volt(xop, term(kCathode));

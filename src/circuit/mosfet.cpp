@@ -278,6 +278,28 @@ void Mosfet::commit_tran(const std::vector<double>& x, const TranParams& tp) {
     commit_cap(x, term(kB), term(kS), csb_st_, tp);
 }
 
+void Mosfet::save_tran_state(std::vector<double>& out) const {
+    // The full CapState is serialised — c/junction/cj0 are normally set by
+    // init_tran from the DC point, which a checkpoint resume skips.
+    for (const CapState* st : {&cgs_st_, &cgd_st_, &cgb_st_, &cdb_st_, &csb_st_}) {
+        out.push_back(st->q);
+        out.push_back(st->i);
+        out.push_back(st->c);
+        out.push_back(st->junction ? 1.0 : 0.0);
+        out.push_back(st->cj0);
+    }
+}
+
+void Mosfet::load_tran_state(const std::vector<double>& in, size_t& pos) {
+    for (CapState* st : {&cgs_st_, &cgd_st_, &cgb_st_, &cdb_st_, &csb_st_}) {
+        st->q = take_tran_state(in, pos, name().c_str());
+        st->i = take_tran_state(in, pos, name().c_str());
+        st->c = take_tran_state(in, pos, name().c_str());
+        st->junction = take_tran_state(in, pos, name().c_str()) != 0.0;
+        st->cj0 = take_tran_state(in, pos, name().c_str());
+    }
+}
+
 void Mosfet::stamp_ac(ComplexStamper& s, const std::vector<double>& xop,
                       double omega) const {
     const SmallSignal ss = small_signal(xop);

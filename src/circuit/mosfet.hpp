@@ -49,6 +49,8 @@ public:
                     const TranParams& tp) override;
     void init_tran(const std::vector<double>& x) override;
     void commit_tran(const std::vector<double>& x, const TranParams& tp) override;
+    void save_tran_state(std::vector<double>& out) const override;
+    void load_tran_state(const std::vector<double>& in, size_t& pos) override;
     void stamp_ac(ComplexStamper& s, const std::vector<double>& xop,
                   double omega) const override;
     bool is_nonlinear() const override { return true; }

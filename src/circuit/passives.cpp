@@ -82,6 +82,16 @@ void Capacitor::commit_tran(const std::vector<double>& x, const TranParams& tp) 
     i_prev_ = i;
 }
 
+void Capacitor::save_tran_state(std::vector<double>& out) const {
+    out.push_back(v_prev_);
+    out.push_back(i_prev_);
+}
+
+void Capacitor::load_tran_state(const std::vector<double>& in, size_t& pos) {
+    v_prev_ = take_tran_state(in, pos, name().c_str());
+    i_prev_ = take_tran_state(in, pos, name().c_str());
+}
+
 void Capacitor::stamp_ac(ComplexStamper& s, const std::vector<double>&,
                          double omega) const {
     s.admittance(term(kA), term(kB), {0.0, omega * c_});
@@ -139,6 +149,16 @@ void Inductor::commit_tran(const std::vector<double>& x, const TranParams& tp) {
     const double vl = (tp.order == 2) ? req * (i - i_prev_) - v_prev_ : req * (i - i_prev_);
     i_prev_ = i;
     v_prev_ = vl;
+}
+
+void Inductor::save_tran_state(std::vector<double>& out) const {
+    out.push_back(i_prev_);
+    out.push_back(v_prev_);
+}
+
+void Inductor::load_tran_state(const std::vector<double>& in, size_t& pos) {
+    i_prev_ = take_tran_state(in, pos, name().c_str());
+    v_prev_ = take_tran_state(in, pos, name().c_str());
 }
 
 void Inductor::stamp_ac(ComplexStamper& s, const std::vector<double>&,

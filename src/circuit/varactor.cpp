@@ -73,6 +73,16 @@ void Varactor::commit_tran(const std::vector<double>& x, const TranParams& tp) {
     i_prev_ = i;
 }
 
+void Varactor::save_tran_state(std::vector<double>& out) const {
+    out.push_back(q_prev_);
+    out.push_back(i_prev_);
+}
+
+void Varactor::load_tran_state(const std::vector<double>& in, size_t& pos) {
+    q_prev_ = take_tran_state(in, pos, name().c_str());
+    i_prev_ = take_tran_state(in, pos, name().c_str());
+}
+
 void Varactor::stamp_ac(ComplexStamper& s, const std::vector<double>& xop,
                         double omega) const {
     const double v = volt(xop, term(kGate)) - volt(xop, term(kWell));

@@ -43,6 +43,21 @@ struct FlowOptions {
     /// (the SNIM_THREADS environment override, else 1).  Sweep results are
     /// bit-identical for every thread count.
     int threads = 0;
+    /// When non-empty, every transient run on the resulting impact model
+    /// snapshots its state here (crash-consistent, double-buffered);
+    /// forwarded to sim::set_default_checkpoint().  Like diag_dir/threads,
+    /// checkpointing is operational and excluded from the config digest:
+    /// a checkpointed run is bit-identical to an uncheckpointed one.
+    std::string checkpoint_dir;
+    /// Resume from the snapshots in checkpoint_dir: transients whose
+    /// checkpoint file carries a matching config digest continue (or replay
+    /// instantly when complete); mismatched digests refuse with an error.
+    bool resume_from_checkpoint = false;
+    /// Snapshot cadence: wall-clock seconds and/or accepted-step count
+    /// (either 0 disables that trigger; both 0 with a checkpoint_dir set
+    /// falls back to the sim default of one snapshot every 5 s).
+    double checkpoint_every_s = 0.0;
+    long checkpoint_every_steps = 0;
 };
 
 /// Validates every FlowOptions field, raising an error that names the

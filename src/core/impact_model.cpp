@@ -84,11 +84,23 @@ std::vector<circuit::Device*> ImpactAnalyzer::coupling_devices(const NoiseEntry&
     return out;
 }
 
-std::pair<double, double> ImpactAnalyzer::dc_path_sensitivity() {
+rf::OscOptions ImpactAnalyzer::osc_tagged(const std::string& suffix) const {
+    rf::OscOptions osc = opt_.osc;
+    // Every capture in a calibration sequence shares one checkpoint dir, and
+    // several of them run with IDENTICAL transient options (the +dv and -dv
+    // sensitivity pair, for one), so the config digest alone cannot tell
+    // their snapshots apart -- the file name must.
+    const std::string base =
+        osc.checkpoint.tag.empty() ? std::string("osc") : osc.checkpoint.tag;
+    osc.checkpoint.tag = base + "." + suffix;
+    return osc;
+}
+
+std::pair<double, double> ImpactAnalyzer::dc_path_sensitivity(const std::string& tag) {
     set_noise_dc(opt_.dv_dc);
-    const auto plus = rf::capture_oscillator(model_.netlist, opt_.osc);
+    const auto plus = rf::capture_oscillator(model_.netlist, osc_tagged(tag + ".p"));
     set_noise_dc(-opt_.dv_dc);
-    const auto minus = rf::capture_oscillator(model_.netlist, opt_.osc);
+    const auto minus = rf::capture_oscillator(model_.netlist, osc_tagged(tag + ".m"));
     set_noise_dc(0.0);
     const double k = (plus.fc - minus.fc) / (2.0 * opt_.dv_dc);
     const double g =
@@ -99,11 +111,11 @@ std::pair<double, double> ImpactAnalyzer::dc_path_sensitivity() {
 void ImpactAnalyzer::calibrate() {
     set_noise_dc(0.0);
     log_info("impact: baseline oscillator run");
-    baseline_ = rf::capture_oscillator(model_.netlist, opt_.osc);
+    baseline_ = rf::capture_oscillator(model_.netlist, osc_tagged("cal0"));
     log_info("impact: fc = %.6g Hz, amplitude = %.4g V", baseline_.fc,
              baseline_.amplitude);
 
-    auto [k, g] = dc_path_sensitivity();
+    auto [k, g] = dc_path_sensitivity("cal");
     k_src_ = k;
     g_src_ = g;
     log_info("impact: K_src = %.5g Hz/V, G_src = %.4g 1/V", k_src_, g_src_);
@@ -115,7 +127,7 @@ void ImpactAnalyzer::calibrate() {
 }
 
 rf::OscCapture ImpactAnalyzer::capture_noisy(double fnoise, double min_periods) {
-    rf::OscOptions osc = opt_.osc;
+    rf::OscOptions osc = osc_tagged(format("sim_%g", fnoise));
     osc.capture = std::max(osc.capture, min_periods / fnoise);
     return rf::capture_oscillator(model_.netlist, osc);
 }
@@ -128,7 +140,8 @@ void ImpactAnalyzer::calibrate_paths() {
     // ablated by shorting those wire resistances ONLY (the ground path:
     // removing its taps would unground the substrate); otherwise its
     // coupling devices are disabled.
-    for (const auto& e : entries_) {
+    for (size_t ei = 0; ei < entries_.size(); ++ei) {
+        const auto& e = entries_[ei];
         std::vector<circuit::Device*> devices;
         if (e.short_prefixes.empty()) devices = coupling_devices(e);
         std::vector<std::pair<circuit::Resistor*, double>> shorted;
@@ -151,7 +164,7 @@ void ImpactAnalyzer::calibrate_paths() {
         // gate still certifies every solve.
         const double rcond_floor = opt_.osc.certify.rcond_min;
         opt_.osc.certify.rcond_min = 0.0;
-        const auto [k_wo, g_wo] = dc_path_sensitivity();
+        const auto [k_wo, g_wo] = dc_path_sensitivity(format("wo%zu", ei));
         opt_.osc.certify.rcond_min = rcond_floor;
         for (auto* d : devices) d->set_disabled(false);
         for (auto& [r, value] : shorted) r->set_resistance(value);
@@ -179,9 +192,11 @@ void ImpactAnalyzer::calibrate_paths() {
             SNIM_ASSERT(v != nullptr, "lever source '%s' is not a V source", src.c_str());
             const double v0 = v->waveform().dc_value();
             v->set_waveform(circuit::Waveform::dc(v0 + opt_.lever_dv));
-            const auto plus = rf::capture_oscillator(model_.netlist, opt_.osc);
+            const auto plus = rf::capture_oscillator(
+                model_.netlist, osc_tagged(format("lever%zu.p", i)));
             v->set_waveform(circuit::Waveform::dc(v0 - opt_.lever_dv));
-            const auto minus = rf::capture_oscillator(model_.netlist, opt_.osc);
+            const auto minus = rf::capture_oscillator(
+                model_.netlist, osc_tagged(format("lever%zu.m", i)));
             v->set_waveform(circuit::Waveform::dc(v0));
             const double lever = (plus.fc - minus.fc) / (2.0 * opt_.lever_dv);
             it = lever_cache.emplace(src, lever).first;

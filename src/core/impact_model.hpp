@@ -154,8 +154,13 @@ private:
     std::vector<circuit::Device*> coupling_devices(const NoiseEntry& e);
     std::complex<double> entry_transfer(size_t entry, double fnoise,
                                         const std::vector<const circuit::Device*>* exclude);
-    /// K_src/G_src measurement with the current enable/disable state.
-    std::pair<double, double> dc_path_sensitivity();
+    /// Copy of opt_.osc with `suffix` appended to the checkpoint tag, so
+    /// every capture in a calibration sequence snapshots to its own file.
+    rf::OscOptions osc_tagged(const std::string& suffix) const;
+    /// K_src/G_src measurement with the current enable/disable state.  `tag`
+    /// distinguishes the checkpoint files of the +dv/-dv pair from other
+    /// sensitivity pairs run in the same process.
+    std::pair<double, double> dc_path_sensitivity(const std::string& tag);
     rf::OscCapture capture_noisy(double fnoise, double min_periods);
 
     ImpactModel& model_;

@@ -240,6 +240,69 @@ uint64_t certificate_breach_count() {
     return g_breach_count.load(std::memory_order_relaxed);
 }
 
+BudgetState budget_state() {
+    BudgetState st;
+    Ledger& l = ledger();
+    std::lock_guard<std::mutex> lock(l.mu);
+    st.rows.reserve(l.rows.size());
+    for (const auto& [stage, row] : l.rows) {
+        BudgetState::Row r;
+        r.stage = stage;
+        r.unit = row.unit;
+        r.detail = row.detail;
+        r.worst = row.worst;
+        r.threshold = row.threshold;
+        r.higher_is_worse = row.higher_is_worse;
+        r.samples = row.samples;
+        r.breaches = row.breaches;
+        st.rows.push_back(std::move(r));
+    }
+    st.cert_solves = l.cert_solves;
+    st.cert_breaches = l.cert_breaches;
+    st.cert_refine_steps = l.cert_refine_steps;
+    st.worst_omega = l.worst_omega;
+    st.min_rcond = std::isfinite(l.min_rcond) ? l.min_rcond : 0.0;
+    st.breach_events = g_breach_count.load(std::memory_order_relaxed);
+    return st;
+}
+
+void budget_restore(const BudgetState& st) {
+    Ledger& l = ledger();
+    std::lock_guard<std::mutex> lock(l.mu);
+    for (const auto& r : st.rows) {
+        auto [it, fresh] = l.rows.try_emplace(r.stage);
+        LedgerRow& row = it->second;
+        if (fresh) {
+            row.unit = r.unit;
+            row.threshold = r.threshold;
+            row.higher_is_worse = r.higher_is_worse;
+            row.worst = r.worst;
+            row.detail = r.detail;
+            row.samples = r.samples;
+            row.breaches = r.breaches;
+            continue;
+        }
+        const bool worse = row.higher_is_worse ? r.worst > row.worst
+                                               : r.worst < row.worst;
+        if (worse || (r.worst == row.worst && r.detail < row.detail)) {
+            row.worst = r.worst;
+            row.detail = r.detail;
+        }
+        row.samples = std::max(row.samples, r.samples);
+        row.breaches = std::max(row.breaches, r.breaches);
+    }
+    l.cert_solves = std::max(l.cert_solves, st.cert_solves);
+    l.cert_breaches = std::max(l.cert_breaches, st.cert_breaches);
+    l.cert_refine_steps = std::max(l.cert_refine_steps, st.cert_refine_steps);
+    l.worst_omega = std::max(l.worst_omega, st.worst_omega);
+    if (st.min_rcond > 0.0) l.min_rcond = std::min(l.min_rcond, st.min_rcond);
+    uint64_t prev = g_breach_count.load(std::memory_order_relaxed);
+    while (prev < st.breach_events &&
+           !g_breach_count.compare_exchange_weak(prev, st.breach_events,
+                                                 std::memory_order_relaxed)) {
+    }
+}
+
 #endif // SNIM_OBS_ENABLED
 
 } // namespace snim::obs

@@ -93,6 +93,32 @@ struct BudgetEntry {
     std::string detail;     // attribution for the worst sample (node name...)
 };
 
+/// Raw ledger state for checkpointing: the per-stage rows plus the
+/// aggregate certificate summary, exactly as the ledger holds them (no
+/// derived margin).  Restoring a BudgetState taken later along the SAME
+/// execution path is idempotent — see budget_restore().
+struct BudgetState {
+    struct Row {
+        std::string stage;
+        std::string unit;
+        std::string detail;
+        double worst = 0.0;
+        double threshold = 0.0;
+        bool higher_is_worse = true;
+        uint64_t samples = 0;
+        uint64_t breaches = 0;
+    };
+    std::vector<Row> rows;
+    uint64_t cert_solves = 0;
+    uint64_t cert_breaches = 0;
+    uint64_t cert_refine_steps = 0;
+    uint64_t breach_events = 0; // certificate_breach_count()
+    double worst_omega = 0.0;
+    double min_rcond = 0.0; // 0 encodes "none yet" (internal +inf)
+
+    bool empty() const { return rows.empty() && cert_solves == 0; }
+};
+
 #if SNIM_OBS_ENABLED
 
 /// Folds one sample into the named ledger stage.  Thread-safe and
@@ -127,6 +153,17 @@ void record_certificate(const char* component, const SolveCertificate& cert,
 /// load), surfaced by progress heartbeats and watchdog stall events.
 uint64_t certificate_breach_count();
 
+/// The ledger's raw state, for checkpoint serialisation.
+BudgetState budget_state();
+
+/// Folds a saved BudgetState back in with MONOTONE merges: per-row worst
+/// via the same worse-or-tie rule budget_update uses, samples/breaches and
+/// the summary counters via max (min for min_rcond).  Along one execution
+/// path ledger state only grows, so restoring a snapshot taken later on
+/// that path yields exactly the later state — a resumed run reproduces the
+/// uninterrupted ledger without double-counting rows already present.
+void budget_restore(const BudgetState& st);
+
 #else // SNIM_OBS_ENABLED — compiled out: inline no-ops.
 
 inline void budget_update(std::string_view, double, double, std::string_view,
@@ -138,6 +175,8 @@ inline void budget_reset() {}
 inline void record_certificate(const char*, const SolveCertificate&,
                                const CertifyOptions&) {}
 inline uint64_t certificate_breach_count() { return 0; }
+inline BudgetState budget_state() { return {}; }
+inline void budget_restore(const BudgetState&) {}
 
 #endif // SNIM_OBS_ENABLED
 

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "util/atomic_file.hpp"
 #include "util/error.hpp"
 
 namespace snim::obs {
@@ -38,13 +39,9 @@ std::string json_number(double v) {
 }
 
 void write_json_file(const std::string& path, const Json& doc, int indent) {
-    const std::string text = doc.dump(indent);
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (!f) raise("cannot open '%s' for writing", path.c_str());
-    const size_t n = std::fwrite(text.data(), 1, text.size(), f);
-    std::fputc('\n', f);
-    std::fclose(f);
-    if (n != text.size()) raise("short write to '%s'", path.c_str());
+    // Crash-consistent: a reader (or a run killed mid-write) never sees a
+    // truncated JSON document, only the previous complete one or none.
+    util::write_file_atomic(path, doc.dump(indent) + "\n");
 }
 
 const Json& Json::at(const std::string& key) const {

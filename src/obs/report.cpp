@@ -177,15 +177,13 @@ void write_env_report() {
         case ReportMode::Json: {
             const char* env = std::getenv("SNIM_OBS_FILE");
             const std::string path = env && *env ? env : "snim_obs_report.json";
-            FILE* f = std::fopen(path.c_str(), "w");
-            if (!f) {
-                log_warn("obs: cannot write report to '%s'", path.c_str());
+            try {
+                write_json_file(path, report_json(), 2);
+            } catch (const Error& e) {
+                log_warn("obs: cannot write report to '%s': %s", path.c_str(),
+                         e.what());
                 return;
             }
-            const std::string doc = report_json().dump(2);
-            std::fwrite(doc.data(), 1, doc.size(), f);
-            std::fputc('\n', f);
-            std::fclose(f);
             log_info("obs: run report written to %s", path.c_str());
             return;
         }

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <utility>
 
+#include "util/atomic_file.hpp"
 #include "util/error.hpp"
+#include "util/log.hpp"
 
 namespace snim::obs {
 
@@ -75,19 +78,16 @@ Json ledger_entry_from_report(const Json& report) {
 
 void append_ledger(const std::string& path, const Json& entry) {
     if (!entry.is_object()) raise("ledger: entry must be a JSON object");
-    const std::string line = entry.dump(-1);
-    std::FILE* f = std::fopen(path.c_str(), "a");
-    if (!f) raise("cannot open ledger '%s' for append", path.c_str());
-    const size_t n = std::fwrite(line.data(), 1, line.size(), f);
-    std::fputc('\n', f);
-    std::fclose(f);
-    if (n != line.size()) raise("short write to ledger '%s'", path.c_str());
+    // O_APPEND single-write record: concurrent bench runs appending to a
+    // shared ledger cannot interleave bytes, and a crash mid-append leaves
+    // at worst one short final line (which read_ledger skips as malformed).
+    util::append_record_atomic(path, entry.dump(-1));
 }
 
 std::vector<Json> read_ledger(const std::string& path) {
     std::ifstream in(path, std::ios::binary);
     if (!in) raise("cannot open ledger '%s'", path.c_str());
-    std::vector<Json> out;
+    std::vector<std::pair<size_t, std::string>> lines;
     std::string line;
     size_t lineno = 0;
     while (std::getline(in, line)) {
@@ -98,11 +98,22 @@ std::vector<Json> read_ledger(const std::string& path) {
                 blank = false;
                 break;
             }
-        if (blank) continue;
+        if (!blank) lines.emplace_back(lineno, line);
+    }
+    std::vector<Json> out;
+    for (size_t i = 0; i < lines.size(); ++i) {
         try {
-            out.push_back(Json::parse(line));
+            out.push_back(Json::parse(lines[i].second));
         } catch (const Error& e) {
-            raise("ledger '%s' line %zu: %s", path.c_str(), lineno, e.what());
+            // A run killed mid-append leaves at most one short FINAL line;
+            // tolerate exactly that (the entry is lost, the ledger is not).
+            // A malformed interior line is real corruption and still raises.
+            if (i + 1 == lines.size()) {
+                log_warn("ledger '%s': skipping truncated final line %zu (%s)",
+                         path.c_str(), lines[i].first, e.what());
+                break;
+            }
+            raise("ledger '%s' line %zu: %s", path.c_str(), lines[i].first, e.what());
         }
     }
     return out;

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "obs/provenance.hpp"
+#include "util/atomic_file.hpp"
 #include "util/error.hpp"
 
 namespace snim::obs {
@@ -126,12 +127,9 @@ std::string vcd_document(const std::vector<WaveSignal>& signals, double timescal
 
 void write_vcd(const std::string& path, const std::vector<WaveSignal>& signals,
                double timescale_s) {
-    const std::string doc = vcd_document(signals, timescale_s);
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (!f) raise("cannot open '%s' for writing", path.c_str());
-    const size_t n = std::fwrite(doc.data(), 1, doc.size(), f);
-    std::fclose(f);
-    if (n != doc.size()) raise("short write to '%s'", path.c_str());
+    // Atomic publish: waveform viewers (and resume-time bit-compares) never
+    // see a half-written dump.
+    util::write_file_atomic(path, vcd_document(signals, timescale_s));
 }
 
 std::vector<WaveSignal> parse_vcd(const std::string& document) {
@@ -211,27 +209,27 @@ void write_wave_csv(const std::string& path, const std::vector<WaveSignal>& sign
     std::sort(axis.begin(), axis.end());
     axis.erase(std::unique(axis.begin(), axis.end()), axis.end());
 
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (!f) raise("cannot open '%s' for writing", path.c_str());
-    std::fputs("time", f);
-    for (const auto& s : signals) std::fprintf(f, ",%s", s.name.c_str());
-    std::fputc('\n', f);
+    std::string out = "time";
+    for (const auto& s : signals) out += "," + s.name;
+    out += '\n';
     std::vector<size_t> cursor(signals.size(), 0);
+    char buf[64];
     for (double t : axis) {
-        std::fprintf(f, "%.17g", t);
+        std::snprintf(buf, sizeof buf, "%.17g", t);
+        out += buf;
         for (size_t i = 0; i < signals.size(); ++i) {
             const WaveSignal& s = signals[i];
             while (cursor[i] < s.time.size() && s.time[cursor[i]] <= t) ++cursor[i];
-            if (cursor[i] == 0)
-                std::fputc(',', f); // not yet sampled
-            else
-                std::fprintf(f, ",%.17g", s.value[cursor[i] - 1]);
+            if (cursor[i] == 0) {
+                out += ','; // not yet sampled
+            } else {
+                std::snprintf(buf, sizeof buf, ",%.17g", s.value[cursor[i] - 1]);
+                out += buf;
+            }
         }
-        std::fputc('\n', f);
+        out += '\n';
     }
-    const bool ok = std::fflush(f) == 0;
-    std::fclose(f);
-    if (!ok) raise("short write to '%s'", path.c_str());
+    util::write_file_atomic(path, out);
 }
 
 WaveSignal wave_from_timeseries(const TimeSeries& ts) {

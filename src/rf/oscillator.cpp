@@ -20,6 +20,7 @@ OscCapture capture_oscillator(circuit::Netlist& netlist, const OscOptions& opt) 
     to.record_start = opt.settle;
     to.accumulate_average = true;
     to.certify = opt.certify;
+    to.checkpoint = opt.checkpoint;
 
     std::vector<std::string> probes{opt.probe_p};
     if (!opt.probe_n.empty()) probes.push_back(opt.probe_n);

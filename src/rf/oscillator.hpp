@@ -31,6 +31,10 @@ struct OscOptions {
     /// produce extreme conductance spreads (shorted taps vs gmin anchors)
     /// relax certify.rcond_min here; the backward-error gate stays.
     obs::CertifyOptions certify;
+    /// Checkpoint/restart knobs forwarded to the transient.  Callers that
+    /// run several captures per process (analyzer calibration, bench
+    /// corners) must give each capture a distinct `checkpoint.tag`.
+    sim::CheckpointOptions checkpoint;
 };
 
 struct OscCapture {

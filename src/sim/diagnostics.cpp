@@ -9,6 +9,7 @@
 #include "obs/certify.hpp"
 #include "obs/events.hpp"
 #include "obs/report.hpp"
+#include "util/atomic_file.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -127,6 +128,9 @@ void digest_options(obs::ConfigDigest& d, const TranOptions& opt) {
     d.add("tran.dense_crossover", opt.dense_crossover);
     digest_certify_options(d, "tran", opt.certify);
     d.add("tran.kcl_max", opt.kcl_max);
+    // Checkpoint knobs (dir/tag/cadence/resume) are deliberately excluded:
+    // they are operational, like thread counts, and a resumed run must
+    // produce the same digest as the run that wrote the snapshot.
 }
 
 void digest_options(obs::ConfigDigest& d, const OpOptions& opt) {
@@ -228,10 +232,11 @@ std::string write_diagnosis_bundle(const FailureDiagnosis& d, const std::string&
             f = std::fopen(path.c_str(), "wx");
         }
         if (!f) return {};
-        const size_t n = std::fwrite(doc.data(), 1, doc.size(), f);
-        std::fputc('\n', f);
+        // The "wx" open only CLAIMS the name; the content is then published
+        // atomically over it so a crash mid-dump leaves an empty claim file,
+        // never a half-written JSON document.
         std::fclose(f);
-        if (n != doc.size()) return {};
+        util::write_file_atomic(path, doc + "\n");
         log_warn("wrote failure diagnosis bundle: %s", path.c_str());
         return path;
     } catch (...) {
@@ -314,6 +319,12 @@ void validate_tran_options(const TranOptions& opt) {
               opt.dense_crossover);
     if (!(opt.kcl_max > 0.0))
         raise("TranOptions.kcl_max must be > 0 (got %g)", opt.kcl_max);
+    if (opt.checkpoint.every_steps < 0)
+        raise("TranOptions.checkpoint.every_steps must be >= 0 (got %ld)",
+              opt.checkpoint.every_steps);
+    if (opt.checkpoint.every_s < 0.0 || !std::isfinite(opt.checkpoint.every_s))
+        raise("TranOptions.checkpoint.every_s must be finite and >= 0 (got %g)",
+              opt.checkpoint.every_s);
     obs::validate_certify_options(opt.certify, "TranOptions");
 }
 

@@ -9,7 +9,9 @@
 #include "numeric/certify.hpp"
 #include "numeric/sparse_lu.hpp"
 #include "numeric/vecops.hpp"
+#include "obs/events.hpp"
 #include "obs/progress.hpp"
+#include "obs/provenance.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "sim/diagnostics.hpp"
@@ -17,6 +19,7 @@
 #include "sim/op.hpp"
 #include "util/fault.hpp"
 #include "util/log.hpp"
+#include "util/rng.hpp"
 
 namespace snim::sim {
 
@@ -152,6 +155,52 @@ const char* reject_name(Reject r) {
     }
 }
 
+/// Merges the per-run checkpoint knobs with the process-default policy and
+/// fills the cadence/tag defaults.  Returned dir empty <=> checkpointing
+/// off for this run.
+CheckpointOptions resolve_checkpoint(const TranOptions& opt) {
+    CheckpointOptions c = opt.checkpoint;
+    if (c.dir.empty()) {
+        const CheckpointOptions& def = default_checkpoint();
+        if (def.dir.empty()) {
+            if (c.resume)
+                raise("transient: checkpoint.resume requested but no "
+                      "checkpoint dir is configured (set checkpoint.dir or "
+                      "sim::set_default_checkpoint)");
+            return c;
+        }
+        c.dir = def.dir;
+        if (c.every_steps <= 0) c.every_steps = def.every_steps;
+        if (c.every_s <= 0.0) c.every_s = def.every_s;
+        c.resume = c.resume || def.resume;
+        if (c.tag.empty()) c.tag = def.tag;
+    }
+    if (c.every_steps <= 0 && c.every_s <= 0.0) c.every_s = 5.0;
+    if (c.tag.empty()) c.tag = "tran";
+    return c;
+}
+
+/// Resume-time consistency checks beyond the config digest: the snapshot
+/// must describe THIS netlist and probe set, under the same RNG seed.
+void validate_resume(const TranCheckpoint& c, size_t n,
+                     const std::vector<std::string>& probes,
+                     const std::string& path) {
+    if (c.x_acc.size() != n || c.x_prev.size() != n)
+        raise("checkpoint '%s' holds %zu unknowns but the netlist has %zu — "
+              "refusing to resume",
+              path.c_str(), c.x_acc.size(), n);
+    if (c.probe_names != probes || c.waves.size() != probes.size())
+        raise("checkpoint '%s' was recorded with different probes — refusing "
+              "to resume",
+              path.c_str());
+    const uint64_t seed = default_rng_seed();
+    if (c.rng_seed != seed)
+        raise("checkpoint '%s' was written under RNG seed %llu but the "
+              "current seed is %llu — refusing to resume",
+              path.c_str(), static_cast<unsigned long long>(c.rng_seed),
+              static_cast<unsigned long long>(seed));
+}
+
 } // namespace
 
 TranResult transient(circuit::Netlist& netlist, const std::vector<std::string>& probes,
@@ -163,18 +212,53 @@ TranResult transient(circuit::Netlist& netlist, const std::vector<std::string>& 
     netlist.finalize();
     const size_t n = netlist.unknown_count();
 
-    std::vector<double> x = opt.initial;
-    if (x.empty()) {
-        OpOptions oo;
-        oo.gmin = opt.gmin;
-        // The embedded op inherits the transient's certificate policy so a
-        // caller that relaxes thresholds (ablation runs) relaxes both solves.
-        oo.certify = opt.certify;
-        x = operating_point(netlist, oo);
+    // Checkpoint policy + resume load happen BEFORE the operating point:
+    // a resumed run restores the accepted state instead of re-solving DC.
+    const CheckpointOptions cko = resolve_checkpoint(opt);
+    const bool ckpt_on = !cko.dir.empty();
+    uint64_t ckpt_digest = 0;
+    std::string ckpt_file;
+    std::optional<TranCheckpoint> res;
+    if (ckpt_on) {
+        obs::ConfigDigest cd;
+        digest_options(cd, opt);
+        ckpt_digest = cd.value64();
+        ckpt_file = checkpoint_path(cko.dir, cko.tag);
+        if (cko.resume) {
+            res = load_checkpoint(ckpt_file, ckpt_digest);
+            if (res) validate_resume(*res, n, probes, ckpt_file);
+        }
+    }
+    const bool resuming = res.has_value();
+
+    std::vector<double> x;
+    if (resuming) {
+        x = res->x_acc;
+    } else {
+        x = opt.initial;
+        if (x.empty()) {
+            OpOptions oo;
+            oo.gmin = opt.gmin;
+            // The embedded op inherits the transient's certificate policy so a
+            // caller that relaxes thresholds (ablation runs) relaxes both solves.
+            oo.certify = opt.certify;
+            x = operating_point(netlist, oo);
+        }
     }
     SNIM_ASSERT(x.size() == n, "initial point size mismatch");
 
-    for (const auto& d : netlist.devices()) d->init_tran(x);
+    if (resuming) {
+        // Device state comes from the snapshot, NOT init_tran — the restored
+        // values must reproduce the killed run bit-for-bit.
+        size_t pos = 0;
+        for (const auto& d : netlist.devices()) d->load_tran_state(res->device_state, pos);
+        if (pos != res->device_state.size())
+            raise("checkpoint '%s' carries %zu device-state values but this "
+                  "netlist consumed %zu — refusing to resume",
+                  ckpt_file.c_str(), res->device_state.size(), pos);
+    } else {
+        for (const auto& d : netlist.devices()) d->init_tran(x);
+    }
 
     TranResult out;
     out.probe_names = probes;
@@ -211,6 +295,17 @@ TranResult transient(circuit::Netlist& netlist, const std::vector<std::string>& 
     long recorded = 0;
     long averaged = 0;
     if (opt.accumulate_average) out.average.assign(n, 0.0);
+    if (resuming) {
+        // Replay the recorded prefix and the accumulator state; `average`
+        // holds RAW sums until the final divide.
+        x_prev = res->x_prev;
+        recorded = static_cast<long>(res->recorded);
+        averaged = static_cast<long>(res->averaged);
+        if (opt.accumulate_average) out.average = res->average;
+        out.time = res->time;
+        out.waves = res->waves;
+        out.step_retries = static_cast<long>(res->step_retries);
+    }
 
     // Default engine: one symbolic analysis + pivot sequence computed on
     // the first iteration, then numeric-only refactors fed by the stamper's
@@ -234,12 +329,91 @@ TranResult transient(circuit::Netlist& netlist, const std::vector<std::string>& 
     int consecutive_accepts = 0;
     double dt_prev = 0.0;      // accepted step before the current one (LTE)
     bool lte_ok = true;        // last accepted step passed the LTE gate
+    if (resuming) {
+        attempt_no = static_cast<long>(res->attempt_no);
+        be_steps_done = static_cast<long>(res->be_steps_done);
+        level = static_cast<int>(res->level);
+        consecutive_accepts = static_cast<int>(res->consecutive_accepts);
+        dt_prev = res->dt_prev;
+        lte_ok = res->lte_ok;
+    }
 
     // Live progress over the nominal grid (heartbeats/ETA); inert unless
     // the event journal or a heartbeat observer is active.
     obs::ProgressScope progress("sim/transient", static_cast<uint64_t>(nsteps));
 
-    for (long step = 1; step <= nsteps; ++step) {
+    const long start_step = resuming ? static_cast<long>(res->step) + 1 : 1;
+    if (resuming) {
+        if (res->step > nsteps)
+            raise("checkpoint '%s' is %lld steps in but this run has only %ld "
+                  "— refusing to resume",
+                  ckpt_file.c_str(), static_cast<long long>(res->step), nsteps);
+        // The ledger merge is monotone, so restoring a later state of the
+        // same execution path reproduces the uninterrupted ledger exactly.
+        obs::budget_restore(res->budget);
+        obs::count("sim/ckpt_resumes");
+        obs::event(obs::EventLevel::Info, "ckpt", "ckpt_resume",
+                   {{"path", ckpt_file},
+                    {"step", static_cast<long>(res->step)},
+                    {"of", nsteps},
+                    {"samples", static_cast<uint64_t>(out.time.size())}});
+        log_info("transient: resumed from '%s' at step %lld of %ld (%zu "
+                 "samples replayed)",
+                 ckpt_file.c_str(), static_cast<long long>(res->step), nsteps,
+                 out.time.size());
+        progress.advance(static_cast<uint64_t>(res->step));
+    }
+
+    // Snapshot machinery: writing copies state, never mutates it, so the
+    // cadence (wall-clock included) cannot change numeric results.
+    auto ckpt_last_write = std::chrono::steady_clock::now();
+    auto write_snapshot = [&](long steps_done) {
+        TranCheckpoint c;
+        c.config_digest = ckpt_digest;
+        c.rng_seed = default_rng_seed();
+        c.step = steps_done;
+        c.attempt_no = attempt_no;
+        c.be_steps_done = be_steps_done;
+        c.level = level;
+        c.consecutive_accepts = consecutive_accepts;
+        c.step_retries = out.step_retries;
+        c.recorded = recorded;
+        c.averaged = averaged;
+        c.dt_prev = dt_prev;
+        c.lte_ok = lte_ok;
+        c.x_acc = x_acc;
+        c.x_prev = x_prev;
+        for (const auto& d : netlist.devices()) d->save_tran_state(c.device_state);
+        c.average = out.average;
+        c.probe_names = out.probe_names;
+        c.time = out.time;
+        c.waves = out.waves;
+        c.budget = obs::budget_state();
+        try {
+            const size_t bytes = write_checkpoint(ckpt_file, c);
+            obs::count("sim/ckpt_writes");
+            obs::count("sim/ckpt_bytes", bytes);
+            obs::event(obs::EventLevel::Info, "ckpt", "ckpt_write",
+                       {{"path", ckpt_file},
+                        {"step", steps_done},
+                        {"of", nsteps},
+                        {"bytes", static_cast<uint64_t>(bytes)}});
+        } catch (const Error& e) {
+            // A failed snapshot must never kill the run: the last-good pair
+            // stays on disk and integration continues.
+            obs::count("sim/ckpt_write_failures");
+            obs::event(obs::EventLevel::Warn, "ckpt", "ckpt_write_failed",
+                       {{"path", ckpt_file},
+                        {"step", steps_done},
+                        {"error", e.what()}});
+            log_warn("transient: checkpoint write failed (%s); continuing on "
+                     "the last good snapshot",
+                     e.what());
+        }
+        ckpt_last_write = std::chrono::steady_clock::now();
+    };
+
+    for (long step = start_step; step <= nsteps; ++step) {
         // Position within the nominal step in units of dt / 2^level.  The
         // step completes when k reaches 2^level; regrowth halves both the
         // numerator and the denominator, so alignment is exact.
@@ -506,10 +680,33 @@ TranResult transient(circuit::Netlist& netlist, const std::vector<std::string>& 
             }
         }
         progress.advance();
+
+        if (ckpt_on && step < nsteps) {
+            const bool due_steps =
+                cko.every_steps > 0 && step % cko.every_steps == 0;
+            const bool due_wall =
+                cko.every_s > 0.0 &&
+                std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              ckpt_last_write)
+                        .count() >= cko.every_s;
+            if (due_steps || due_wall) write_snapshot(step);
+        }
     }
+    // Final snapshot: a finished run leaves a step==nsteps checkpoint, so a
+    // blanket --resume over a corner sweep replays completed corners
+    // instantly and only integrates the unfinished ones.
+    if (ckpt_on) write_snapshot(nsteps);
     if (averaged > 0)
         for (auto& v : out.average) v /= static_cast<double>(averaged);
     return out;
+}
+
+TranResult resume_transient(circuit::Netlist& netlist,
+                            const std::vector<std::string>& probes,
+                            const TranOptions& opt) {
+    TranOptions o = opt;
+    o.checkpoint.resume = true;
+    return transient(netlist, probes, o);
 }
 
 } // namespace snim::sim

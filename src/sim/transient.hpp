@@ -18,6 +18,7 @@
 
 #include "circuit/netlist.hpp"
 #include "obs/certify.hpp"
+#include "sim/checkpoint.hpp"
 
 namespace snim::sim {
 
@@ -106,6 +107,15 @@ struct TranOptions {
     /// as the sim/transient/kcl_residual channel and the
     /// sim/kcl_worst_residual histogram, budgeted as stage "sim/kcl".
     double kcl_max = 1e-6;
+
+    // --- checkpoint/restart ---------------------------------------------
+    /// Crash-consistent solver-state snapshots and digest-guarded resume
+    /// (see sim/checkpoint.hpp).  All knobs are operational — excluded from
+    /// the config digest — so a resumed run matches the digest of the run
+    /// that wrote the snapshot.  When `checkpoint.dir` is empty the
+    /// process-wide policy installed by set_default_checkpoint() applies
+    /// (with this struct's `tag` naming the call site).
+    CheckpointOptions checkpoint;
 };
 
 struct TranResult {
@@ -128,5 +138,14 @@ struct TranResult {
 /// dt_min is exhausted.
 TranResult transient(circuit::Netlist& netlist, const std::vector<std::string>& probes,
                      const TranOptions& opt);
+
+/// transient() with checkpoint.resume forced on: continues from the last
+/// intact snapshot in opt.checkpoint.dir (or the process-default checkpoint
+/// dir), bit-identical to the uninterrupted run.  Raises when no checkpoint
+/// dir is configured anywhere, or when the snapshot's config digest does
+/// not match `opt`.
+TranResult resume_transient(circuit::Netlist& netlist,
+                            const std::vector<std::string>& probes,
+                            const TranOptions& opt);
 
 } // namespace snim::sim

@@ -1,0 +1,99 @@
+#include "util/atomic_file.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "util/error.hpp"
+
+namespace snim::util {
+
+namespace {
+
+/// fsync the directory containing `path` so a completed rename survives a
+/// power cut.  Best-effort: some filesystems refuse directory fsync and the
+/// rename is still atomic against process crashes, which is the contract
+/// the callers rely on.
+void sync_parent_dir(const std::string& path) {
+    const size_t slash = path.find_last_of('/');
+    const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+    const int fd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) return;
+    ::fsync(fd);
+    ::close(fd);
+}
+
+} // namespace
+
+void write_file_atomic(const std::string& path, std::string_view data) {
+    // Pid-qualified temp name: concurrent writers of the same target each
+    // stage privately and the last rename wins whole.
+    const std::string tmp = format("%s.tmp.%d", path.c_str(), ::getpid());
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        raise("cannot create '%s': %s", tmp.c_str(), std::strerror(errno));
+
+    const char* p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+        const ssize_t w = ::write(fd, p, left);
+        if (w < 0) {
+            if (errno == EINTR) continue;
+            const int err = errno;
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            raise("short write to '%s': %s", tmp.c_str(), std::strerror(err));
+        }
+        p += w;
+        left -= static_cast<size_t>(w);
+    }
+    if (::fsync(fd) != 0) {
+        const int err = errno;
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        raise("fsync '%s' failed: %s", tmp.c_str(), std::strerror(err));
+    }
+    if (::close(fd) != 0) {
+        const int err = errno;
+        ::unlink(tmp.c_str());
+        raise("close '%s' failed: %s", tmp.c_str(), std::strerror(err));
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        const int err = errno;
+        ::unlink(tmp.c_str());
+        raise("rename '%s' -> '%s' failed: %s", tmp.c_str(), path.c_str(),
+              std::strerror(err));
+    }
+    sync_parent_dir(path);
+}
+
+void append_record_atomic(const std::string& path, std::string_view record) {
+    const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd < 0)
+        raise("cannot open '%s' for append: %s", path.c_str(),
+              std::strerror(errno));
+    std::string line;
+    line.reserve(record.size() + 1);
+    line.append(record);
+    line.push_back('\n');
+    // One write(2) for the whole record: O_APPEND makes it atomic against
+    // concurrent appenders.  A kernel short write (out of space) leaves a
+    // torn tail we cannot retract — report it so the caller knows the
+    // ledger needs repair rather than silently carrying a broken line.
+    ssize_t w;
+    do {
+        w = ::write(fd, line.data(), line.size());
+    } while (w < 0 && errno == EINTR);
+    const int err = errno;
+    ::close(fd);
+    if (w < 0)
+        raise("append to '%s' failed: %s", path.c_str(), std::strerror(err));
+    if (static_cast<size_t>(w) != line.size())
+        raise("short append to '%s' (%zd of %zu bytes)", path.c_str(), w,
+              line.size());
+}
+
+} // namespace snim::util

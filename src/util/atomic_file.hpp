@@ -1,0 +1,35 @@
+// Crash-consistent file primitives.
+//
+// Every durable artifact this codebase emits (checkpoints, BENCH reports,
+// diagnosis bundles, VCD dumps, ledger records) goes through one of two
+// protocols:
+//
+//   write_file_atomic   write-temp -> fsync -> rename(temp, path), then
+//                       fsync the directory so the rename itself is durable.
+//                       A reader never observes a torn file: it sees either
+//                       the old content or the new content, all of it.
+//
+//   append_record_atomic  one O_APPEND write(2) of record + '\n'.  POSIX
+//                       appends of a single write are atomic with respect to
+//                       concurrent appenders, so a JSONL ledger shared by
+//                       several processes never interleaves mid-record.
+//
+// The last-gasp crash handler deliberately does NOT use these helpers — it
+// runs inside a signal handler where only raw-fd writes are safe.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace snim::util {
+
+/// Atomically replaces `path` with `data`.  Raises snim::Error on any I/O
+/// failure (the temp file is unlinked on the error path).
+void write_file_atomic(const std::string& path, std::string_view data);
+
+/// Appends `record` + '\n' to `path` as a single O_APPEND write so
+/// concurrent appenders cannot interleave mid-record.  Creates the file
+/// (0644) if missing.  Raises snim::Error on failure or short write.
+void append_record_atomic(const std::string& path, std::string_view record);
+
+} // namespace snim::util

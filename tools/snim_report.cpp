@@ -31,6 +31,7 @@
 #include "obs/compare.hpp"
 #include "obs/json.hpp"
 #include "obs/run_ledger.hpp"
+#include "util/atomic_file.hpp"
 #include "util/error.hpp"
 
 namespace {
@@ -79,7 +80,14 @@ Json load_json(const std::string& path) {
     if (!in) raise("cannot open '%s'", path.c_str());
     std::ostringstream ss;
     ss << in.rdbuf();
-    return Json::parse(ss.str());
+    // A report file from a killed run (or a partial download) must be a
+    // named, non-zero-exit error — not a raw parse backtrace or a crash.
+    try {
+        return Json::parse(ss.str());
+    } catch (const Error& e) {
+        raise("'%s' is not a valid snim report (truncated or corrupt JSON): %s",
+              path.c_str(), e.what());
+    }
 }
 
 int cmd_diff(int argc, char** argv) {
@@ -144,12 +152,7 @@ int cmd_trend(int argc, char** argv) {
 
     std::fputs(trend_text(entries).c_str(), stdout);
     if (!html_path.empty()) {
-        const std::string doc = trend_html(entries);
-        std::FILE* f = std::fopen(html_path.c_str(), "w");
-        if (!f) raise("cannot open '%s' for writing", html_path.c_str());
-        const size_t n = std::fwrite(doc.data(), 1, doc.size(), f);
-        std::fclose(f);
-        if (n != doc.size()) raise("short write to '%s'", html_path.c_str());
+        util::write_file_atomic(html_path, trend_html(entries));
         std::printf("HTML trend written to %s\n", html_path.c_str());
     }
     return 0;
