@@ -3,12 +3,15 @@
 // transient stepping and FFT.
 #include <benchmark/benchmark.h>
 
+#include "circuit/mosfet.hpp"
 #include "circuit/netlist.hpp"
 #include "circuit/passives.hpp"
 #include "circuit/sources.hpp"
 #include "dsp/fft.hpp"
 #include "mor/elimination.hpp"
 #include "numeric/sparse_lu.hpp"
+#include "sim/assembly.hpp"
+#include "sim/mna.hpp"
 #include "sim/transient.hpp"
 #include "substrate/extractor.hpp"
 #include "tech/generic180.hpp"
@@ -105,6 +108,60 @@ void BM_TransientStep(benchmark::State& state) {
     state.counters["steps"] = 1000;
 }
 BENCHMARK(BM_TransientStep)->Arg(10)->Arg(50)->Arg(100)->Unit(benchmark::kMillisecond);
+
+void BM_Assemble(benchmark::State& state) {
+    // Transient system assembly on an RC ladder + MOSFET netlist: arg 0
+    // measures the full re-stamp (clear + assemble_tran), arg 1 the
+    // incremental TranAssembler path (baseline restore + nonlinear overlay).
+    const bool incremental = state.range(0) != 0;
+    const int stages = 40;
+    circuit::Netlist nl;
+    const tech::Technology t = tech::generic180();
+    const tech::MosModelCard nch = t.mos_model("nch");
+    nl.add<circuit::VSource>("vin", nl.node("n0"), circuit::kGround,
+                             circuit::Waveform::sin(0.0, 1.0, 1e9));
+    nl.add<circuit::VSource>("vdd", nl.node("vdd"), circuit::kGround,
+                             circuit::Waveform::dc(1.8));
+    for (int i = 0; i < stages; ++i) {
+        nl.add<circuit::Resistor>(format("r%d", i), nl.node(format("n%d", i)),
+                                  nl.node(format("n%d", i + 1)), 10.0);
+        nl.add<circuit::Capacitor>(format("c%d", i), nl.node(format("n%d", i + 1)),
+                                   circuit::kGround, 1e-13);
+    }
+    for (int m = 0; m < 6; ++m) {
+        nl.add<circuit::Resistor>(format("rd%d", m), nl.node("vdd"),
+                                  nl.node(format("d%d", m)), 1e3);
+        nl.add<circuit::Mosfet>(format("m%d", m), nl.node(format("d%d", m)),
+                                nl.node(format("n%d", 5 + 6 * m)), circuit::kGround,
+                                circuit::kGround, nch, circuit::MosGeometry{});
+    }
+    nl.finalize();
+    const size_t n = nl.unknown_count();
+    const double gmin = 1e-12;
+    circuit::RealStamper s(n);
+    s.enable_compiled_assembly();
+    sim::TranAssembler asmb(nl, s, gmin);
+    circuit::TranParams tp;
+    tp.dt = 10e-12;
+    tp.time = tp.dt;
+    tp.order = 2;
+    std::vector<double> x(n, 0.1);
+    if (incremental) {
+        asmb.assemble(x, tp); // learning pass
+        asmb.begin_attempt(x, tp);
+    }
+    for (auto _ : state) {
+        if (incremental) {
+            asmb.assemble(x, tp);
+        } else {
+            s.clear();
+            sim::assemble_tran(nl, s, x, tp, gmin);
+        }
+        benchmark::DoNotOptimize(s.csc().values().data());
+    }
+    state.counters["unknowns"] = static_cast<double>(n);
+}
+BENCHMARK(BM_Assemble)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
 
 void BM_Fft(benchmark::State& state) {
     const size_t n = static_cast<size_t>(state.range(0));

@@ -16,6 +16,7 @@
 #include "scenarios.hpp"
 
 #include <cmath>
+#include <cstring>
 
 #include "circuit/mosfet.hpp"
 #include "circuit/passives.hpp"
@@ -28,13 +29,17 @@
 #include "numeric/sparse_lu.hpp"
 #include "numeric/vecops.hpp"
 #include "obs/bench.hpp"
+#include "obs/trace.hpp"
 #include "rf/phase_noise.hpp"
 #include "sim/ac.hpp"
+#include "sim/assembly.hpp"
+#include "sim/mna.hpp"
 #include "sim/op.hpp"
 #include "sim/transfer.hpp"
 #include "sim/transient.hpp"
 #include "substrate/extractor.hpp"
 #include "tech/doping.hpp"
+#include "tech/generic180.hpp"
 #include "testcases/nmos_structure.hpp"
 #include "testcases/vco.hpp"
 #include "util/error.hpp"
@@ -378,6 +383,82 @@ void run_transient_ladder(obs::ScenarioContext& ctx) {
     (void)sink;
 }
 
+void run_assemble_kernel(obs::ScenarioContext&) {
+    // Shaped like the paper testcases: a long linear RC interconnect ladder
+    // (the static majority) driven by a source, with a handful of MOSFETs
+    // whose stamps move every Newton iteration.  Measures the full re-stamp
+    // (`clear + assemble_tran`, phase bench/assemble_full) against the
+    // incremental TranAssembler (phase bench/assemble_incremental) over the
+    // same iterate sequence, raising if any pass is not bit-identical — the
+    // kernel doubles as an integrity check of the overlay contract.
+    const int stages = 40;
+    circuit::Netlist nl;
+    const tech::Technology t = tech::generic180();
+    const tech::MosModelCard nch = t.mos_model("nch");
+    nl.add<circuit::VSource>("vin", nl.node("n0"), circuit::kGround,
+                             circuit::Waveform::sin(0.0, 1.0, 1e9));
+    nl.add<circuit::VSource>("vdd", nl.node("vdd"), circuit::kGround,
+                             circuit::Waveform::dc(1.8));
+    for (int i = 0; i < stages; ++i) {
+        nl.add<circuit::Resistor>(format("r%d", i), nl.node(format("n%d", i)),
+                                  nl.node(format("n%d", i + 1)), 10.0);
+        nl.add<circuit::Capacitor>(format("c%d", i), nl.node(format("n%d", i + 1)),
+                                   circuit::kGround, 1e-13);
+    }
+    for (int m = 0; m < 6; ++m) {
+        // Gate taps spread along the ladder; drains loaded by vdd resistors.
+        nl.add<circuit::Resistor>(format("rd%d", m), nl.node("vdd"),
+                                  nl.node(format("d%d", m)), 1e3);
+        nl.add<circuit::Mosfet>(format("m%d", m), nl.node(format("d%d", m)),
+                                nl.node(format("n%d", 5 + 6 * m)), circuit::kGround,
+                                circuit::kGround, nch, circuit::MosGeometry{});
+    }
+    nl.finalize();
+    const size_t n = nl.unknown_count();
+    const double gmin = 1e-12;
+
+    circuit::RealStamper full(n);
+    circuit::RealStamper inc(n);
+    full.enable_compiled_assembly();
+    inc.enable_compiled_assembly();
+    sim::TranAssembler asmb(nl, inc, gmin);
+
+    circuit::TranParams tp;
+    tp.dt = 10e-12;
+    tp.order = 2;
+    std::vector<double> x(n, 0.0);
+    Rng rng;
+    const int attempts = 400, iters = 3;
+    for (int a = 0; a < attempts; ++a) {
+        tp.time = (a + 1) * tp.dt;
+        {
+            obs::ScopedTimer t1("bench/assemble_incremental");
+            asmb.begin_attempt(x, tp);
+        }
+        for (int it = 0; it < iters; ++it) {
+            for (size_t i = 0; i < n; ++i)
+                x[i] = 0.9 * x[i] + 0.05 * rng.uniform(0, 1);
+            {
+                obs::ScopedTimer t1("bench/assemble_incremental");
+                asmb.assemble(x, tp);
+            }
+            {
+                obs::ScopedTimer t2("bench/assemble_full");
+                full.clear();
+                sim::assemble_tran(nl, full, x, tp, gmin);
+            }
+            if (std::memcmp(inc.csc().values().data(), full.csc().values().data(),
+                            inc.csc().values().size() * sizeof(double)) != 0 ||
+                std::memcmp(inc.rhs().data(), full.rhs().data(),
+                            n * sizeof(double)) != 0)
+                raise("kernel/assemble: incremental assembly diverged from the "
+                      "full pass at attempt %d iteration %d", a, it);
+        }
+        // Commit so companion stamps move between attempts like a real run.
+        asmb.commit(x, tp);
+    }
+}
+
 void run_fft(obs::ScenarioContext&) {
     const size_t n = 1 << 16;
     Rng rng;
@@ -446,6 +527,10 @@ void register_builtin_scenarios() {
     register_scenario(kernel("kernel/transient",
                              "transient stepping of a 50-stage RLC ladder (1000 steps)",
                              run_transient_ladder, 3, 2));
+    register_scenario(kernel("kernel/assemble",
+                             "full vs incremental transient assembly, RC ladder + "
+                             "6 MOSFETs (400 attempts x 3 iterations)",
+                             run_assemble_kernel, 5, 3));
     register_scenario(kernel("kernel/fft", "real FFT, 65536 points", run_fft, 5, 3));
 }
 

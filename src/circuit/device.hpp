@@ -18,6 +18,19 @@ namespace snim::circuit {
 /// Maps a NodeId to its printable name (provided by the owning Netlist).
 using NodeNamer = std::function<std::string(NodeId)>;
 
+/// Assembly partition of a device's transient stamp.  The classification is
+/// a contract the incremental transient assembler relies on:
+///
+///   * LinearStatic  — matrix entries are constant for an entire run
+///     (resistors, controlled sources, independent sources).  RHS values may
+///     still vary with tp.time (source waveforms), never with the iterate.
+///   * LinearDynamic — companion stamps whose matrix entries are a pure
+///     function of (dt, order) and whose RHS additionally depends on the
+///     committed integration state (capacitors, inductors).
+///   * Nonlinear     — the stamp depends on the Newton iterate `x`
+///     (MOSFETs, diodes, varactors) and must be re-evaluated per iteration.
+enum class Partition { LinearStatic, LinearDynamic, Nonlinear };
+
 /// SPICE card head for a device: prepends the type letter only when the
 /// name does not already start with it (so "r1" stays "r1", "load" becomes
 /// "Cload" for a capacitor).
@@ -102,7 +115,14 @@ public:
     virtual void stamp_ac(ComplexStamper& s, const std::vector<double>& xop,
                           double omega) const = 0;
 
-    virtual bool is_nonlinear() const { return false; }
+    /// Assembly partition of this device's stamps (see Partition).  The
+    /// default suits memoryless linear devices; devices with companion
+    /// models or iterate-dependent stamps must override.
+    virtual Partition partition() const { return Partition::LinearStatic; }
+
+    /// Derived from partition() — the single source of truth — so the two
+    /// can never disagree.
+    bool is_nonlinear() const { return partition() == Partition::Nonlinear; }
 
     /// SPICE-style card describing this device (used by the netlist writer).
     virtual std::string card(const NodeNamer& nn) const = 0;

@@ -32,7 +32,7 @@ public:
     void load_tran_state(const std::vector<double>& in, size_t& pos) override;
     void stamp_ac(ComplexStamper& s, const std::vector<double>& xop,
                   double omega) const override;
-    bool is_nonlinear() const override { return true; }
+    Partition partition() const override { return Partition::Nonlinear; }
     std::string card(const NodeNamer& nn) const override;
 
 private:

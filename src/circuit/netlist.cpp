@@ -50,6 +50,18 @@ void Netlist::add_device(std::unique_ptr<Device> dev) {
     finalized_ = false;
 }
 
+Netlist::PartitionView Netlist::partition() const {
+    PartitionView v;
+    for (const auto& d : devices_) {
+        switch (d->partition()) {
+            case Partition::LinearStatic: v.linear_static.push_back(d.get()); break;
+            case Partition::LinearDynamic: v.linear_dynamic.push_back(d.get()); break;
+            case Partition::Nonlinear: v.nonlinear.push_back(d.get()); break;
+        }
+    }
+    return v;
+}
+
 void Netlist::remove(std::string_view name) {
     for (auto it = devices_.begin(); it != devices_.end(); ++it) {
         if (equals_nocase((*it)->name(), name)) {

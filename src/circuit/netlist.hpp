@@ -55,6 +55,20 @@ public:
     const std::vector<std::unique_ptr<Device>>& devices() const { return devices_; }
     size_t device_count() const { return devices_.size(); }
 
+    /// Per-partition device view (see circuit::Partition), the single
+    /// source of truth analyses use to decide between linear and Newton
+    /// solves and to split transient assembly.  Classifies every device —
+    /// including disabled ones, which analyses skip at stamp time anyway —
+    /// so the view stays valid across ablation toggles.  Netlist order is
+    /// preserved within each class.
+    struct PartitionView {
+        std::vector<Device*> linear_static;
+        std::vector<Device*> linear_dynamic;
+        std::vector<Device*> nonlinear;
+        bool has_nonlinear() const { return !nonlinear.empty(); }
+    };
+    PartitionView partition() const;
+
     /// Assigns auxiliary unknown indices.  Called automatically by analyses;
     /// idempotent until a device or node is added.
     void finalize();

@@ -32,6 +32,12 @@ public:
     double capacitance() const { return c_; }
     void set_capacitance(double c);
 
+    // Integration state, read by the incremental assembler's compiled
+    // refresh plan (which recomputes the companion stamp values without
+    // replaying stamp_tran).
+    double tran_v_prev() const { return v_prev_; }
+    double tran_i_prev() const { return i_prev_; }
+
     void stamp_dc(RealStamper& s, const std::vector<double>& x) const override;
     void stamp_tran(RealStamper& s, const std::vector<double>& x,
                     const TranParams& tp) override;
@@ -41,6 +47,7 @@ public:
     void load_tran_state(const std::vector<double>& in, size_t& pos) override;
     void stamp_ac(ComplexStamper& s, const std::vector<double>& xop,
                   double omega) const override;
+    Partition partition() const override { return Partition::LinearDynamic; }
     std::string card(const NodeNamer& nn) const override;
 
 private:
@@ -70,6 +77,7 @@ public:
     void load_tran_state(const std::vector<double>& in, size_t& pos) override;
     void stamp_ac(ComplexStamper& s, const std::vector<double>& xop,
                   double omega) const override;
+    Partition partition() const override { return Partition::LinearDynamic; }
     std::string card(const NodeNamer& nn) const override;
 
     /// Branch current for solution `x` (flows a -> b).

@@ -47,8 +47,13 @@ public:
             // next pass (assign-on-first-write), so only the sequence cursor
             // and RHS reset here.
             cursor_ = 0;
+            rhs_cursor_ = 0;
         } else {
             a_.clear();
+            if (rhs_tape_) {
+                rhs_nodes_seq_.clear();
+                rhs_vals_seq_.clear();
+            }
         }
         std::fill(b_.begin(), b_.end(), T{});
     }
@@ -64,10 +69,20 @@ public:
     }
     bool compiled_mode() const { return mapped_; }
 
+    /// Additionally records the RHS call sequence (node per rhs_current /
+    /// rhs_entry call) alongside the matrix tape, so the incremental
+    /// transient assembler can rebuild RHS baselines call-by-call.  Must be
+    /// enabled before the first assembly, like compiled mode.
+    void enable_rhs_tape() { rhs_tape_ = true; }
+    /// False once a pass's RHS call sequence deviated from the learned one
+    /// (the recorded values are then stale); reset by the next relearn.
+    bool rhs_tape_ok() const { return rhs_tape_ok_; }
+
     /// Raw matrix entry A(row, col) += v; ground rows/cols dropped.
     void entry(NodeId row, NodeId col, T v) {
         if (row < 0 || col < 0) return;
         if (mapped_) {
+            if (overlay_ && overlay_failed_) return;
             if (cursor_ < rows_seq_.size() && rows_seq_[cursor_] == row &&
                 cols_seq_[cursor_] == col) {
                 seq_vals_[cursor_] = v;
@@ -77,6 +92,13 @@ public:
                 else
                     slot += v;
                 ++cursor_;
+                return;
+            }
+            if (overlay_) {
+                // A partial re-stamp cannot demote (the rest of the pass is
+                // a restored baseline, not replayable triplets): flag the
+                // deviation and let the assembler rebuild from scratch.
+                overlay_failed_ = true;
                 return;
             }
             demote(); // stamp sequence deviated from the learned pattern
@@ -104,6 +126,32 @@ public:
     /// RHS: current `i` flowing INTO node `n` from an independent source.
     void rhs_current(NodeId n, T i) {
         if (n < 0) return;
+        if (rhs_tape_) {
+            if (overlay_) {
+                if (overlay_failed_) return;
+                if (rhs_cursor_ < rhs_nodes_seq_.size() &&
+                    rhs_nodes_seq_[rhs_cursor_] == n) {
+                    rhs_vals_seq_[rhs_cursor_] = i;
+                    ++rhs_cursor_;
+                    b_[static_cast<size_t>(n)] += i;
+                } else {
+                    overlay_failed_ = true;
+                }
+                return;
+            }
+            if (mapped_) {
+                if (rhs_cursor_ < rhs_nodes_seq_.size() &&
+                    rhs_nodes_seq_[rhs_cursor_] == n) {
+                    rhs_vals_seq_[rhs_cursor_] = i;
+                    ++rhs_cursor_;
+                } else {
+                    rhs_tape_ok_ = false; // relearned on the next demote/reset
+                }
+            } else {
+                rhs_nodes_seq_.push_back(n);
+                rhs_vals_seq_.push_back(i);
+            }
+        }
         b_[static_cast<size_t>(n)] += i;
     }
 
@@ -120,13 +168,101 @@ public:
     /// map; later passes return the image entry() already filled in place.
     const SparseCSC<T>& csc() {
         if (mapped_) {
-            if (cursor_ == rows_seq_.size()) return csc_;
+            if (cursor_ == rows_seq_.size()) {
+                // A pass that made fewer RHS calls than the learned sequence
+                // leaves stale values in the tape tail; flag it for the
+                // incremental assembler (plain consumers read b_ directly).
+                if (rhs_tape_ && rhs_cursor_ != rhs_nodes_seq_.size())
+                    rhs_tape_ok_ = false;
+                return csc_;
+            }
             demote(); // pass ended short of the learned sequence
         }
         csc_ = SparseCSC<T>(a_);
         if (compile_enabled_) learn_map();
         return csc_;
     }
+
+    // --- partitioned incremental assembly ------------------------------
+    // The transient assembler restores a precomputed linear baseline into
+    // the CSC value array / RHS, then re-stamps only the nonlinear devices
+    // ("overlay"): each device's calls are verified against the learned
+    // tape from its recorded span position.  A deviation (a value-dependent
+    // stamp sequence) sets overlay_failed_ instead of demoting — the rest
+    // of the pass is a restored image, not replayable triplets — and the
+    // assembler falls back to a full relearn pass.
+
+    /// Enters overlay mode.  Requires a learned map; returns false (and
+    /// stays out of overlay mode) otherwise.
+    bool begin_overlay() {
+        if (!mapped_) return false;
+        overlay_ = true;
+        overlay_failed_ = false;
+        return true;
+    }
+    /// Positions the matrix/RHS cursors at a recorded device span so the
+    /// device's stamp calls overwrite exactly its learned tape positions.
+    void overlay_seek(size_t mat_pos, size_t rhs_pos) {
+        cursor_ = mat_pos;
+        rhs_cursor_ = rhs_pos;
+    }
+    size_t mat_cursor() const { return cursor_; }
+    size_t rhs_cursor() const { return rhs_cursor_; }
+    bool overlay_failed() const { return overlay_failed_; }
+    /// Leaves overlay mode; on a clean overlay the pass is marked complete
+    /// (csc() returns the image without a demotion).  Returns success.
+    bool end_overlay() {
+        overlay_ = false;
+        if (overlay_failed_) return false;
+        cursor_ = rows_seq_.size();
+        rhs_cursor_ = rhs_nodes_seq_.size();
+        return true;
+    }
+
+    /// Drops the learned map, tapes and triplets entirely (back to the
+    /// pre-learning state); the next full pass relearns everything.  Used
+    /// by the incremental assembler when a device's stamp sequence turned
+    /// out to be value-dependent.
+    void reset_compiled() {
+        mapped_ = false;
+        overlay_ = false;
+        overlay_failed_ = false;
+        cursor_ = 0;
+        rows_seq_.clear();
+        cols_seq_.clear();
+        seq_vals_.clear();
+        map_.clear();
+        first_.clear();
+        rhs_nodes_seq_.clear();
+        rhs_vals_seq_.clear();
+        rhs_cursor_ = 0;
+        rhs_tape_ok_ = true;
+        a_.clear();
+        std::fill(b_.begin(), b_.end(), T{});
+    }
+
+    // Tape/scatter introspection for the incremental assembler.  All views
+    // are only meaningful in compiled mode with a learned map.
+    const std::vector<int>& tape_rows() const { return rows_seq_; }
+    const std::vector<int>& tape_cols() const { return cols_seq_; }
+    const std::vector<T>& tape_values() const { return seq_vals_; }
+    /// Stamp call -> CSC value slot.
+    const std::vector<int>& tape_slots() const { return map_; }
+    /// Nonzero when the call is the first landing in its slot (assign
+    /// instead of accumulate).
+    const std::vector<char>& tape_assigns() const { return first_; }
+    const std::vector<int>& rhs_tape_nodes() const { return rhs_nodes_seq_; }
+    const std::vector<T>& rhs_tape_values() const { return rhs_vals_seq_; }
+    /// Mutable per-call tape values, for the assembler's compiled refresh
+    /// plans: a device whose stamp layout is value-independent can rewrite
+    /// its recorded call values in place instead of replaying the stamp
+    /// through overlay mode.  The call sequence itself must not change.
+    std::vector<T>& tape_values_mut() { return seq_vals_; }
+    std::vector<T>& rhs_tape_values_mut() { return rhs_vals_seq_; }
+    /// Direct value-image access for baseline restore (memcpy of a
+    /// precomputed linear image); the pattern must not change.
+    std::vector<T>& csc_values_mut() { return csc_.values_mut(); }
+    std::vector<T>& rhs_mut() { return b_; }
 
     /// Multiplier independent sources apply to their excitation value.
     /// 1.0 everywhere except during the op solver's source-stepping
@@ -147,6 +283,12 @@ private:
             a_.add(static_cast<size_t>(rows_seq_[i]), static_cast<size_t>(cols_seq_[i]),
                    seq_vals_[i]);
         cursor_ = 0;
+        if (rhs_tape_) {
+            // Keep the RHS calls verified so far this pass; the rest of the
+            // pass appends, and the next csc() relearns from the new tape.
+            rhs_nodes_seq_.resize(rhs_cursor_);
+            rhs_vals_seq_.resize(rhs_cursor_);
+        }
     }
 
     void learn_map() {
@@ -178,6 +320,8 @@ private:
         }
         mapped_ = true;
         cursor_ = nz; // the learning pass itself is complete and consistent
+        rhs_cursor_ = rhs_nodes_seq_.size();
+        rhs_tape_ok_ = true;
     }
 
     Triplets<T> a_;
@@ -193,6 +337,14 @@ private:
     std::vector<T> seq_vals_;    // values of the current pass (for demote)
     std::vector<int> map_;       // stamp call -> CSC value slot
     std::vector<char> first_;    // first stamp landing in its slot -> assign
+
+    bool rhs_tape_ = false;          // record the RHS call sequence
+    bool rhs_tape_ok_ = true;        // tape matches the last full pass
+    bool overlay_ = false;           // partial re-stamp against the tape
+    bool overlay_failed_ = false;    // overlay deviated; image is suspect
+    size_t rhs_cursor_ = 0;          // position in the learned RHS sequence
+    std::vector<int> rhs_nodes_seq_; // learned sequence: node per rhs call
+    std::vector<T> rhs_vals_seq_;    // RHS values of the current pass
 };
 
 using RealStamper = Stamper<double>;

@@ -1,0 +1,114 @@
+// Modified-Newton factor-reuse guard.
+//
+// A transient Newton iteration refreshes the Jacobian every pass, but the
+// factors from a nearby iterate are almost always a good enough operator:
+// solving  dx = -LU_old^{ -1} (A(x) x - b(x))  with the *current* residual
+// still converges to the exact same discrete solution (dx = 0 forces
+// A x = b, independent of which factors produced it), just at a linear
+// instead of quadratic rate.  The guard decides, per iteration, whether the
+// stale factors stay healthy enough to keep:
+//
+//   * a (dt, order, pattern-epoch) key change always refactors — factors of
+//     a different companion matrix are not a contraction for this one;
+//   * a stalling update (max_dx not shrinking by at least `stall_theta`
+//     per reused solve, within one attempt) refactors;
+//   * an age cap bounds drift across accepted steps even while nominally
+//     contracting.
+//
+// The caller owns the fallback: on a stall or a non-finite update with
+// stale factors it refactors the current matrix and re-solves before
+// rejecting the step (counted as sim/jacobian_stale_fallbacks).
+#pragma once
+
+#include <cstdint>
+
+namespace snim {
+
+class JacobianReuseGuard {
+public:
+    struct Options {
+        /// Reuse is healthy while max_dx <= stall_theta * previous max_dx.
+        double stall_theta = 0.9;
+        /// Unconditional refactor after this many consecutive reused solves.
+        int max_age = 32;
+    };
+
+    JacobianReuseGuard() = default;
+    explicit JacobianReuseGuard(Options opt) : opt_(opt) {}
+
+    /// Key identifying which system the current factors belong to (step
+    /// size, integration order, matrix pattern epoch — anything that makes
+    /// old factors structurally wrong, not merely stale).
+    struct Key {
+        std::uint64_t dt_bits = 0;
+        int order = 0;
+        std::uint64_t epoch = 0;
+        bool operator==(const Key& o) const {
+            return dt_bits == o.dt_bits && order == o.order && epoch == o.epoch;
+        }
+    };
+
+    /// Starts a step attempt: the previous attempt's final (converged,
+    /// tiny) update must not make the first reused solve look like a stall.
+    void begin_attempt() { have_prev_dx_ = false; }
+
+    /// True when the factors must be refreshed before this solve.
+    bool should_refactor(const Key& key) const {
+        return !have_factors_ || !(key == key_) || age_ >= opt_.max_age;
+    }
+
+    /// Records a fresh factorization of the system identified by `key`.
+    void on_refactor(const Key& key) {
+        have_factors_ = true;
+        key_ = key;
+        age_ = 0;
+        have_prev_dx_ = false;
+    }
+
+    /// True when a reused solve failed to contract: the caller should
+    /// refactor the current matrix and re-solve before giving up.
+    bool stalled(double max_dx) const {
+        return have_prev_dx_ && max_dx > opt_.stall_theta * prev_dx_;
+    }
+
+    /// Endgame prediction: the previous update is already within `margin`
+    /// of the convergence tolerance `tol`, so the next one is very likely
+    /// the accepting one.  The caller's accept contract refreshes the
+    /// factors for the final iteration anyway, which would make a stale
+    /// solve here pure waste — refactoring directly halves the work of the
+    /// closing iteration.  A misprediction just means one extra fresh
+    /// iteration; determinism is unaffected (the test reads only committed
+    /// iteration state).
+    bool endgame(double tol, double margin = 64.0) const {
+        return have_prev_dx_ && prev_dx_ < margin * tol;
+    }
+
+    /// Commits the iteration's update magnitude (after any fallback) as the
+    /// contraction reference for the next solve.  `reused` says whether
+    /// stale factors produced the final update; only those age the factors.
+    void on_iteration(double max_dx, bool reused) {
+        prev_dx_ = max_dx;
+        have_prev_dx_ = true;
+        if (reused) ++age_;
+    }
+
+    /// Forgets the factors entirely (e.g. after a singular-system rebuild).
+    void invalidate() {
+        have_factors_ = false;
+        have_prev_dx_ = false;
+        age_ = 0;
+    }
+
+    const Options& options() const { return opt_; }
+    int age() const { return age_; }
+
+private:
+    Options opt_;
+    Key key_;
+    bool have_factors_ = false;
+    bool have_prev_dx_ = false;
+    double prev_dx_ = 0.0;
+    int age_ = 0;
+};
+
+} // namespace snim

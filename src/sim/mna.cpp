@@ -13,6 +13,10 @@ void add_gmin(const Netlist& netlist, Stamper& s, double gmin) {
 }
 } // namespace
 
+void stamp_gmin(const Netlist& netlist, circuit::RealStamper& s, double gmin) {
+    add_gmin(netlist, s, gmin);
+}
+
 void assemble_dc(const Netlist& netlist, circuit::RealStamper& s,
                  const std::vector<double>& x, double gmin, double source_scale) {
     s.set_source_scale(source_scale);

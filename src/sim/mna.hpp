@@ -9,6 +9,11 @@ namespace snim::sim {
 using circuit::Netlist;
 using circuit::NodeId;
 
+/// Stamps gmin from every node (not branch unknowns) to ground.  Every
+/// assembler — including the incremental transient one — must add gmin
+/// through this one function so the stamp order stays identical.
+void stamp_gmin(const Netlist& netlist, circuit::RealStamper& s, double gmin);
+
 /// Assembles the DC Newton system at iterate `x`.  `gmin` is added from
 /// every node (not branch unknowns) to ground to keep matrices regular.
 /// `source_scale` multiplies every independent source value (1.0 for a

@@ -39,8 +39,7 @@ bool newton_dc(circuit::Netlist& netlist, std::vector<double>& x, double gmin,
                const OpOptions& opt, OpTelemetry& diag, double source_scale = 1.0,
                double g_anchor = 0.0, const std::vector<double>* anchor = nullptr) {
     const size_t n = netlist.unknown_count();
-    bool nonlinear = false;
-    for (const auto& d : netlist.devices()) nonlinear |= d->is_nonlinear();
+    const bool nonlinear = netlist.partition().has_nonlinear();
 
     circuit::RealStamper s(n);
     s.enable_compiled_assembly();

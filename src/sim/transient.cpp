@@ -3,11 +3,15 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstring>
 #include <limits>
+#include <optional>
 #include <thread>
 
 #include "numeric/certify.hpp"
+#include "numeric/newton_guard.hpp"
 #include "numeric/sparse_lu.hpp"
+#include "sim/assembly.hpp"
 #include "numeric/vecops.hpp"
 #include "obs/events.hpp"
 #include "obs/progress.hpp"
@@ -53,6 +57,11 @@ obs::JsonObject tran_options_json(const TranOptions& opt) {
     o.emplace("lte_control", opt.lte_control);
     o.emplace("reuse_lu", opt.reuse_lu);
     o.emplace("dense_crossover", opt.dense_crossover);
+    o.emplace("incremental_assembly", opt.incremental_assembly);
+    o.emplace("newton_reuse_jacobian", opt.newton_reuse_jacobian);
+    o.emplace("newton_predictor", opt.newton_predictor);
+    o.emplace("jacobian_stall_theta", opt.jacobian_stall_theta);
+    o.emplace("jacobian_max_age", opt.jacobian_max_age);
     o.emplace("certify_enabled", opt.certify.enabled);
     o.emplace("certify_omega_max", opt.certify.omega_max);
     o.emplace("certify_rcond_min", opt.certify.rcond_min);
@@ -290,6 +299,8 @@ TranResult transient(circuit::Netlist& netlist, const std::vector<std::string>& 
     std::vector<double> x_prev = x;      // accepted state one micro-step back
     std::vector<double> xit = x;         // Newton iterate of the attempt
     std::vector<double> last_dx(n, 0.0); // per-unknown update of the last iteration
+    std::vector<double> xn;              // tentative Newton iterate
+    std::vector<double> lu_tmp, resid;   // solve_into / residual scratch
     StepTelemetryRing ring(static_cast<size_t>(opt.diag_tail));
     RetryLog retries(static_cast<size_t>(opt.retry_history));
     long recorded = 0;
@@ -319,6 +330,17 @@ TranResult transient(circuit::Netlist& netlist, const std::vector<std::string>& 
     lu_opt.reuse = opt.reuse_lu;
     ReusableLU<double> rlu(lu_opt);
     if (!use_dense) s.enable_compiled_assembly();
+
+    // Incremental assembly and modified Newton only run on the sparse
+    // engine; the legacy dense configuration keeps its historical path
+    // untouched.  The assembler is only constructed when enabled so the
+    // feature-off stamper does not even record the RHS tape.
+    const bool use_incremental = opt.incremental_assembly && !use_dense;
+    const bool reuse_jac = opt.newton_reuse_jacobian && !use_dense;
+    std::optional<TranAssembler> assembler;
+    if (use_incremental) assembler.emplace(netlist, s, opt.gmin);
+    JacobianReuseGuard guard(
+        {opt.jacobian_stall_theta, opt.jacobian_max_age});
 
     const double lte_reltol = opt.lte_reltol > 0.0 ? opt.lte_reltol : opt.reltol;
     const double lte_abstol = opt.lte_abstol > 0.0 ? opt.lte_abstol : opt.vntol;
@@ -414,6 +436,13 @@ TranResult transient(circuit::Netlist& netlist, const std::vector<std::string>& 
     };
 
     for (long step = start_step; step <= nsteps; ++step) {
+        // Factor reuse stops at nominal-step boundaries: a checkpoint resume
+        // restarts exactly here with an empty factor cache, so the
+        // uninterrupted run must drop its factors too or the two would walk
+        // different iterate sequences (resume bit-identity is a hard
+        // contract, and it keeps waveforms independent of snapshot cadence,
+        // which is wall-clock driven).
+        if (reuse_jac) guard.invalidate();
         // Position within the nominal step in units of dt / 2^level.  The
         // step completes when k reaches 2^level; regrowth halves both the
         // numerator and the denominator, so alignment is exact.
@@ -436,7 +465,12 @@ TranResult transient(circuit::Netlist& netlist, const std::vector<std::string>& 
 
             obs::ScopedTimer obs_step("sim/transient/step");
 
-            // Newton iteration, starting from the last accepted solution.
+            // Newton iteration, starting from the last accepted solution —
+            // or, on the incremental engine, from the LTE gate's linear
+            // predictor, which starts close enough that most steps converge
+            // in two quadratic iterations instead of three.  x_acc, x_prev
+            // and dt_prev are all checkpointed, so a resumed run predicts
+            // the exact same starting iterate.
             StepTelemetry tel;
             tel.step = ++attempt_no;
             tel.time = tp.time;
@@ -444,14 +478,68 @@ TranResult transient(circuit::Netlist& netlist, const std::vector<std::string>& 
             Reject reject = Reject::none;
             bool converged = false;
             double max_dx = 0.0;
-            xit = x_acc;
+            if (use_incremental && opt.newton_predictor && dt_prev > 0.0) {
+                const double r = dt_cur / dt_prev;
+                for (size_t i = 0; i < n; ++i)
+                    xit[i] = x_acc[i] + r * (x_acc[i] - x_prev[i]);
+            } else {
+                xit = x_acc;
+            }
+            if (use_incremental) {
+                obs::ScopedTimer obs_ba("sim/transient/begin_attempt");
+                assembler->begin_attempt(xit, tp);
+            }
+            if (reuse_jac) guard.begin_attempt();
+            // ||xit||_inf as of the last completed iteration; feeds the
+            // guard's endgame prediction.  Iteration 0 never predicts
+            // (begin_attempt cleared the contraction history), so the
+            // stale initial value is never read.
+            double xit_norm = 0.0;
             for (int it = 0; it < opt.max_newton; ++it) {
                 obs::ScopedTimer obs_newton("sim/transient/newton");
                 tel.newton_iters = it + 1;
-                s.clear();
-                assemble_tran(netlist, s, xit, tp, opt.gmin);
-                std::vector<double> xn;
+                {
+                    obs::ScopedTimer obs_asm("sim/transient/newton/assemble");
+                    if (use_incremental) {
+                        assembler->assemble(xit, tp);
+                    } else {
+                        s.clear();
+                        assemble_tran(netlist, s, xit, tp, opt.gmin);
+                    }
+                }
+                // Which system the factors made this solve belong to: dt,
+                // order and the assembler's pattern epoch (a relearn makes
+                // old factors structurally wrong, not merely stale).
+                JacobianReuseGuard::Key jkey;
+                jkey.order = tp.order;
+                std::memcpy(&jkey.dt_bits, &tp.dt, sizeof(jkey.dt_bits));
+                if (use_incremental) jkey.epoch = assembler->epoch();
+                // Incremental assembly guarantees the matrix outside the
+                // nonlinear columns is the cached linear image, so factors
+                // taken under the same (dt, order, epoch) key can be
+                // refreshed by a partial refactorization of just those
+                // columns' elimination closure.  order >= 1 keeps the key
+                // nonzero, which is what arms the partial path.
+                ReusableLU<double>::RefactorHint hint;
+                // Cost model for the stale path: reusing factors saves one
+                // refactor but converges linearly, costing extra iterations.
+                // With the partial path armed and the nonlinear columns a
+                // small fraction of the matrix, a refresh costs about one
+                // extra triangular sweep — cheaper than the stale solve's
+                // own residual multiply — so fresh quadratic steps win
+                // outright and the guard skips stale reuse entirely.
+                bool prefer_fresh = false;
+                if (use_incremental && assembler->learned()) {
+                    hint.key[0] = jkey.dt_bits;
+                    hint.key[1] = static_cast<std::uint64_t>(jkey.order);
+                    hint.key[2] = jkey.epoch;
+                    hint.changed_cols = &assembler->nonlinear_cols();
+                    prefer_fresh =
+                        8 * assembler->nonlinear_cols().size() <= n;
+                }
+                bool solved_stale = false;
                 try {
+                    obs::ScopedTimer obs_solve("sim/transient/newton/solve");
                     if (fault::fires("tran.lu.singular"))
                         raise("fault injected: tran.lu.singular");
                     if (use_dense) {
@@ -467,44 +555,133 @@ TranResult transient(circuit::Netlist& netlist, const std::vector<std::string>& 
                         xn = lu.solve(s.rhs());
                         tel.lu_min_pivot = lu.min_pivot();
                         tel.lu_fill_growth = 1.0; // in-place, no fill
+                    } else if (!reuse_jac || prefer_fresh ||
+                               guard.should_refactor(jkey) ||
+                               guard.endgame(opt.vntol + opt.reltol * xit_norm)) {
+                        rlu.factor(s.csc(), hint);
+                        if (reuse_jac) guard.on_refactor(jkey);
+                        rlu.lu().solve_into(s.rhs(), xn, lu_tmp);
+                        tel.lu_min_pivot = rlu.factor_stats().min_pivot;
+                        tel.lu_fill_growth = rlu.factor_stats().fill_growth;
                     } else {
-                        rlu.factor(s.csc());
-                        xn = rlu.solve(s.rhs());
+                        // Modified Newton on stale factors: the residual
+                        // form dx = -LU^{-1}(A x - b) converges to the same
+                        // discrete solution (dx = 0 forces A x = b no
+                        // matter which factors produced it) and skips the
+                        // refactor entirely.
+                        solved_stale = true;
+                        obs::count("sim/jacobian_reuse");
+                        s.csc().multiply_into(xit, resid);
+                        const auto& b = s.rhs();
+                        for (size_t i = 0; i < n; ++i) resid[i] = b[i] - resid[i];
+                        rlu.lu().solve_into(resid, xn, lu_tmp);
+                        for (size_t i = 0; i < n; ++i) xn[i] += xit[i];
                         tel.lu_min_pivot = rlu.factor_stats().min_pivot;
                         tel.lu_fill_growth = rlu.factor_stats().fill_growth;
                     }
                 } catch (const Error&) {
+                    if (reuse_jac) guard.invalidate(); // rlu is empty now
                     reject = Reject::singular;
                     break;
                 }
-                if (fault::fires("tran.newton.nonfinite"))
-                    xn[0] = std::numeric_limits<double>::quiet_NaN();
-                max_dx = 0.0;
-                tel.worst_unknown = -1;
+                int clamp_hits = 0;
                 bool nonfinite = false;
-                for (size_t i = 0; i < n; ++i) {
-                    double dx = xn[i] - xit[i];
-                    // A NaN never wins a '>' comparison, so test finiteness
-                    // explicitly — a poisoned update must trip the recovery
-                    // ladder, not silently spin until max_newton runs out.
-                    if (!std::isfinite(dx)) nonfinite = true;
-                    if (i < netlist.node_count()) {
-                        const double clamped = std::clamp(dx, -opt.dv_max, opt.dv_max);
-                        if (clamped != dx) ++tel.clamp_hits;
-                        dx = clamped;
+                auto eval_update = [&](const std::vector<double>& cand) {
+                    max_dx = 0.0;
+                    tel.worst_unknown = -1;
+                    clamp_hits = 0;
+                    nonfinite = false;
+                    for (size_t i = 0; i < n; ++i) {
+                        double dx = cand[i] - xit[i];
+                        // A NaN never wins a '>' comparison, so test
+                        // finiteness explicitly — a poisoned update must
+                        // trip the recovery ladder, not silently spin until
+                        // max_newton runs out.
+                        if (!std::isfinite(dx)) nonfinite = true;
+                        if (i < netlist.node_count()) {
+                            const double clamped =
+                                std::clamp(dx, -opt.dv_max, opt.dv_max);
+                            if (clamped != dx) ++clamp_hits;
+                            dx = clamped;
+                        }
+                        last_dx[i] = dx;
+                        if (std::fabs(dx) > max_dx) {
+                            max_dx = std::fabs(dx);
+                            tel.worst_unknown = static_cast<int>(i);
+                        }
                     }
-                    last_dx[i] = dx;
-                    if (std::fabs(dx) > max_dx) {
-                        max_dx = std::fabs(dx);
-                        tel.worst_unknown = static_cast<int>(i);
+                };
+                eval_update(xn);
+                bool stale_refresh = false;
+                if (solved_stale) {
+                    // Would this stale update converge?  Same predicate as
+                    // the post-apply check, evaluated on the tentative
+                    // iterate: the ACCEPTED iteration must always come from
+                    // fresh factors, so certificates, KCL audits and the
+                    // committed state have the exact solve quality of the
+                    // refactor-every-iteration engine (obs-gated
+                    // refinement then never fires, keeping instrumented
+                    // runs bit-identical to bare ones).
+                    double norm_after = 0.0;
+                    for (size_t i = 0; i < n; ++i)
+                        norm_after =
+                            std::max(norm_after, std::fabs(xit[i] + last_dx[i]));
+                    const bool would_converge =
+                        !nonfinite &&
+                        max_dx < opt.vntol + opt.reltol * norm_after;
+                    const bool stalled =
+                        nonfinite || guard.stalled(max_dx) ||
+                        fault::fires("tran.newton.stale_jacobian");
+                    if (stalled) obs::count("sim/jacobian_stale_fallbacks");
+                    else if (would_converge)
+                        obs::count("sim/jacobian_refresh_on_accept");
+                    stale_refresh = stalled || would_converge;
+                }
+                if (stale_refresh) {
+                    // Refresh the factors against the matrix still in the
+                    // stamper and redo this iteration as standard Newton —
+                    // either because the stale factors stopped contracting
+                    // (or poisoned the update), or as the final polish of a
+                    // converging attempt.
+                    try {
+                        obs::ScopedTimer obs_solve("sim/transient/newton/solve");
+                        rlu.factor(s.csc(), hint);
+                        guard.on_refactor(jkey);
+                        rlu.lu().solve_into(s.rhs(), xn, lu_tmp);
+                        tel.lu_min_pivot = rlu.factor_stats().min_pivot;
+                        tel.lu_fill_growth = rlu.factor_stats().fill_growth;
+                    } catch (const Error&) {
+                        guard.invalidate();
+                        reject = Reject::singular;
+                        break;
                     }
-                    xit[i] += dx;
+                    solved_stale = false;
+                    eval_update(xn);
+                }
+                // Injected after the stale fallback on purpose: the fault
+                // simulates a non-finite FINAL update, which must reach the
+                // retry ladder, not be absorbed by a factor refresh.
+                if (fault::fires("tran.newton.nonfinite")) {
+                    xn[0] = std::numeric_limits<double>::quiet_NaN();
+                    eval_update(xn);
+                }
+                if (reuse_jac) guard.on_iteration(max_dx, solved_stale);
+                tel.clamp_hits += clamp_hits;
+                {
+                    // Apply the update and compute ||xit||_inf in one pass
+                    // (max is order-independent, so this matches norm_inf).
+                    double nrm = 0.0;
+                    for (size_t i = 0; i < n; ++i) {
+                        xit[i] += last_dx[i];
+                        nrm = std::max(nrm, std::fabs(xit[i]));
+                    }
+                    xit_norm = nrm;
                 }
                 if (nonfinite) {
                     reject = Reject::nonfinite;
                     break;
                 }
-                if (max_dx < opt.vntol + opt.reltol * norm_inf(xit)) {
+                if (max_dx < opt.vntol + opt.reltol * xit_norm) {
                     converged = true;
                     break;
                 }
@@ -543,8 +720,12 @@ TranResult transient(circuit::Netlist& netlist, const std::vector<std::string>& 
 
                 // Conservation audit at the (possibly refined) accepted
                 // solution: re-assemble there and read the node-row residual.
-                s.clear();
-                assemble_tran(netlist, s, xit, tp, opt.gmin);
+                if (use_incremental) {
+                    assembler->assemble(xit, tp);
+                } else {
+                    s.clear();
+                    assemble_tran(netlist, s, xit, tp, opt.gmin);
+                }
                 double kcl = 0.0;
                 int kcl_node = -1;
                 if (use_dense) {
@@ -646,7 +827,11 @@ TranResult transient(circuit::Netlist& netlist, const std::vector<std::string>& 
                 if (obs::enabled())
                     obs::ts_append("sim/transient/lte", tp.time, err, "V");
             }
-            for (const auto& d : netlist.devices()) d->commit_tran(xit, tp);
+            // commit_tran is a no-op for LinearStatic devices, so the
+            // assembler's partitioned list commits the identical state while
+            // skipping the static majority of the netlist.
+            if (use_incremental) assembler->commit(xit, tp);
+            else for (const auto& d : netlist.devices()) d->commit_tran(xit, tp);
             x_prev = x_acc;
             x_acc = xit;
             dt_prev = dt_cur;

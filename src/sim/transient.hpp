@@ -95,6 +95,35 @@ struct TranOptions {
     /// reuse_lu is off.  The reusable sparse path beats dense at every size
     /// measured, so this only matters for the legacy configuration.
     int dense_crossover = 160;
+    /// Partitioned incremental assembly (sim::TranAssembler): linear stamps
+    /// are pre-assembled once per run, companion images cached per
+    /// (dt, order), and each Newton iteration restores the linear baseline
+    /// and re-stamps only the nonlinear devices.  Bit-identical to the full
+    /// pass by construction.  OFF restores the full re-stamp per iteration.
+    /// Only applies on the sparse (reuse_lu) engine.
+    bool incremental_assembly = true;
+    /// Modified Newton: keep the previous LU factors while updates keep
+    /// contracting, solving the residual form dx = -LU^{-1}(A x - b); a
+    /// guarded fallback refactors on stall, non-finite update, key change
+    /// or age.  Converges to the same discrete solution (dx = 0 forces
+    /// A x = b regardless of the factors).  OFF refactors every iteration.
+    bool newton_reuse_jacobian = true;
+    /// Seed each Newton attempt with the same linear extrapolation the LTE
+    /// gate uses, x_acc + (dt/dt_prev) (x_acc - x_prev), instead of the
+    /// last accepted state.  On smooth waveforms the predictor lands an
+    /// order of magnitude closer to the solution, converting most steps
+    /// from three Newton iterations to two.  Both history vectors and
+    /// dt_prev are part of the checkpoint state, so resumed runs predict
+    /// bit-identically.  Only active with incremental_assembly (OFF keeps
+    /// the seed engine's x_acc start).
+    bool newton_predictor = true;
+    /// Stall guard: a reused solve must shrink max_dx to at most
+    /// jacobian_stall_theta times the previous iteration's, else the
+    /// factors are declared stale and refreshed.
+    double jacobian_stall_theta = 0.9;
+    /// Unconditional Jacobian refresh after this many consecutive reused
+    /// solves, bounding drift across accepted steps.
+    int jacobian_max_age = 32;
 
     // --- numerical-health certificates ----------------------------------
     /// Per-solve certificates on accepted steps (backward error, condition

@@ -377,6 +377,37 @@ TEST_F(CheckpointTest, MidRunResumeIsBitIdentical) {
     }
 }
 
+TEST_F(CheckpointTest, ResumeIsBitIdenticalWithStaleJacobianReuseActive) {
+    // Tight Newton tolerances keep steps iterating long enough that the
+    // modified-Newton stale path actually runs (the endgame predictor
+    // otherwise refactors straight away).  A resumed run must still
+    // reproduce the uninterrupted waveform exactly: the guard is
+    // invalidated at nominal-step boundaries, so the resume point carries
+    // no hidden factor state, and the (dt, order) companion cache and the
+    // predictor history rebuild deterministically from the snapshot.
+    auto tight = base_options();
+    tight.vntol = 1e-9;
+    tight.reltol = 1e-6;
+
+    auto nl_a = test_netlist();
+    const auto clean = sim::transient(nl_a, kProbes, tight);
+
+    const std::string dir = scratch("resume_stale");
+    auto opt = tight;
+    opt.checkpoint.dir = dir;
+    opt.checkpoint.every_steps = 25;
+    auto nl_b = test_netlist();
+    (void)sim::transient(nl_b, kProbes, opt);
+
+    const std::string path = sim::checkpoint_path(dir, "tran");
+    std::remove(path.c_str());
+    ASSERT_EQ(std::rename((path + ".prev").c_str(), path.c_str()), 0);
+
+    auto nl_c = test_netlist();
+    const auto resumed = sim::resume_transient(nl_c, kProbes, opt);
+    expect_bitwise_equal(clean, resumed);
+}
+
 TEST_F(CheckpointTest, ResumeFromCompletedRunReplaysInstantly) {
     const std::string dir = scratch("replay");
     auto opt = base_options();

@@ -13,6 +13,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstring>
 #include <complex>
 #include <vector>
 
@@ -366,6 +367,46 @@ TEST_F(ParallelTest, ForcedRepivotFallsBackWithoutChangingTheWaveform) {
         EXPECT_EQ(clean.wave("out")[k], faulted.wave("out")[k]) << "sample " << k;
 }
 #endif // SNIM_FAULTS_ENABLED
+
+#if SNIM_OBS_ENABLED
+TEST_F(ParallelTest, IncrementalTransientIsThreadCountInvariant) {
+    // The incremental engine (assembler cache, partial refactors, guarded
+    // modified Newton, predictor) is serial per run, but it must neither
+    // read nor leak any thread-pool state: waveform bytes AND the assembly
+    // / factorization counters have to match for any thread count.
+    sim::TranOptions opt;
+    opt.dt = 1e-9;
+    opt.tstop = 50e-9;
+
+    std::vector<double> ref_wave;
+    uint64_t ref_incr = 0, ref_partial = 0, ref_hits = 0;
+    for (const int threads : {1, 4}) {
+        util::set_default_thread_count(threads);
+        obs::reset();
+        obs::set_enabled(true);
+        auto nl = sine_rc_netlist();
+        const auto res = sim::transient(nl, {"out"}, opt);
+        const uint64_t incr = obs::counter_value("sim/assemble_incremental");
+        const uint64_t partial = obs::counter_value("numeric/lu_partial_refactor");
+        const uint64_t hits = obs::counter_value("sim/assemble_cache_hits");
+        EXPECT_EQ(obs::counter_value("sim/assemble_full"), 1u);
+        EXPECT_GT(incr, 0u);
+        if (threads == 1) {
+            ref_wave = res.wave("out");
+            ref_incr = incr;
+            ref_partial = partial;
+            ref_hits = hits;
+            continue;
+        }
+        ASSERT_EQ(ref_wave.size(), res.wave("out").size());
+        EXPECT_EQ(0, std::memcmp(ref_wave.data(), res.wave("out").data(),
+                                 ref_wave.size() * sizeof(double)));
+        EXPECT_EQ(ref_incr, incr);
+        EXPECT_EQ(ref_partial, partial);
+        EXPECT_EQ(ref_hits, hits);
+    }
+}
+#endif
 
 // --- AC sweep determinism -------------------------------------------------
 
